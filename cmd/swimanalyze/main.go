@@ -1,0 +1,68 @@
+// Command swimanalyze runs the study's full analysis methodology over a
+// workload trace and prints every applicable figure and table.
+//
+// Analyze a trace file produced by swimgen:
+//
+//	swimanalyze -in cc-b.jsonl
+//
+// Or generate-and-analyze in one step:
+//
+//	swimanalyze -workload FB-2009 -duration 336h -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	swim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swimanalyze: ")
+
+	var (
+		in       = flag.String("in", "", "trace file to analyze (.jsonl or .csv)")
+		workload = flag.String("workload", "", "generate this workload instead of reading a file: "+strings.Join(swim.Workloads(), ", "))
+		seed     = flag.Int64("seed", 1, "generator seed when -workload is used")
+		duration = flag.Duration("duration", 0, "generated duration when -workload is used")
+		topNames = flag.Int("top-names", 8, "number of job-name first words to list (Figure 10)")
+		noTable2 = flag.Bool("skip-clustering", false, "skip the Table 2 k-means analysis")
+		csvDir   = flag.String("csv-dir", "", "also export per-figure CSV data files into this directory")
+	)
+	flag.Parse()
+
+	var tr *swim.Trace
+	var err error
+	switch {
+	case *in != "":
+		tr, err = swim.LoadTrace(*in, swim.Meta{Name: *in})
+	case *workload != "":
+		tr, err = swim.Generate(swim.GenerateOptions{Workload: *workload, Seed: *seed, Duration: *duration})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := swim.Analyze(tr, swim.AnalyzeOptions{
+		TopNames:       *topNames,
+		SkipClustering: *noTable2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *csvDir != "" {
+		if err := rep.ExportCSV(*csvDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("exported per-figure CSVs to %s", *csvDir)
+	}
+}

@@ -1,0 +1,496 @@
+// Command swimbench regenerates every table and figure of the paper's
+// evaluation from calibrated synthetic traces and prints paper-reported
+// versus measured values side by side. Its output is the source of
+// EXPERIMENTS.md.
+//
+//	swimbench                 # default: two-week windows, FB rate-scaled
+//	swimbench -quick          # smaller windows for a fast smoke run
+//	swimbench -seed 7         # different random universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	swim "repro"
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// paperRow carries Table 1's published values for comparison.
+type paperRow struct {
+	jobs  int
+	bytes units.Bytes
+	p2m   float64 // Fig 8 peak-to-median where the paper gives one (0 = unreported)
+}
+
+var paperTable1 = map[string]paperRow{
+	"CC-a":    {5759, 80 * units.TB, 0},
+	"CC-b":    {22974, 600 * units.TB, 0},
+	"CC-c":    {21030, 18 * units.PB, 0},
+	"CC-d":    {13283, 8 * units.PB, 0},
+	"CC-e":    {10790, 590 * units.TB, 0},
+	"FB-2009": {1129193, units.Bytes(9.4e15), 31},
+	"FB-2010": {1169184, units.Bytes(1.5e18), 9},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swimbench: ")
+
+	var (
+		quick = flag.Bool("quick", false, "short windows (2 days) for a fast smoke run")
+		seed  = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	dur := 14 * 24 * time.Hour
+	if *quick {
+		dur = 2 * 24 * time.Hour
+	}
+
+	start := time.Now()
+	fmt.Printf("swimbench: regenerating the paper's evaluation (window=%v, seed=%d)\n", dur, *seed)
+	fmt.Println("NOTE: measured values come from calibrated synthetic traces over a")
+	fmt.Println("window of the full trace; job/byte counts are compared per-hour.")
+	fmt.Println()
+
+	reports := map[string]*swim.Report{}
+	traces := map[string]*swim.Trace{}
+	for _, name := range swim.Workloads() {
+		tr, err := swim.Generate(swim.GenerateOptions{Workload: name, Seed: *seed, Duration: dur})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := swim.Analyze(tr, swim.AnalyzeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[name] = tr
+		reports[name] = rep
+	}
+
+	table1(reports, dur)
+	figure1(reports)
+	figure2(reports)
+	figures34(reports)
+	figure5(reports)
+	figure6(reports)
+	figure7(reports, traces)
+	figure8(reports)
+	figure9(reports)
+	figure10(reports)
+	table2(reports)
+	swimScaleDown(traces, *seed)
+	cacheAblation(traces)
+	schedulerAblation(traces, *seed)
+	eraDrift(traces)
+	tieredAblation(traces, *seed)
+	workloadSuite(*quick, *seed)
+	consolidation(traces)
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// table1 compares per-hour job and byte rates with Table 1's full-trace
+// numbers (the generated window is shorter than the full collection).
+func table1(reports map[string]*swim.Report, dur time.Duration) {
+	fmt.Println("== Table 1: trace summaries (rates per hour; paper values scaled) ==")
+	tb := report.NewTable("Workload", "Jobs/hr (paper)", "Jobs/hr (meas)", "Bytes/hr (paper)", "Bytes/hr (meas)")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		p, err := swim.WorkloadProfile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paper := paperTable1[name]
+		hours := p.TraceLength.Hours()
+		measHours := rep.Summary.Length.Hours()
+		tb.AddRow(name,
+			fmt.Sprintf("%.1f", float64(paper.jobs)/hours),
+			fmt.Sprintf("%.1f", float64(rep.Summary.Jobs)/measHours),
+			units.Bytes(float64(paper.bytes)/hours).String(),
+			units.Bytes(float64(rep.Summary.BytesMoved)/measHours).String(),
+		)
+	}
+	render(tb)
+}
+
+func figure1(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 1: per-job data size medians ==")
+	tb := report.NewTable("Workload", "median input", "median shuffle", "median output")
+	var all []*analysis.DataSizes
+	for _, name := range swim.Workloads() {
+		ds := reports[name].DataSizes
+		all = append(all, ds)
+		tb.AddRow(name,
+			units.Bytes(ds.Input.Median()).String(),
+			units.Bytes(ds.Shuffle.Median()).String(),
+			units.Bytes(ds.Output.Median()).String())
+	}
+	render(tb)
+	in, sh, out := analysis.MedianSpanAcrossWorkloads(all)
+	fmt.Printf("median spans: input %.1f / shuffle %.1f / output %.1f orders of magnitude\n", in, sh, out)
+	fmt.Println("paper:        input 6 / shuffle 8 / output 4")
+	fmt.Println()
+}
+
+func figure2(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 2: file access frequency Zipf fits (paper: slope 5/6 = 0.833, straight lines) ==")
+	tb := report.NewTable("Workload", "alpha (input)", "R2", "alpha (output)", "R2", "files")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		if rep.InputAccess == nil {
+			tb.AddRow(name, "no path data", "", "", "", "")
+			continue
+		}
+		outA, outR := "n/a", ""
+		if rep.OutputAccess != nil {
+			outA = fmt.Sprintf("%.3f", rep.OutputAccess.Fit.Alpha)
+			outR = fmt.Sprintf("%.3f", rep.OutputAccess.Fit.R2)
+		}
+		tb.AddRow(name,
+			fmt.Sprintf("%.3f", rep.InputAccess.Fit.Alpha),
+			fmt.Sprintf("%.3f", rep.InputAccess.Fit.R2),
+			outA, outR,
+			fmt.Sprintf("%d", rep.InputAccess.DistinctFiles))
+	}
+	render(tb)
+}
+
+func figures34(reports map[string]*swim.Report) {
+	fmt.Println("== Figures 3-4: access patterns vs file size (paper: 80-1 .. 80-8 rules; 90% of jobs < a few GB) ==")
+	tb := report.NewTable("Workload", "80-N input", "80-N output", "p90 accessed input size")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		if rep.InputSizeAccess == nil {
+			tb.AddRow(name, "no path data", "", "")
+			continue
+		}
+		outRule := "n/a"
+		if rep.OutputSizeAccess != nil {
+			outRule = fmt.Sprintf("80-%.1f", rep.OutputSizeAccess.EightyRule())
+		}
+		tb.AddRow(name,
+			fmt.Sprintf("80-%.1f", rep.InputSizeAccess.EightyRule()),
+			outRule,
+			units.Bytes(rep.InputSizeAccess.JobsCDF.Quantile(0.9)).String())
+	}
+	render(tb)
+}
+
+func figure5(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 5: re-access intervals (paper: 75% within 6 hours) ==")
+	tb := report.NewTable("Workload", "within 1min", "within 1hr", "within 6hr")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		if rep.Intervals == nil {
+			tb.AddRow(name, "no path data", "", "")
+			continue
+		}
+		iv := rep.Intervals
+		tb.AddRow(name,
+			report.Percent(iv.FractionWithin(time.Minute)),
+			report.Percent(iv.FractionWithin(time.Hour)),
+			report.Percent(iv.FractionWithin(6*time.Hour)))
+	}
+	render(tb)
+}
+
+func figure6(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 6: jobs reading pre-existing data (paper: up to 78% for CC-c/d/e) ==")
+	tb := report.NewTable("Workload", "re-access input", "re-access output", "total")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		if rep.Reaccess == nil {
+			tb.AddRow(name, "no path data", "", "")
+			continue
+		}
+		rf := rep.Reaccess
+		out := report.Percent(rf.OutputReaccess)
+		if !rf.OutputObservable {
+			out = "unobservable"
+		}
+		tb.AddRow(name,
+			report.Percent(rf.InputReaccess), out,
+			report.Percent(rf.InputReaccess+rf.OutputReaccess))
+	}
+	render(tb)
+}
+
+func figure7(reports map[string]*swim.Report, traces map[string]*swim.Trace) {
+	fmt.Println("== Figure 7: weekly behavior (hourly sparklines, first week) ==")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		week := rep.Series
+		if w, err := rep.Series.Week(0); err == nil {
+			week = w
+		}
+		fmt.Printf("%-8s jobs  %s\n", name, report.Sparkline(week.Jobs))
+		fmt.Printf("%-8s I/O   %s\n", "", report.Sparkline(week.Bytes))
+		fmt.Printf("%-8s task  %s\n", "", report.Sparkline(week.TaskSeconds))
+	}
+	// Utilization column via replay of a small workload (full FB replays
+	// are left to swimreplay).
+	tr := traces["CC-e"]
+	res, err := swim.Replay(tr, swim.ReplayOptions{Scheduler: swim.SchedulerFair})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(res.HourlyOccupancy)
+	if n > 7*24 {
+		n = 7 * 24
+	}
+	fmt.Printf("%-8s util  %s (CC-e replayed, %d slots)\n", "", report.Sparkline(res.HourlyOccupancy[:n]), res.TotalSlots)
+	fmt.Println()
+}
+
+func figure8(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 8: burstiness (paper: peak-to-median 9:1 .. 260:1; FB 31:1 -> 9:1) ==")
+	tb := report.NewTable("Workload", "peak:median (meas)", "paper")
+	for _, name := range swim.Workloads() {
+		rep := reports[name]
+		paperVal := "9:1 .. 260:1 range"
+		if p := paperTable1[name].p2m; p > 0 {
+			paperVal = report.Ratio(p)
+		}
+		tb.AddRow(name, report.Ratio(rep.PeakToMedian), paperVal)
+	}
+	// The two sine references of the figure.
+	for _, offset := range []float64{2, 20} {
+		b, err := stats.Burstiness(stats.SineSeries(14*24, offset))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(fmt.Sprintf("sine + %.0f", offset), fmt.Sprintf("%.2f:1", b.PeakToMedian), "reference")
+	}
+	render(tb)
+}
+
+func figure9(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 9: hourly correlations (paper avgs: jobs-bytes 0.21, jobs-task 0.14, bytes-task 0.62) ==")
+	tb := report.NewTable("Workload", "jobs-bytes", "jobs-task-s", "bytes-task-s")
+	var sums [3]float64
+	for _, name := range swim.Workloads() {
+		c := reports[name].Correlations
+		tb.AddRow(name,
+			fmt.Sprintf("%.2f", c.JobsBytes),
+			fmt.Sprintf("%.2f", c.JobsTaskSeconds),
+			fmt.Sprintf("%.2f", c.BytesTaskSeconds))
+		sums[0] += c.JobsBytes
+		sums[1] += c.JobsTaskSeconds
+		sums[2] += c.BytesTaskSeconds
+	}
+	n := float64(len(swim.Workloads()))
+	tb.AddRow("average",
+		fmt.Sprintf("%.2f", sums[0]/n),
+		fmt.Sprintf("%.2f", sums[1]/n),
+		fmt.Sprintf("%.2f", sums[2]/n))
+	render(tb)
+}
+
+func figure10(reports map[string]*swim.Report) {
+	fmt.Println("== Figure 10: job name first words (FB-2009 paper: ad 44%, insert 12% of jobs) ==")
+	for _, name := range swim.Workloads() {
+		na := reports[name].Names
+		if na == nil {
+			fmt.Printf("%s: trace carries no job names\n", name)
+			continue
+		}
+		fmt.Printf("%s (top words by job count):\n", name)
+		tb := report.NewTable("word", "% jobs", "% bytes", "% task-time")
+		for i, g := range na.Groups {
+			if i >= 5 && g.Word != "[others]" {
+				continue
+			}
+			tb.AddRow(g.Word, report.Percent(g.JobsFraction),
+				report.Percent(g.BytesFraction), report.Percent(g.TaskTimeFraction))
+		}
+		render(tb)
+	}
+}
+
+func table2(reports map[string]*swim.Report) {
+	fmt.Println("== Table 2: job types recovered by k-means (paper: small jobs > 90% everywhere) ==")
+	for _, name := range swim.Workloads() {
+		jc := reports[name].Clusters
+		fmt.Printf("%s (k=%d, small-job fraction %s):\n", name, jc.K, report.Percent(jc.SmallJobFraction))
+		tb := report.NewTable("# Jobs", "Input", "Shuffle", "Output", "Duration", "Map t-s", "Reduce t-s", "Label")
+		for _, jt := range jc.Types {
+			tb.AddRow(fmt.Sprintf("%d", jt.Count),
+				jt.Input.String(), jt.Shuffle.String(), jt.Output.String(),
+				units.FormatDuration(jt.Duration),
+				fmt.Sprintf("%.0f", float64(jt.MapTime)),
+				fmt.Sprintf("%.0f", float64(jt.Reduce)),
+				jt.Label)
+		}
+		render(tb)
+	}
+}
+
+func swimScaleDown(traces map[string]*swim.Trace, seed int64) {
+	fmt.Println("== SWIM scale-down (§7): FB-2009 window -> 1/10 cluster, fidelity ==")
+	src := traces["FB-2009"]
+	syn, fid, err := swim.ScaleDownFidelity(src, swim.SynthesizeOptions{
+		TargetLength:   24 * time.Hour,
+		SourceMachines: 600,
+		TargetMachines: 60,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source: %d jobs over %v; synthetic: %d jobs over %v\n",
+		src.Len(), src.Meta.Length, syn.Len(), syn.Meta.Length)
+	fmt.Printf("fidelity: %v (target: worst excess <= 0, i.e. within sampling noise)\n\n", fid)
+}
+
+func cacheAblation(traces map[string]*swim.Trace) {
+	fmt.Println("== Cache policy ablation (§4 implications), CC-e input stream ==")
+	tr := traces["CC-e"]
+	results, err := swim.CompareCachePolicies(tr, 200*swim.GB, swim.GB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("Policy", "hit rate", "byte hit rate", "peak bytes")
+	for _, r := range results {
+		tb.AddRow(r.Policy, report.Percent(r.HitRate), report.Percent(r.ByteHitRate), r.PeakUsed.String())
+	}
+	render(tb)
+}
+
+func schedulerAblation(traces map[string]*swim.Trace, seed int64) {
+	fmt.Println("== Scheduler ablation (§6.2 small jobs vs big jobs), CC-b replay ==")
+	tr := traces["CC-b"]
+	tb := report.NewTable("Scheduler", "median latency", "mean latency", "p99 latency")
+	for _, sched := range []swim.SchedulerKind{swim.SchedulerFIFO, swim.SchedulerFair} {
+		res, err := swim.Replay(tr, swim.ReplayOptions{Scheduler: sched, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(res.Scheduler.String(),
+			fmt.Sprintf("%.0fs", res.MedianLatency()),
+			fmt.Sprintf("%.0fs", res.MeanLatency()),
+			fmt.Sprintf("%.0fs", res.P99Latency()))
+	}
+	render(tb)
+}
+
+// eraDrift reproduces the §4.1/§6.2 Facebook-evolution comparison: from
+// 2009 to 2010 per-job inputs grew by orders of magnitude, outputs shrank,
+// and job rate quadrupled.
+func eraDrift(traces map[string]*swim.Trace) {
+	fmt.Println("== Workload drift FB-2009 -> FB-2010 (paper: inputs grew, outputs shrank, job types changed) ==")
+	d, err := swim.CompareEras(traces["FB-2009"], traces["FB-2010"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("dimension", "median shift (orders of magnitude)", "KS distance")
+	tb.AddRow("input", fmt.Sprintf("%+.2f", d.InputMedianShift), fmt.Sprintf("%.2f", d.InputKS))
+	tb.AddRow("shuffle", fmt.Sprintf("%+.2f", d.ShuffleMedianShift), fmt.Sprintf("%.2f", d.ShuffleKS))
+	tb.AddRow("output", fmt.Sprintf("%+.2f", d.OutputMedianShift), fmt.Sprintf("%.2f", d.OutputKS))
+	render(tb)
+	fmt.Printf("job rate ratio: %.1fx (paper: 258 -> 1083 jobs/hr = 4.2x); drift significant: %v\n\n",
+		d.JobRateRatio, d.Significant(0.2))
+}
+
+// tieredAblation evaluates the §6.2 two-tier recommendation against a
+// shared cluster on CC-b.
+func tieredAblation(traces map[string]*swim.Trace, seed int64) {
+	fmt.Println("== Two-tier cluster ablation (§6.2 performance/capacity split), CC-b at 40 nodes ==")
+	tr := traces["CC-b"]
+	shared, err := swim.Replay(tr, swim.ReplayOptions{Nodes: 40, Scheduler: swim.SchedulerFIFO, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiered, err := swim.ReplayTiered(tr, swim.TieredReplayOptions{
+		Nodes: 40, PerformanceShare: 0.25, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("configuration", "median lat", "p99 lat")
+	tb.AddRow("shared FIFO (all jobs)",
+		fmt.Sprintf("%.0fs", shared.MedianLatency()),
+		fmt.Sprintf("%.0fs", shared.P99Latency()))
+	tb.AddRow("tiered, small jobs (25% perf tier)",
+		fmt.Sprintf("%.0fs", tiered.Performance.MedianLatency()),
+		fmt.Sprintf("%.0fs", tiered.P99SmallLatency()))
+	tb.AddRow("tiered, large jobs (75% cap tier)",
+		fmt.Sprintf("%.0fs", tiered.Capacity.MedianLatency()),
+		fmt.Sprintf("%.0fs", tiered.Capacity.P99Latency()))
+	render(tb)
+}
+
+// workloadSuite runs the §7 benchmark-suite concept across diverse
+// workloads on one 50-node target cluster.
+func workloadSuite(quick bool, seed int64) {
+	fmt.Println("== Workload suite (§7: a benchmark must be a suite, scored on multiple metrics) ==")
+	workloads := []string{"CC-b", "CC-c", "CC-e", "FB-2009"}
+	window := 7 * 24 * time.Hour
+	if quick {
+		window = 48 * time.Hour
+	}
+	res, err := swim.RunSuite(swim.SuiteConfig{
+		Workloads:    workloads,
+		SourceWindow: window,
+		StreamLength: 24 * time.Hour,
+		TargetNodes:  50,
+		Scheduler:    swim.SchedulerFair,
+		Seed:         seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.NewTable("workload", "jobs", "small p50", "small p99", "large p99", "mean util", "bytes/hr")
+	for _, s := range res.Scores {
+		tb.AddRow(s.Workload,
+			fmt.Sprintf("%d", s.Jobs),
+			fmt.Sprintf("%.0fs", s.SmallP50),
+			fmt.Sprintf("%.0fs", s.SmallP99),
+			fmt.Sprintf("%.0fs", s.LargeP99),
+			report.Percent(s.MeanUtilization),
+			s.BytesPerHour.String())
+	}
+	render(tb)
+}
+
+// consolidation demonstrates the §5.2 multiplexing effect: merging the
+// bursty CC workloads onto one logical cluster smooths the aggregate.
+func consolidation(traces map[string]*swim.Trace) {
+	fmt.Println("== Consolidation (§5.2: multiplexing decreases burstiness) ==")
+	names := []string{"CC-a", "CC-b", "CC-d", "CC-e"}
+	tb := report.NewTable("workload", "peak:median")
+	var parts []*swim.Trace
+	for _, name := range names {
+		tr := traces[name]
+		p2m, err := swim.PeakToMedian(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(name, report.Ratio(p2m))
+		parts = append(parts, tr)
+	}
+	merged, err := swim.Consolidate("all-CC", parts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2m, err := swim.PeakToMedian(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb.AddRow("consolidated", report.Ratio(p2m))
+	render(tb)
+}
+
+func render(tb *report.Table) {
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,83 @@
+package swim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMultiplexingReducesBurstiness checks the §5.2 mechanism directly:
+// consolidating several independent bursty workloads onto one cluster
+// should yield a less bursty aggregate than the burstiest of its parts —
+// the effect the paper credits for Facebook's 31:1 → 9:1 drop.
+func TestMultiplexingReducesBurstiness(t *testing.T) {
+	var parts []*Trace
+	var worst float64
+	for i, name := range []string{"CC-a", "CC-b", "CC-d", "CC-e"} {
+		tr, err := Generate(GenerateOptions{
+			Workload: name,
+			Seed:     int64(100 + i),
+			Duration: 7 * 24 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2m, err := PeakToMedian(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p2m > worst {
+			worst = p2m
+		}
+		parts = append(parts, tr)
+	}
+	merged, err := Consolidate("multiplexed", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedP2M, err := PeakToMedian(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedP2M >= worst {
+		t.Errorf("merged peak:median %.0f should be below the burstiest part %.0f", mergedP2M, worst)
+	}
+	// The aggregate should be substantially smoother, not marginally.
+	if mergedP2M > worst/2 {
+		t.Errorf("merged %.0f vs worst part %.0f: expected at least 2x smoothing", mergedP2M, worst)
+	}
+	if merged.Len() != parts[0].Len()+parts[1].Len()+parts[2].Len()+parts[3].Len() {
+		t.Error("consolidation lost jobs")
+	}
+}
+
+// TestConsolidatedTraceAnalyzable: the merged trace flows through the full
+// analysis pipeline like any other workload.
+func TestConsolidatedTraceAnalyzable(t *testing.T) {
+	a, err := Generate(GenerateOptions{Workload: "CC-b", Seed: 1, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenerateOptions{Workload: "CC-e", Seed: 2, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Consolidate("both", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, AnalyzeOptions{SkipClustering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Jobs != a.Len()+b.Len() {
+		t.Error("merged summary wrong")
+	}
+	if rep.InputAccess == nil {
+		t.Error("merged trace should retain path analyses")
+	}
+	// Disjoint namespaces: distinct files add up (within rounding of the
+	// two independent populations).
+	if rep.InputAccess.DistinctFiles < 100 {
+		t.Errorf("suspiciously few distinct files: %d", rep.InputAccess.DistinctFiles)
+	}
+}

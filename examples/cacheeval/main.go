@@ -1,0 +1,116 @@
+// Cache policy evaluation: the §4 implications of the study made runnable.
+//
+// The paper establishes three facts about HDFS data access — Zipf-skewed
+// file popularity (Fig 2), most accesses hitting small files that hold a
+// tiny share of stored bytes (Figs 3-4), and strong temporal locality
+// (Fig 5) — and derives concrete cache-design advice: frequency-aware
+// caching wins, size-threshold admission keeps cache capacity decoupled
+// from data growth, and LRU-family eviction fits the re-access intervals.
+//
+// This example replays a generated CC-e trace through LRU, LFU, FIFO,
+// size-threshold LRU, and TTL caches at several capacities, and also
+// evaluates the two storage-tiering assignments from internal/hdfs.
+//
+//	go run ./examples/cacheeval
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	swim "repro"
+	"repro/internal/cache"
+	"repro/internal/hdfs"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tr, err := swim.Generate(swim.GenerateOptions{
+		Workload: "CC-e",
+		Seed:     7,
+		Duration: 7 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CC-e, one week: %d jobs, %s moved\n\n", tr.Len(), tr.Summarize().BytesMoved)
+
+	// --- Whole-file cache policies across capacities ---
+	for _, capacity := range []swim.Bytes{10 * swim.GB, 100 * swim.GB, swim.TB} {
+		ttl, err := cache.NewTTL(capacity, 6*time.Hour) // Fig 5: 75% of re-accesses < 6h
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies := []cache.Policy{
+			cache.NewLRU(capacity),
+			cache.NewLFU(capacity),
+			cache.NewFIFO(capacity),
+			cache.NewSizeThresholdLRU(capacity, swim.GB),
+			ttl,
+		}
+		results, err := cache.Compare(tr, policies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cache capacity %v:\n", capacity)
+		tb := report.NewTable("policy", "hit rate", "byte hit rate", "peak used")
+		for _, r := range results {
+			tb.AddRow(r.Policy, report.Percent(r.HitRate), report.Percent(r.ByteHitRate), r.PeakUsed.String())
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	// --- Storage tiering (the paper's "tiered storage architecture
+	// should be explored") ---
+	// Build the namespace by replaying the trace into the simulated DFS,
+	// then score frequency-based vs size-threshold promotion.
+	fs, err := hdfs.New(hdfs.Config{Datanodes: 100, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.InputPath != "" {
+			if _, ok := fs.Stat(j.InputPath); !ok {
+				if _, err := fs.Create(j.InputPath, j.InputBytes, j.SubmitTime); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if _, err := fs.Open(j.InputPath, j.SubmitTime); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if j.OutputPath != "" {
+			if _, err := fs.Create(j.OutputPath, j.OutputBytes, j.FinishTime()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("simulated DFS: %d files, %s logical, %s raw (3x replication), imbalance %.2f\n\n",
+		fs.FileCount(), fs.TotalStored(), fs.RawStored(), fs.NodeImbalance())
+
+	budget := 200 * swim.GB
+	tb := report.NewTable("tiering policy", "fast-tier bytes", "% of stored", "access coverage", "files")
+	for _, pol := range []hdfs.TieringPolicy{
+		hdfs.FrequencyTiering{},
+		hdfs.SizeThresholdTiering{Threshold: swim.GB},
+	} {
+		repT := hdfs.EvaluateTiering(fs, pol, budget)
+		tb.AddRow(repT.Policy, repT.FastBytes.String(),
+			report.Percent(repT.FastBytesFraction),
+			report.Percent(repT.AccessCoverage),
+			fmt.Sprintf("%d", repT.FilesPromoted))
+	}
+	fmt.Printf("storage tiering with a %v fast tier:\n", budget)
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreading: a small fast tier captures the dominant share of accesses —")
+	fmt.Println("the cache-viability conclusion of §4.2-4.3.")
+}

@@ -1,0 +1,102 @@
+// Scale-down: the SWIM workflow of §7 end to end.
+//
+// The paper's "stopgap tool" (SWIM) answers the benchmark-scaling problem:
+// production workloads are too big to replay verbatim, so sample a shorter
+// window, scale data and compute proportionally to cluster size, and
+// verify that the distributions that matter survive. This example takes a
+// two-week FB-2009 trace, synthesizes a one-day workload for a cluster one
+// tenth the size, scores fidelity with Kolmogorov-Smirnov distances, and
+// replays the result on the simulated cluster.
+//
+//	go run ./examples/scaledown
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	swim "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	src, err := swim.Generate(swim.GenerateOptions{
+		Workload: "FB-2009",
+		Seed:     3,
+		Duration: 14 * 24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source: FB-2009, %d jobs over %v on %d machines\n",
+		src.Len(), src.Meta.Length, src.Meta.Machines)
+
+	// Synthesize: 1 day, 60 machines (1/10 of the 600-node original).
+	syn, fid, err := swim.ScaleDownFidelity(src, swim.SynthesizeOptions{
+		TargetLength:   24 * time.Hour,
+		SourceMachines: 600,
+		TargetMachines: 60,
+		Seed:           3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthetic: %d jobs over %v for %d machines\n\n",
+		syn.Len(), syn.Meta.Length, syn.Meta.Machines)
+
+	fmt.Println("fidelity (K-S distance per dimension, after dividing out the 10x scale):")
+	tb := report.NewTable("dimension", "KS", "noise floor", "verdict")
+	dims := []struct {
+		name string
+		ks   float64
+		nf   float64
+	}{
+		{"input bytes", fid.Input.KS, fid.Input.NoiseFloor()},
+		{"shuffle bytes", fid.Shuffle.KS, fid.Shuffle.NoiseFloor()},
+		{"output bytes", fid.Output.KS, fid.Output.NoiseFloor()},
+		{"task-time", fid.TaskTime.KS, fid.TaskTime.NoiseFloor()},
+	}
+	for _, d := range dims {
+		verdict := "within sampling noise"
+		if d.ks > d.nf {
+			verdict = "distorted"
+		}
+		tb.AddRow(d.name, fmt.Sprintf("%.3f", d.ks), fmt.Sprintf("%.3f", d.nf), verdict)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("burstiness drift (peak-to-median relative error): %.2f\n\n", fid.PeakToMedianRel)
+
+	// Replay the scaled workload on a simulated 60-node cluster.
+	res, err := swim.Replay(syn, swim.ReplayOptions{
+		Nodes:     60,
+		Scheduler: swim.SchedulerFair,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed on 60 nodes (fair): %d jobs, median latency %.0fs, p99 %.0fs\n",
+		res.Completed, res.MedianLatency(), res.P99Latency())
+	n := len(res.HourlyOccupancy)
+	if n > 24 {
+		n = 24
+	}
+	fmt.Printf("slot occupancy: %s (%d slots)\n", report.Sparkline(res.HourlyOccupancy[:n]), res.TotalSlots)
+
+	// Persist the synthetic workload for external tools.
+	out := "fb2009-scaled.jsonl"
+	if err := swim.SaveTrace(out, syn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	// Clean up the demo artifact.
+	if err := os.Remove(out); err != nil {
+		log.Fatal(err)
+	}
+}

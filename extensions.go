@@ -1,0 +1,167 @@
+package swim
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/stats"
+	"repro/internal/suite"
+	"repro/internal/trace"
+)
+
+// This file exposes the extension features built on top of the paper's
+// explicit recommendations: the §6.2 two-tier cluster, the §7 workload
+// suite benchmark, the §6.2/§4.1 workload-drift comparison, the
+// clairvoyant caching upper bound, and DFS pre-population (SWIM's first
+// replay step).
+
+// Re-exported extension types.
+type (
+	// TieredReplayOptions configures the §6.2 performance/capacity split.
+	TieredReplayOptions = cluster.TieredConfig
+	// TieredReplayResult is the two-tier replay outcome.
+	TieredReplayResult = cluster.TieredResult
+	// SuiteConfig configures the §7 workload-suite benchmark.
+	SuiteConfig = suite.Config
+	// SuiteResult is the per-workload scorecard of a suite run.
+	SuiteResult = suite.Result
+	// SuiteScore is one workload's multi-metric score.
+	SuiteScore = suite.Score
+	// Drift quantifies workload evolution between two eras of the same
+	// deployment (FB-2009 → FB-2010).
+	Drift = analysis.Drift
+	// FS is the simulated distributed filesystem.
+	FS = hdfs.FS
+	// TieringReport scores a storage-tier assignment.
+	TieringReport = hdfs.TieringReport
+)
+
+// ReplayTiered replays a trace on the two-tier cluster of §6.2: small jobs
+// on a fair-scheduled performance partition, large jobs on a FIFO capacity
+// partition. The trace must contain both classes.
+func ReplayTiered(t *Trace, opts TieredReplayOptions) (*TieredReplayResult, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = t.Meta.Machines
+	}
+	if opts.PerformanceShare == 0 {
+		opts.PerformanceShare = 0.25
+	}
+	return cluster.RunTiered(t, opts)
+}
+
+// RunSuite executes the §7 workload-suite benchmark: each selected
+// workload is generated, scaled down to the target cluster with measured
+// fidelity, and replayed as a steady stream, producing per-workload
+// latency/utilization/throughput scores.
+func RunSuite(cfg SuiteConfig) (*SuiteResult, error) {
+	return suite.Run(cfg)
+}
+
+// CompareEras measures how a deployment's workload drifted between two
+// trace collections (per-dimension median shifts and K-S distances, job
+// rate ratio) — the §6.2 / §4.1 Facebook-evolution analysis.
+func CompareEras(from, to *Trace) (*Drift, error) {
+	return analysis.CompareEras(from, to)
+}
+
+// CompareCachePoliciesWithOptimal extends CompareCachePolicies with the
+// clairvoyant (Belady-style) upper bound, so each policy's hit rate can be
+// stated as a fraction of what any policy could achieve on the trace.
+func CompareCachePoliciesWithOptimal(t *Trace, capacity, threshold Bytes) ([]CacheResult, error) {
+	return cache.Compare(t, []cache.Policy{
+		cache.NewLRU(capacity),
+		cache.NewLFU(capacity),
+		cache.NewFIFO(capacity),
+		cache.NewSizeThresholdLRU(capacity, threshold),
+		cache.NewClairvoyant(t, capacity),
+	})
+}
+
+// NewSimulatedFS creates a simulated DFS sized like the trace's cluster
+// and populates it from the trace's file activity, returning the
+// filesystem ready for tiering studies.
+func NewSimulatedFS(t *Trace, seed int64) (*FS, error) {
+	nodes := t.Meta.Machines
+	if nodes <= 0 {
+		nodes = 10
+	}
+	fs, err := hdfs.New(hdfs.Config{Datanodes: nodes, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := hdfs.PopulateFromTrace(fs, t); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// EvaluateTiering scores frequency-based and size-threshold storage
+// tiering (§4.2's implications) on a populated filesystem with the given
+// fast-tier budget and small-file threshold.
+func EvaluateTiering(fs *FS, fastCapacity, threshold Bytes) []TieringReport {
+	return []TieringReport{
+		hdfs.EvaluateTiering(fs, hdfs.FrequencyTiering{}, fastCapacity),
+		hdfs.EvaluateTiering(fs, hdfs.SizeThresholdTiering{Threshold: threshold}, fastCapacity),
+	}
+}
+
+// DailyRegularity reports the day-over-day autocorrelation (r at lag 24h)
+// of the trace's hourly job submissions: near 1 for the predictable
+// diurnal load the original MapReduce use case assumed, near 0 for the
+// bursty workloads the paper documents.
+func DailyRegularity(t *Trace) (float64, error) {
+	ts, err := analysis.BinHourly(t)
+	if err != nil {
+		return 0, err
+	}
+	return stats.DailyRegularity(ts.Jobs)
+}
+
+// LocalityReplayResult extends a replay with map-task placement quality.
+type LocalityReplayResult = cluster.LocalityResult
+
+// ReplayWithLocality replays the trace with locality-aware map placement
+// against a DFS populated from the same trace (see NewSimulatedFS): map
+// tasks prefer nodes holding replicas of their input blocks, and the
+// result reports the achieved locality rate. The §4 popularity skew makes
+// this interesting: hot files concentrate readers on three replica
+// holders, so locality degrades exactly on the most-accessed data.
+func ReplayWithLocality(t *Trace, fs *FS, opts ReplayOptions) (*LocalityReplayResult, error) {
+	nodes := opts.Nodes
+	if nodes == 0 {
+		nodes = t.Meta.Machines
+	}
+	return cluster.RunWithLocality(t, fs, cluster.Config{
+		Nodes:              nodes,
+		MapSlotsPerNode:    opts.MapSlotsPerNode,
+		ReduceSlotsPerNode: opts.ReduceSlotsPerNode,
+		Scheduler:          opts.Scheduler,
+		StragglerProb:      opts.StragglerProb,
+		StragglerFactor:    opts.StragglerFactor,
+		Seed:               opts.Seed,
+	})
+}
+
+// Consolidate merges several workloads onto one logical cluster (summed
+// machines, aligned starts, disjoint file namespaces). Section 5.2
+// attributes Facebook's 31:1 → 9:1 burstiness drop to multiplexing many
+// organizations' workloads; consolidating traces lets that effect be
+// measured directly (see PeakToMedian of the merged trace's Report).
+func Consolidate(name string, traces ...*Trace) (*Trace, error) {
+	return trace.Merge(name, traces...)
+}
+
+// PeakToMedian computes the Figure 8 headline burstiness number for a
+// trace without running the full analysis.
+func PeakToMedian(t *Trace) (float64, error) {
+	ts, err := analysis.BinHourly(t)
+	if err != nil {
+		return 0, err
+	}
+	b, err := ts.BurstinessOf()
+	if err != nil {
+		return 0, err
+	}
+	return b.PeakToMedian, nil
+}

@@ -1,0 +1,150 @@
+package swim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReplayTieredFacade(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-b", Seed: 8, Duration: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTiered(tr, TieredReplayOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallJobs+res.LargeJobs != tr.Len() {
+		t.Error("tiered replay lost jobs")
+	}
+	if res.MeanSmallLatency() <= 0 || res.P99SmallLatency() < res.MeanSmallLatency()/100 {
+		t.Errorf("small-job latencies malformed: mean=%v p99=%v",
+			res.MeanSmallLatency(), res.P99SmallLatency())
+	}
+}
+
+func TestRunSuiteFacade(t *testing.T) {
+	res, err := RunSuite(SuiteConfig{
+		Workloads:    []string{"CC-e"},
+		SourceWindow: 48 * time.Hour,
+		StreamLength: 12 * time.Hour,
+		TargetNodes:  20,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 1 || res.Scores[0].Jobs == 0 {
+		t.Fatalf("suite result: %+v", res)
+	}
+}
+
+func TestCompareErasFacade(t *testing.T) {
+	fb09, err := Generate(GenerateOptions{Workload: "FB-2009", Seed: 4, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb10, err := Generate(GenerateOptions{Workload: "FB-2010", Seed: 4, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := CompareEras(fb09, fb10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: inputs grew by orders of magnitude, outputs shrank, and the
+	// job rate quadrupled.
+	if d.InputMedianShift <= 0 {
+		t.Errorf("input shift = %v, want positive", d.InputMedianShift)
+	}
+	if d.OutputMedianShift >= 0 {
+		t.Errorf("output shift = %v, want negative", d.OutputMedianShift)
+	}
+	if !d.Significant(0.2) {
+		t.Error("FB evolution should be significant")
+	}
+}
+
+func TestCompareCachePoliciesWithOptimal(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-e", Seed: 6, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareCachePoliciesWithOptimal(tr, 50*GB, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5", len(results))
+	}
+	var optimal, lru float64
+	for _, r := range results {
+		switch r.Policy {
+		case "Clairvoyant":
+			optimal = r.HitRate
+		case "LRU":
+			lru = r.HitRate
+		}
+	}
+	if optimal <= 0 {
+		t.Error("clairvoyant achieved no hits")
+	}
+	if lru > optimal+0.02 {
+		t.Errorf("LRU %v exceeds clairvoyant %v", lru, optimal)
+	}
+}
+
+func TestNewSimulatedFSAndTiering(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-d", Seed: 6, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewSimulatedFS(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.FileCount() == 0 {
+		t.Fatal("empty simulated FS")
+	}
+	reports := EvaluateTiering(fs, 500*GB, GB)
+	if len(reports) != 2 {
+		t.Fatalf("tiering reports = %d, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if r.AccessCoverage < 0 || r.AccessCoverage > 1 {
+			t.Errorf("%s coverage %v out of range", r.Policy, r.AccessCoverage)
+		}
+	}
+	// Pathless trace cannot populate.
+	fb09, err := Generate(GenerateOptions{Workload: "FB-2009", Seed: 1, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimulatedFS(fb09, 1); err == nil {
+		t.Error("pathless trace should fail to populate")
+	}
+}
+
+func TestDailyRegularityFacade(t *testing.T) {
+	// FB-2010 has the strongest diurnal; its regularity should exceed the
+	// near-random CC-a.
+	fb10, err := Generate(GenerateOptions{Workload: "FB-2010", Seed: 9, Duration: 7 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cca, err := Generate(GenerateOptions{Workload: "CC-a", Seed: 9, Duration: 7 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFB, err := DailyRegularity(fb10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCC, err := DailyRegularity(cca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFB <= rCC {
+		t.Errorf("FB-2010 daily regularity %v should exceed CC-a %v", rFB, rCC)
+	}
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// JobType is one Table-2 row recovered from a trace: a k-means cluster of
+// jobs in the six-dimensional space (input, shuffle, output, duration,
+// map time, reduce time), with a centroid expressed in natural units and
+// a mechanically assigned label in the paper's vocabulary.
+type JobType struct {
+	Count    int
+	Input    units.Bytes
+	Shuffle  units.Bytes
+	Output   units.Bytes
+	Duration time.Duration
+	MapTime  units.TaskSeconds
+	Reduce   units.TaskSeconds
+	Label    string
+}
+
+// JobClusters is the Table 2 analysis result for one workload.
+type JobClusters struct {
+	Workload string
+	// Types sorted by descending population.
+	Types []JobType
+	// K chosen by the elbow rule.
+	K int
+	// SmallJobFraction is the population share of the largest cluster.
+	SmallJobFraction float64
+	// ResidualVariance of the final clustering (standardized space).
+	ResidualVariance float64
+}
+
+// ClusterConfig controls the Table 2 analysis.
+type ClusterConfig struct {
+	// MaxK bounds the elbow search (default 12, enough for Table 2's
+	// largest workload at k=10).
+	MaxK int
+	// MinGain is the diminishing-returns threshold for the elbow rule
+	// (default 0.12).
+	MinGain float64
+	// Seed fixes the clustering.
+	Seed int64
+	// MaxJobs caps how many jobs are clustered; larger traces are sampled
+	// uniformly (deterministically) to bound run time. Zero means 50000.
+	MaxJobs int
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.MaxK <= 0 {
+		c.MaxK = 12
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 0.12
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 50000
+	}
+	return c
+}
+
+// ClusterJobs reproduces the §6.2 methodology on a trace: standardize the
+// six job dimensions in log space, k-means with k chosen by incrementing
+// until diminishing returns, then label the discovered job types.
+func ClusterJobs(t *trace.Trace, cfg ClusterConfig) (*JobClusters, error) {
+	cfg = cfg.withDefaults()
+	if t.Len() < 2 {
+		return nil, errors.New("analysis: too few jobs to cluster")
+	}
+	jobs := t.Jobs
+	if len(jobs) > cfg.MaxJobs {
+		// Deterministic uniform thinning.
+		stride := float64(len(jobs)) / float64(cfg.MaxJobs)
+		sampled := make([]*trace.Job, 0, cfg.MaxJobs)
+		for i := 0; i < cfg.MaxJobs; i++ {
+			sampled = append(sampled, jobs[int(float64(i)*stride)])
+		}
+		jobs = sampled
+	}
+	raw := make([][]float64, len(jobs))
+	for i, j := range jobs {
+		raw[i] = j.Features()
+	}
+	var std kmeans.Standardizer
+	if err := std.Fit(raw); err != nil {
+		return nil, err
+	}
+	pts, err := std.Transform(raw)
+	if err != nil {
+		return nil, err
+	}
+	res, err := kmeans.SelectK(pts, cfg.MaxK, cfg.MinGain, kmeans.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &JobClusters{Workload: t.Meta.Name, K: res.K, ResidualVariance: res.ResidualVariance}
+	scale := float64(t.Len()) / float64(len(jobs)) // undo sampling in counts
+	var types []JobType
+	for c := 0; c < res.K; c++ {
+		if res.Sizes[c] == 0 {
+			continue
+		}
+		nat, err := std.Inverse(res.Centroids[c])
+		if err != nil {
+			return nil, err
+		}
+		jt := JobType{
+			Count:    int(float64(res.Sizes[c])*scale + 0.5),
+			Input:    units.Bytes(nat[0]),
+			Shuffle:  units.Bytes(nat[1]),
+			Output:   units.Bytes(nat[2]),
+			Duration: time.Duration(nat[3] * float64(time.Second)),
+			MapTime:  units.TaskSeconds(nat[4]),
+			Reduce:   units.TaskSeconds(nat[5]),
+		}
+		jt.Label = labelJobType(jt)
+		types = append(types, jt)
+	}
+	relabelSmallSplits(types)
+	// k-means often splits a dominant unbalanced cluster (the >90%
+	// small-jobs cloud) to minimize SSE; Table 2 reports job *types*, so
+	// merge clusters that label identically, population-weighting their
+	// centroids.
+	out.Types = mergeByLabel(types)
+	sort.Slice(out.Types, func(i, k int) bool { return out.Types[i].Count > out.Types[k].Count })
+	total := 0
+	for _, jt := range out.Types {
+		total += jt.Count
+	}
+	if total > 0 {
+		out.SmallJobFraction = float64(out.Types[0].Count) / float64(total)
+	}
+	return out, nil
+}
+
+// relabelSmallSplits handles a k-means artifact: the dominant small-jobs
+// cloud often splits into two or three sub-clusters whose upper half would
+// label as a transform type by absolute size. A sub-cluster is really part
+// of the small-jobs population when its centroid sits within a moderate
+// multiplicative factor of the smallest cluster while the true heavy job
+// types sit orders of magnitude above it (compare Table 2: small-jobs
+// centroids vs their workload's next type differ by 100x-10^6x).
+func relabelSmallSplits(types []JobType) {
+	if len(types) < 2 {
+		return
+	}
+	minBytes := units.Bytes(0)
+	for i, jt := range types {
+		tot := jt.Input + jt.Shuffle + jt.Output
+		if i == 0 || tot < minBytes {
+			minBytes = tot
+		}
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	for i := range types {
+		tot := types[i].Input + types[i].Shuffle + types[i].Output
+		if tot <= minBytes*50 && types[i].Duration < 15*time.Minute {
+			types[i].Label = "Small jobs"
+		}
+	}
+}
+
+// mergeByLabel combines job types that received the same label into one,
+// with count-weighted centroid averages.
+func mergeByLabel(types []JobType) []JobType {
+	byLabel := make(map[string]*JobType)
+	var order []string
+	for _, jt := range types {
+		acc, ok := byLabel[jt.Label]
+		if !ok {
+			cp := jt
+			byLabel[jt.Label] = &cp
+			order = append(order, jt.Label)
+			continue
+		}
+		na, nb := float64(acc.Count), float64(jt.Count)
+		tot := na + nb
+		wavg := func(a, b float64) float64 { return (a*na + b*nb) / tot }
+		acc.Input = units.Bytes(wavg(float64(acc.Input), float64(jt.Input)))
+		acc.Shuffle = units.Bytes(wavg(float64(acc.Shuffle), float64(jt.Shuffle)))
+		acc.Output = units.Bytes(wavg(float64(acc.Output), float64(jt.Output)))
+		acc.Duration = time.Duration(wavg(float64(acc.Duration), float64(jt.Duration)))
+		acc.MapTime = units.TaskSeconds(wavg(float64(acc.MapTime), float64(jt.MapTime)))
+		acc.Reduce = units.TaskSeconds(wavg(float64(acc.Reduce), float64(jt.Reduce)))
+		acc.Count += jt.Count
+	}
+	out := make([]JobType, 0, len(order))
+	for _, l := range order {
+		out = append(out, *byLabel[l])
+	}
+	return out
+}
+
+// labelJobType assigns a human-readable label using the vocabulary of
+// Table 2: "Small jobs", map-only variants, and the transform / aggregate
+// / expand taxonomy derived from the shuffle-vs-input and
+// output-vs-shuffle data ratios.
+func labelJobType(jt JobType) string {
+	total := jt.Input + jt.Shuffle + jt.Output
+	if total < 10*units.GB && jt.Duration < 10*time.Minute {
+		return "Small jobs"
+	}
+	mapOnly := jt.Reduce < 1 && jt.Shuffle < units.MB
+	dur := formatCoarse(jt.Duration)
+	if mapOnly {
+		switch {
+		case jt.Output < jt.Input/100:
+			return "Map only summary, " + dur
+		case jt.Input >= units.TB:
+			return "Map only, huge"
+		default:
+			return "Map only transform, " + dur
+		}
+	}
+	// Stage ratios: expansion vs aggregation at map (input->shuffle) and
+	// reduce (shuffle->output) stages.
+	mapExpand := jt.Shuffle > jt.Input*2
+	mapAggregate := jt.Shuffle < jt.Input/2
+	reduceExpand := jt.Output > jt.Shuffle*2
+	reduceAggregate := jt.Output < jt.Shuffle/2
+	switch {
+	case mapExpand && reduceAggregate:
+		return "Expand and aggregate"
+	case mapExpand && !reduceAggregate:
+		return "Expand and transform"
+	case mapAggregate && reduceExpand:
+		return "Aggregate and expand"
+	case mapAggregate:
+		return "Aggregate, " + dur
+	case reduceAggregate:
+		return "Transform and aggregate"
+	default:
+		return "Transform, " + dur
+	}
+}
+
+// formatCoarse renders durations at the coarse granularity of Table 2's
+// labels ("45 min", "2 hrs", "3 days").
+func formatCoarse(d time.Duration) string {
+	switch {
+	case d >= 36*time.Hour:
+		return fmt.Sprintf("%d days", int(d.Hours()/24+0.5))
+	case d >= time.Hour:
+		return fmt.Sprintf("%d hrs", int(d.Hours()+0.5))
+	default:
+		m := int(d.Minutes() + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		return fmt.Sprintf("%d min", m)
+	}
+}
+
+// CompareMixtures measures how close a recovered job-type mixture is to a
+// reference one, as the K-S distance between the two population-weighted
+// log-total-bytes distributions of the centroids. Used to check that
+// clustering a generated trace recovers Table 2's structure.
+func CompareMixtures(a, b *JobClusters) float64 {
+	sample := func(jc *JobClusters) *stats.CDF {
+		var xs []float64
+		for _, t := range jc.Types {
+			v := float64(t.Input + t.Shuffle + t.Output)
+			if v < 1 {
+				v = 1
+			}
+			// Weight by population via repetition, capped so giant
+			// small-jobs clusters do not swamp memory.
+			reps := t.Count
+			if reps > 1000 {
+				reps = 1000
+			}
+			for i := 0; i < reps; i++ {
+				xs = append(xs, math.Log(v))
+			}
+		}
+		return stats.NewCDF(xs)
+	}
+	return stats.KSDistance(sample(a), sample(b))
+}

@@ -1,0 +1,61 @@
+// Package analysis implements the paper's measurement methodology: each
+// exported function reproduces one figure or table of the study from a
+// workload trace — data access patterns (§4, Figures 1–6), temporal
+// patterns (§5, Figures 7–9), and computation patterns (§6, Figure 10 and
+// Table 2).
+package analysis
+
+import (
+	"errors"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DataSizes is the Figure 1 analysis for one workload: empirical CDFs of
+// per-job input, shuffle, and output bytes.
+type DataSizes struct {
+	Workload string
+	Input    *stats.CDF
+	Shuffle  *stats.CDF
+	Output   *stats.CDF
+}
+
+// DataSizeCDFs computes Figure 1's distributions for a trace.
+func DataSizeCDFs(t *trace.Trace) (*DataSizes, error) {
+	if t.Len() == 0 {
+		return nil, errors.New("analysis: empty trace")
+	}
+	in := make([]float64, 0, t.Len())
+	sh := make([]float64, 0, t.Len())
+	out := make([]float64, 0, t.Len())
+	for _, j := range t.Jobs {
+		in = append(in, float64(j.InputBytes))
+		sh = append(sh, float64(j.ShuffleBytes))
+		out = append(out, float64(j.OutputBytes))
+	}
+	return &DataSizes{
+		Workload: t.Meta.Name,
+		Input:    stats.NewCDF(in),
+		Shuffle:  stats.NewCDF(sh),
+		Output:   stats.NewCDF(out),
+	}, nil
+}
+
+// MedianSpanAcrossWorkloads reports, for a set of per-workload Figure 1
+// results, how many orders of magnitude the medians span in each dimension.
+// The paper: "the median per-job input, shuffle, and output sizes differ
+// by 6, 8, and 4 orders of magnitude, respectively". Zero medians
+// (workloads whose median job moves no shuffle data) are excluded, as a
+// log-scale plot excludes them.
+func MedianSpanAcrossWorkloads(all []*DataSizes) (input, shuffle, output float64) {
+	var ins, shs, outs []float64
+	for _, d := range all {
+		ins = append(ins, d.Input.Median())
+		shs = append(shs, d.Shuffle.Median())
+		outs = append(outs, d.Output.Median())
+	}
+	return stats.OrdersOfMagnitudeSpan(ins),
+		stats.OrdersOfMagnitudeSpan(shs),
+		stats.OrdersOfMagnitudeSpan(outs)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// FrameworkShare is one framework's slice of a workload, the quantity
+// behind Figure 10's coloring and the §8.4 summary: "The cluster load
+// that comes from these frameworks is up to 80% and at least 20%".
+type FrameworkShare struct {
+	Framework string
+	// JobsFraction, BytesFraction, TaskTimeFraction mirror the three
+	// weightings of Figure 10.
+	JobsFraction     float64
+	BytesFraction    float64
+	TaskTimeFraction float64
+}
+
+// FrameworkAnalysis groups a workload's activity by programming framework.
+type FrameworkAnalysis struct {
+	Workload string
+	// Shares sorted by descending JobsFraction.
+	Shares []FrameworkShare
+}
+
+// Classifier maps a job-name first word to a framework label ("Hive",
+// "Pig", "Oozie", "Native", ...). Empty return means unknown, which is
+// grouped under "Native" — hand-written MapReduce is the default in the
+// study's taxonomy.
+type Classifier func(firstWord string) string
+
+// StandardClassifier recognizes the framework-generated name prefixes the
+// paper describes (§6.1): Hive emits SQL-operator words, Pig emits
+// "PigLatin:...", Oozie emits "oozie:launcher:...".
+func StandardClassifier(firstWord string) string {
+	switch firstWord {
+	case "insert", "select", "from", "create", "drop", "alter":
+		return "Hive"
+	case "piglatin", "pig":
+		return "Pig"
+	case "oozie":
+		return "Oozie"
+	default:
+		return ""
+	}
+}
+
+// Frameworks computes per-framework shares of jobs, bytes, and task-time
+// for a named trace, using the classifier (nil means StandardClassifier).
+func Frameworks(t *trace.Trace, classify Classifier) (*FrameworkAnalysis, error) {
+	if !t.HasNames() {
+		return nil, errors.New("analysis: trace carries no job names")
+	}
+	if classify == nil {
+		classify = StandardClassifier
+	}
+	type agg struct{ jobs, bytes, taskTime float64 }
+	groups := map[string]*agg{}
+	var totJobs, totBytes, totTask float64
+	for _, j := range t.Jobs {
+		fw := classify(FirstWord(j.Name))
+		if fw == "" {
+			fw = "Native"
+		}
+		g := groups[fw]
+		if g == nil {
+			g = &agg{}
+			groups[fw] = g
+		}
+		g.jobs++
+		g.bytes += float64(j.TotalBytes())
+		g.taskTime += float64(j.TotalTaskTime())
+		totJobs++
+		totBytes += float64(j.TotalBytes())
+		totTask += float64(j.TotalTaskTime())
+	}
+	if totJobs == 0 {
+		return nil, errors.New("analysis: no named jobs")
+	}
+	out := &FrameworkAnalysis{Workload: t.Meta.Name}
+	for fw, g := range groups {
+		out.Shares = append(out.Shares, FrameworkShare{
+			Framework:        fw,
+			JobsFraction:     g.jobs / totJobs,
+			BytesFraction:    safeDiv(g.bytes, totBytes),
+			TaskTimeFraction: safeDiv(g.taskTime, totTask),
+		})
+	}
+	sort.Slice(out.Shares, func(i, k int) bool {
+		if out.Shares[i].JobsFraction != out.Shares[k].JobsFraction {
+			return out.Shares[i].JobsFraction > out.Shares[k].JobsFraction
+		}
+		return out.Shares[i].Framework < out.Shares[k].Framework
+	})
+	return out, nil
+}
+
+// QueryFrameworkLoad returns the combined task-time share of the
+// query-like frameworks (everything except Native) — the §8.4 number
+// ("up to 80% and at least 20%").
+func (f *FrameworkAnalysis) QueryFrameworkLoad() float64 {
+	var sum float64
+	for _, s := range f.Shares {
+		if s.Framework != "Native" {
+			sum += s.TaskTimeFraction
+		}
+	}
+	return sum
+}
+
+// TopTwoJobsShare returns the combined job share of the two largest
+// frameworks: §6.1 observes that "for all workloads, two frameworks
+// account for a dominant majority of jobs".
+func (f *FrameworkAnalysis) TopTwoJobsShare() float64 {
+	var sum float64
+	for i, s := range f.Shares {
+		if i >= 2 {
+			break
+		}
+		sum += s.JobsFraction
+	}
+	return sum
+}

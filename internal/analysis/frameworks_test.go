@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestStandardClassifier(t *testing.T) {
+	cases := map[string]string{
+		"insert": "Hive", "select": "Hive", "from": "Hive",
+		"piglatin": "Pig", "oozie": "Oozie",
+		"etl": "", "ad": "", "": "",
+	}
+	for in, want := range cases {
+		if got := StandardClassifier(in); got != want {
+			t.Errorf("StandardClassifier(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFrameworksOnGeneratedWorkloads(t *testing.T) {
+	// §8.4: query-like framework load is "up to 80% and at least 20%";
+	// §6.1: two frameworks account for a dominant majority of jobs.
+	for _, name := range []string{"CC-a", "CC-b", "CC-c", "CC-d", "CC-e", "FB-2009"} {
+		tr := genTrace(t, name, 7*24*time.Hour, 61)
+		fa, err := Frameworks(tr, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fa.TopTwoJobsShare() < 0.45 {
+			t.Errorf("%s: top-2 frameworks cover %.2f of jobs, want a majority-ish share",
+				name, fa.TopTwoJobsShare())
+		}
+		load := fa.QueryFrameworkLoad()
+		if load < 0.10 || load > 0.95 {
+			t.Errorf("%s: query-framework load %.2f outside the paper's 0.2-0.8 neighborhood",
+				name, load)
+		}
+		// Fractions sum to 1 within rounding.
+		var jobs float64
+		for _, s := range fa.Shares {
+			jobs += s.JobsFraction
+			if s.JobsFraction < 0 || s.BytesFraction < 0 || s.TaskTimeFraction < 0 {
+				t.Fatalf("%s: negative share %+v", name, s)
+			}
+		}
+		if math.Abs(jobs-1) > 1e-9 {
+			t.Errorf("%s: job shares sum to %v", name, jobs)
+		}
+	}
+}
+
+func TestFrameworksErrors(t *testing.T) {
+	tr := genTrace(t, "FB-2010", 4*time.Hour, 61) // no names
+	if _, err := Frameworks(tr, nil); err == nil {
+		t.Error("nameless trace should error")
+	}
+}
+
+func TestFrameworksCustomClassifier(t *testing.T) {
+	tr := genTrace(t, "CC-b", 24*time.Hour, 61)
+	everythingCustom := func(string) string { return "X" }
+	fa, err := Frameworks(tr, everythingCustom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa.Shares) != 1 || fa.Shares[0].Framework != "X" {
+		t.Errorf("custom classifier shares = %+v", fa.Shares)
+	}
+	if fa.Shares[0].JobsFraction != 1 {
+		t.Errorf("single framework should hold all jobs, got %v", fa.Shares[0].JobsFraction)
+	}
+	// Query load counts everything not named Native.
+	if fa.QueryFrameworkLoad() != fa.Shares[0].TaskTimeFraction {
+		t.Error("query load should include the custom framework")
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ReaccessIntervals is the Figure 5 analysis: the distributions of time
+// between consecutive accesses to the same data. The paper reports that
+// "75% of the re-accesses take place within 6 hours", motivating
+// LRU-family cache eviction.
+type ReaccessIntervals struct {
+	Workload string
+	// InputInput is the CDF of intervals (in seconds) between successive
+	// reads of the same input file.
+	InputInput *stats.CDF
+	// OutputInput is the CDF of intervals between a file being written as
+	// output and re-read as some job's input. Nil when the trace carries
+	// no output paths.
+	OutputInput *stats.CDF
+}
+
+// Intervals computes Figure 5 for a trace. The input-input panel requires
+// input paths; the output-input panel additionally requires output paths.
+func Intervals(t *trace.Trace) (*ReaccessIntervals, error) {
+	if !t.HasPaths() {
+		return nil, errors.New("analysis: trace carries no input paths")
+	}
+	lastInputRead := make(map[string]time.Time)
+	lastOutputWrite := make(map[string]time.Time)
+	var inIn, outIn []float64
+	for _, j := range t.Jobs {
+		if j.InputPath != "" {
+			if prev, ok := lastInputRead[j.InputPath]; ok {
+				inIn = append(inIn, j.SubmitTime.Sub(prev).Seconds())
+			}
+			if w, ok := lastOutputWrite[j.InputPath]; ok {
+				if d := j.SubmitTime.Sub(w).Seconds(); d >= 0 {
+					outIn = append(outIn, d)
+				}
+			}
+			lastInputRead[j.InputPath] = j.SubmitTime
+		}
+		if j.OutputPath != "" {
+			// The output materializes when the job finishes.
+			lastOutputWrite[j.OutputPath] = j.FinishTime()
+		}
+	}
+	if len(inIn) == 0 {
+		return nil, errors.New("analysis: no re-accesses observed")
+	}
+	res := &ReaccessIntervals{
+		Workload:   t.Meta.Name,
+		InputInput: stats.NewCDF(inIn),
+	}
+	if len(outIn) > 0 {
+		res.OutputInput = stats.NewCDF(outIn)
+	}
+	return res, nil
+}
+
+// FractionWithin returns the fraction of input-input re-accesses occurring
+// within d. Use FractionWithin(6*time.Hour) to check the paper's 75%
+// observation.
+func (r *ReaccessIntervals) FractionWithin(d time.Duration) float64 {
+	return r.InputInput.P(d.Seconds())
+}

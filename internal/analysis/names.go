@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/trace"
+)
+
+// NameGroup is one first-word bucket of the Figure 10 analysis.
+type NameGroup struct {
+	// Word is the normalized first word of the job names in the group.
+	Word string
+	// JobsFraction, BytesFraction, TaskTimeFraction are the group's share
+	// of the workload weighted three ways, matching Figure 10's three
+	// panels.
+	JobsFraction     float64
+	BytesFraction    float64
+	TaskTimeFraction float64
+}
+
+// NameAnalysis is the Figure 10 analysis for one workload.
+type NameAnalysis struct {
+	Workload string
+	// Groups sorted by descending JobsFraction.
+	Groups []NameGroup
+	// DistinctWords counts distinct first words observed.
+	DistinctWords int
+}
+
+// FirstWord extracts the normalized first word of a job name the way §6.1
+// describes: "we focus on the first word of job names, ignoring any
+// capitalization, numbers, or other symbols".
+func FirstWord(name string) string {
+	var b strings.Builder
+	started := false
+	for _, r := range name {
+		if unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToLower(r))
+			started = true
+			continue
+		}
+		if started {
+			break
+		}
+		// Skip leading digits/symbols until the first letter run begins.
+	}
+	return b.String()
+}
+
+// JobNames computes Figure 10: first words of job names weighted by job
+// count, by total I/O bytes, and by task-time. topN groups are kept; the
+// remainder is aggregated into an "[others]" group, as the figure does.
+func JobNames(t *trace.Trace, topN int) (*NameAnalysis, error) {
+	if !t.HasNames() {
+		return nil, errors.New("analysis: trace carries no job names")
+	}
+	if topN < 1 {
+		topN = 1
+	}
+	type agg struct {
+		jobs     float64
+		bytes    float64
+		taskTime float64
+	}
+	groups := make(map[string]*agg)
+	var totJobs, totBytes, totTask float64
+	for _, j := range t.Jobs {
+		w := FirstWord(j.Name)
+		if w == "" {
+			w = "[unnamed]"
+		}
+		g := groups[w]
+		if g == nil {
+			g = &agg{}
+			groups[w] = g
+		}
+		g.jobs++
+		g.bytes += float64(j.TotalBytes())
+		g.taskTime += float64(j.TotalTaskTime())
+		totJobs++
+		totBytes += float64(j.TotalBytes())
+		totTask += float64(j.TotalTaskTime())
+	}
+	if totJobs == 0 {
+		return nil, errors.New("analysis: no named jobs")
+	}
+	words := make([]string, 0, len(groups))
+	for w := range groups {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, k int) bool {
+		gi, gk := groups[words[i]], groups[words[k]]
+		if gi.jobs != gk.jobs {
+			return gi.jobs > gk.jobs
+		}
+		return words[i] < words[k]
+	})
+	res := &NameAnalysis{Workload: t.Meta.Name, DistinctWords: len(groups)}
+	var restJobs, restBytes, restTask float64
+	for i, w := range words {
+		g := groups[w]
+		if i < topN {
+			res.Groups = append(res.Groups, NameGroup{
+				Word:             w,
+				JobsFraction:     g.jobs / totJobs,
+				BytesFraction:    safeDiv(g.bytes, totBytes),
+				TaskTimeFraction: safeDiv(g.taskTime, totTask),
+			})
+			continue
+		}
+		restJobs += g.jobs
+		restBytes += g.bytes
+		restTask += g.taskTime
+	}
+	if restJobs > 0 {
+		res.Groups = append(res.Groups, NameGroup{
+			Word:             "[others]",
+			JobsFraction:     restJobs / totJobs,
+			BytesFraction:    safeDiv(restBytes, totBytes),
+			TaskTimeFraction: safeDiv(restTask, totTask),
+		})
+	}
+	return res, nil
+}
+
+// TopKJobsFraction returns the combined job share of the k most frequent
+// first words (excluding the [others] catch-all): "the top handful of
+// words account for a dominant majority of jobs".
+func (n *NameAnalysis) TopKJobsFraction(k int) float64 {
+	var sum float64
+	count := 0
+	for _, g := range n.Groups {
+		if g.Word == "[others]" {
+			continue
+		}
+		sum += g.JobsFraction
+		count++
+		if count == k {
+			break
+		}
+	}
+	return sum
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Clairvoyant is a Belady-style offline policy for whole-file caching:
+// given the full future access sequence, it evicts the cached file whose
+// next access lies farthest in the future (never-again files first). It is
+// not implementable online; it exists to upper-bound what any real policy
+// (LRU, LFU, size-threshold, TTL) could achieve on a trace, which turns
+// the §4 policy comparison into "percent of optimal" statements.
+//
+// Build it with NewClairvoyant over the same trace that will be simulated;
+// Access calls must then be issued in exactly the trace's input-access
+// order (Simulate does this).
+type Clairvoyant struct {
+	capacity units.Bytes
+	used     units.Bytes
+	// nextUse[path] is the queue of future access indices for the path.
+	nextUse map[string][]int
+	// cursor counts accesses processed so far.
+	cursor int
+	items  map[string]*clairEntry
+	pq     clairHeap
+}
+
+type clairEntry struct {
+	path  string
+	size  units.Bytes
+	next  int // index of the next future access (math.MaxInt-like when none)
+	index int
+}
+
+// neverAgain sorts entries with no future use to the top of the eviction
+// heap.
+const neverAgain = int(^uint(0) >> 1)
+
+// NewClairvoyant precomputes the future access schedule from the trace.
+func NewClairvoyant(t *trace.Trace, capacity units.Bytes) *Clairvoyant {
+	c := &Clairvoyant{
+		capacity: capacity,
+		nextUse:  make(map[string][]int),
+		items:    make(map[string]*clairEntry),
+	}
+	idx := 0
+	for _, j := range t.Jobs {
+		if j.InputPath == "" {
+			continue
+		}
+		c.nextUse[j.InputPath] = append(c.nextUse[j.InputPath], idx)
+		idx++
+	}
+	return c
+}
+
+// Name implements Policy.
+func (c *Clairvoyant) Name() string { return "Clairvoyant" }
+
+// Used implements Policy.
+func (c *Clairvoyant) Used() units.Bytes { return c.used }
+
+// Access implements Policy. The now parameter is unused: the oracle works
+// on access indices.
+func (c *Clairvoyant) Access(path string, size units.Bytes, now time.Time) bool {
+	myIdx := c.cursor
+	c.cursor++
+	// Pop this access off the path's schedule.
+	sched := c.nextUse[path]
+	for len(sched) > 0 && sched[0] <= myIdx {
+		sched = sched[1:]
+	}
+	c.nextUse[path] = sched
+	next := neverAgain
+	if len(sched) > 0 {
+		next = sched[0]
+	}
+
+	if e, ok := c.items[path]; ok {
+		if next == neverAgain {
+			// Final read: the slot is dead weight from here on, free it.
+			heap.Remove(&c.pq, e.index)
+			delete(c.items, path)
+			c.used -= e.size
+			return true
+		}
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+		}
+		e.next = next
+		heap.Fix(&c.pq, e.index)
+		c.evictOver()
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	if next == neverAgain {
+		// Belady never caches a file that will not be read again.
+		return false
+	}
+	e := &clairEntry{path: path, size: size, next: next}
+	heap.Push(&c.pq, e)
+	c.items[path] = e
+	c.used += size
+	c.evictOver()
+	return false
+}
+
+func (c *Clairvoyant) evictOver() {
+	for c.used > c.capacity && c.pq.Len() > 0 {
+		e := heap.Pop(&c.pq).(*clairEntry)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+// clairHeap is a max-heap on next-use distance: the root is the entry
+// whose next access is farthest away.
+type clairHeap []*clairEntry
+
+func (h clairHeap) Len() int           { return len(h) }
+func (h clairHeap) Less(i, k int) bool { return h[i].next > h[k].next }
+func (h clairHeap) Swap(i, k int)      { h[i], h[k] = h[k], h[i]; h[i].index = i; h[k].index = k }
+func (h *clairHeap) Push(x any)        { e := x.(*clairEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *clairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ Policy = (*Clairvoyant)(nil)

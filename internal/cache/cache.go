@@ -1,0 +1,365 @@
+// Package cache implements the caching policies whose viability §4 of the
+// paper establishes and a trace-driven simulator to compare them:
+//
+//   - the Zipf-skewed access frequencies (Fig 2) mean "any data caching
+//     policy that includes the frequently accessed files will bring
+//     considerable benefit" — LFU exploits exactly that;
+//   - Figures 3-4 show 90% of jobs read files < a few GB holding ≤16% of
+//     stored bytes, so "a viable cache policy is to cache files whose size
+//     is less than a threshold" — SizeThreshold;
+//   - Figure 5's temporal locality (75% of re-accesses within 6 hours)
+//     means "any similar policy to least-recently-used (LRU) would make
+//     sense" — LRU and a TTL-style eviction.
+//
+// Policies cache whole files (the paper reasons about whole-file caching
+// and eviction) under a byte-capacity budget.
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"errors"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Policy is a byte-budgeted whole-file cache.
+type Policy interface {
+	// Access processes a read of the file and reports whether it hit.
+	// Admission and eviction are policy-internal.
+	Access(path string, size units.Bytes, now time.Time) bool
+	// Used returns current cache occupancy in bytes.
+	Used() units.Bytes
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// entry is a cached file.
+type entry struct {
+	path string
+	size units.Bytes
+	// freq is maintained by LFU; lastUse by LRU/TTL.
+	freq    uint64
+	lastUse time.Time
+	// elem backs LRU's list; index backs LFU's heap.
+	elem  *list.Element
+	index int
+}
+
+// --- LRU ---
+
+// LRU evicts the least-recently-used file when over capacity.
+type LRU struct {
+	capacity units.Bytes
+	used     units.Bytes
+	items    map[string]*entry
+	order    *list.List // front = most recent
+}
+
+// NewLRU creates an LRU cache with the given byte capacity.
+func NewLRU(capacity units.Bytes) *LRU {
+	return &LRU{capacity: capacity, items: make(map[string]*entry), order: list.New()}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "LRU" }
+
+// Used implements Policy.
+func (c *LRU) Used() units.Bytes { return c.used }
+
+// Access implements Policy.
+func (c *LRU) Access(path string, size units.Bytes, now time.Time) bool {
+	if e, ok := c.items[path]; ok {
+		// A file may have been rewritten at a different size.
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+			c.evictOver()
+		}
+		e.lastUse = now
+		c.order.MoveToFront(e.elem)
+		return true
+	}
+	if size > c.capacity {
+		return false // cannot ever fit; bypass
+	}
+	e := &entry{path: path, size: size, lastUse: now}
+	e.elem = c.order.PushFront(e)
+	c.items[path] = e
+	c.used += size
+	c.evictOver()
+	return false
+}
+
+func (c *LRU) evictOver() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+// --- FIFO ---
+
+// FIFO evicts in insertion order regardless of use.
+type FIFO struct {
+	capacity units.Bytes
+	used     units.Bytes
+	items    map[string]*entry
+	order    *list.List // front = newest
+}
+
+// NewFIFO creates a FIFO cache with the given byte capacity.
+func NewFIFO(capacity units.Bytes) *FIFO {
+	return &FIFO{capacity: capacity, items: make(map[string]*entry), order: list.New()}
+}
+
+// Name implements Policy.
+func (c *FIFO) Name() string { return "FIFO" }
+
+// Used implements Policy.
+func (c *FIFO) Used() units.Bytes { return c.used }
+
+// Access implements Policy.
+func (c *FIFO) Access(path string, size units.Bytes, now time.Time) bool {
+	if e, ok := c.items[path]; ok {
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+			c.evictOver()
+		}
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	e := &entry{path: path, size: size}
+	e.elem = c.order.PushFront(e)
+	c.items[path] = e
+	c.used += size
+	c.evictOver()
+	return false
+}
+
+func (c *FIFO) evictOver() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+// --- LFU ---
+
+// LFU evicts the least-frequently-used file, breaking ties by recency.
+type LFU struct {
+	capacity units.Bytes
+	used     units.Bytes
+	items    map[string]*entry
+	pq       lfuHeap
+}
+
+// NewLFU creates an LFU cache with the given byte capacity.
+func NewLFU(capacity units.Bytes) *LFU {
+	return &LFU{capacity: capacity, items: make(map[string]*entry)}
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "LFU" }
+
+// Used implements Policy.
+func (c *LFU) Used() units.Bytes { return c.used }
+
+// Access implements Policy.
+func (c *LFU) Access(path string, size units.Bytes, now time.Time) bool {
+	if e, ok := c.items[path]; ok {
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+		}
+		e.freq++
+		e.lastUse = now
+		heap.Fix(&c.pq, e.index)
+		c.evictOver()
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	e := &entry{path: path, size: size, freq: 1, lastUse: now}
+	heap.Push(&c.pq, e)
+	c.items[path] = e
+	c.used += size
+	c.evictOver()
+	return false
+}
+
+func (c *LFU) evictOver() {
+	for c.used > c.capacity && c.pq.Len() > 0 {
+		e := heap.Pop(&c.pq).(*entry)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+// lfuHeap is a min-heap on (freq, lastUse).
+type lfuHeap []*entry
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, k int) bool {
+	if h[i].freq != h[k].freq {
+		return h[i].freq < h[k].freq
+	}
+	return h[i].lastUse.Before(h[k].lastUse)
+}
+func (h lfuHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].index = i
+	h[k].index = k
+}
+func (h *lfuHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// --- Size threshold admission ---
+
+// SizeThreshold wraps an inner policy, admitting only files smaller than
+// the threshold. The §4.2 analysis shows this detaches cache capacity
+// growth from data growth while retaining most accesses.
+type SizeThreshold struct {
+	Inner     Policy
+	Threshold units.Bytes
+}
+
+// NewSizeThresholdLRU is the paper's recommended combination: admit files
+// below threshold, evict by LRU.
+func NewSizeThresholdLRU(capacity, threshold units.Bytes) *SizeThreshold {
+	return &SizeThreshold{Inner: NewLRU(capacity), Threshold: threshold}
+}
+
+// Name implements Policy.
+func (c *SizeThreshold) Name() string { return "SizeThreshold+" + c.Inner.Name() }
+
+// Used implements Policy.
+func (c *SizeThreshold) Used() units.Bytes { return c.Inner.Used() }
+
+// Access implements Policy.
+func (c *SizeThreshold) Access(path string, size units.Bytes, now time.Time) bool {
+	if size >= c.Threshold {
+		return false
+	}
+	return c.Inner.Access(path, size, now)
+}
+
+// --- TTL eviction ---
+
+// TTL caches every admitted file and evicts files idle beyond the
+// workload-specific threshold duration — the eviction rule §4.3 suggests
+// ("evict entire files that have not been accessed for longer than a
+// workload specific threshold duration"). Capacity still bounds usage;
+// over-capacity falls back to evicting the most idle files first.
+type TTL struct {
+	capacity units.Bytes
+	ttl      time.Duration
+	used     units.Bytes
+	items    map[string]*entry
+	order    *list.List // front = most recently used
+}
+
+// NewTTL creates a TTL cache.
+func NewTTL(capacity units.Bytes, ttl time.Duration) (*TTL, error) {
+	if ttl <= 0 {
+		return nil, errors.New("cache: TTL must be positive")
+	}
+	return &TTL{capacity: capacity, ttl: ttl, items: make(map[string]*entry), order: list.New()}, nil
+}
+
+// Name implements Policy.
+func (c *TTL) Name() string { return "TTL" }
+
+// Used implements Policy.
+func (c *TTL) Used() units.Bytes { return c.used }
+
+// Access implements Policy.
+func (c *TTL) Access(path string, size units.Bytes, now time.Time) bool {
+	c.expire(now)
+	if e, ok := c.items[path]; ok {
+		if e.size != size {
+			c.used += size - e.size
+			e.size = size
+		}
+		e.lastUse = now
+		c.order.MoveToFront(e.elem)
+		c.evictOver()
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	e := &entry{path: path, size: size, lastUse: now}
+	e.elem = c.order.PushFront(e)
+	c.items[path] = e
+	c.used += size
+	c.evictOver()
+	return false
+}
+
+// expire drops files idle past the TTL.
+func (c *TTL) expire(now time.Time) {
+	for {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		if now.Sub(e.lastUse) <= c.ttl {
+			return
+		}
+		c.order.Remove(back)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+func (c *TTL) evictOver() {
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.items, e.path)
+		c.used -= e.size
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = (*LRU)(nil)
+	_ Policy = (*FIFO)(nil)
+	_ Policy = (*LFU)(nil)
+	_ Policy = (*SizeThreshold)(nil)
+	_ Policy = (*TTL)(nil)
+)

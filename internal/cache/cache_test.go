@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func at(m int) time.Time { return t0.Add(time.Duration(m) * time.Minute) }
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(100)
+	if c.Access("/a", 40, at(0)) {
+		t.Error("first access should miss")
+	}
+	if !c.Access("/a", 40, at(1)) {
+		t.Error("second access should hit")
+	}
+	c.Access("/b", 40, at(2))
+	c.Access("/c", 40, at(3)) // evicts /a (LRU since /a used at 1 < /b at 2)
+	if c.Access("/a", 40, at(4)) {
+		t.Error("/a should have been evicted")
+	}
+	if !c.Access("/c", 40, at(5)) {
+		t.Error("/c should still be cached")
+	}
+	if c.Used() > 100 {
+		t.Errorf("used %v exceeds capacity", c.Used())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(100)
+	c.Access("/a", 40, at(0))
+	c.Access("/b", 40, at(1))
+	c.Access("/a", 40, at(2)) // refresh /a
+	c.Access("/c", 40, at(3)) // must evict /b, not /a
+	if !c.Access("/a", 40, at(4)) {
+		t.Error("/a should survive (recently used)")
+	}
+	if c.Access("/b", 40, at(5)) {
+		t.Error("/b should have been evicted")
+	}
+}
+
+func TestLRUOversizedBypass(t *testing.T) {
+	c := NewLRU(100)
+	if c.Access("/huge", 500, at(0)) {
+		t.Error("oversized first access should miss")
+	}
+	if c.Access("/huge", 500, at(1)) {
+		t.Error("oversized file must bypass the cache entirely")
+	}
+	if c.Used() != 0 {
+		t.Errorf("used = %v, want 0", c.Used())
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	c := NewLRU(100)
+	c.Access("/a", 40, at(0))
+	// File rewritten larger: second access still a hit but usage updates.
+	if !c.Access("/a", 90, at(1)) {
+		t.Error("resized access should hit")
+	}
+	if c.Used() != 90 {
+		t.Errorf("used = %v, want 90", c.Used())
+	}
+	// Growing beyond capacity evicts it.
+	c.Access("/b", 20, at(2))
+	if c.Used() > 100 {
+		t.Errorf("used %v exceeds capacity", c.Used())
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	c := NewFIFO(100)
+	c.Access("/a", 40, at(0))
+	c.Access("/b", 40, at(1))
+	c.Access("/a", 40, at(2)) // refresh does not move /a in FIFO order
+	c.Access("/c", 40, at(3)) // evicts /a (oldest insertion)
+	if !c.Access("/b", 40, at(4)) {
+		t.Error("/b should still be cached")
+	}
+	// Probe /a last: this access re-inserts it.
+	if c.Access("/a", 40, at(5)) {
+		t.Error("/a should have been evicted by FIFO")
+	}
+}
+
+func TestLFUKeepsHotFiles(t *testing.T) {
+	c := NewLFU(100)
+	for i := 0; i < 10; i++ {
+		c.Access("/hot", 40, at(i))
+	}
+	c.Access("/cold1", 40, at(20))
+	c.Access("/cold2", 40, at(21)) // evicts a cold file, never /hot
+	if !c.Access("/hot", 40, at(22)) {
+		t.Error("/hot must survive LFU eviction")
+	}
+}
+
+func TestLFUTieBreakByRecency(t *testing.T) {
+	c := NewLFU(80)
+	c.Access("/a", 40, at(0))
+	c.Access("/b", 40, at(1))
+	c.Access("/c", 40, at(2)) // both freq=1; /a older -> evicted
+	if c.Access("/a", 40, at(3)) {
+		t.Error("/a should have been evicted (freq tie, older)")
+	}
+}
+
+func TestSizeThreshold(t *testing.T) {
+	c := NewSizeThresholdLRU(units.GB, 100*units.MB)
+	if c.Access("/big", units.GB, at(0)) {
+		t.Error("big file miss expected")
+	}
+	c.Access("/big", units.GB, at(1))
+	if c.Used() != 0 {
+		t.Error("big files must not be admitted")
+	}
+	c.Access("/small", 10*units.MB, at(2))
+	if !c.Access("/small", 10*units.MB, at(3)) {
+		t.Error("small file should be cached")
+	}
+	if got := c.Name(); got != "SizeThreshold+LRU" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	c, err := NewTTL(units.GB, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access("/a", units.MB, at(0))
+	if !c.Access("/a", units.MB, at(30)) {
+		t.Error("within TTL should hit")
+	}
+	if c.Access("/a", units.MB, at(120)) {
+		t.Error("expired entry should miss")
+	}
+	if _, err := NewTTL(units.GB, 0); err == nil {
+		t.Error("zero TTL should error")
+	}
+}
+
+func TestTTLCapacity(t *testing.T) {
+	c, err := NewTTL(100, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access("/a", 60, at(0))
+	c.Access("/b", 60, at(1)) // over capacity: /a evicted
+	if c.Access("/a", 60, at(2)) {
+		t.Error("/a should have been evicted by capacity pressure")
+	}
+	if c.Used() > 100 {
+		t.Errorf("used %v over capacity", c.Used())
+	}
+}
+
+func TestSimulateOnWorkload(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 21, Duration: 5 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []Policy{
+		NewLRU(50 * units.GB),
+		NewLFU(50 * units.GB),
+		NewFIFO(50 * units.GB),
+		NewSizeThresholdLRU(50*units.GB, units.GB),
+	}
+	results, err := Compare(tr, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Policy] = r
+		if r.HitRate < 0 || r.HitRate > 1 || r.ByteHitRate < 0 || r.ByteHitRate > 1 {
+			t.Errorf("%s: rates out of range: %+v", r.Policy, r)
+		}
+		if r.Accesses == 0 {
+			t.Errorf("%s: no accesses", r.Policy)
+		}
+	}
+	// CC-e re-accesses ~75% of inputs with strong temporal locality: a
+	// reasonable cache should convert a good share into hits.
+	if byName["LRU"].HitRate < 0.3 {
+		t.Errorf("LRU hit rate = %v, want > 0.3 given CC-e's locality", byName["LRU"].HitRate)
+	}
+	// Recency/frequency-aware policies should not lose badly to FIFO.
+	if byName["LRU"].HitRate < byName["FIFO"].HitRate-0.05 {
+		t.Errorf("LRU (%v) should be at least comparable to FIFO (%v)",
+			byName["LRU"].HitRate, byName["FIFO"].HitRate)
+	}
+	// The size-threshold cache achieves a high access hit rate with
+	// bounded byte usage (the paper's sustainability argument).
+	st := byName["SizeThreshold+LRU"]
+	if st.PeakUsed > 50*units.GB {
+		t.Errorf("size-threshold peak use %v over budget", st.PeakUsed)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p, _ := profile.ByName("FB-2009") // no paths
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 2, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(tr, NewLRU(units.GB)); err == nil {
+		t.Error("pathless trace should error")
+	}
+}

@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"errors"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Result reports how a policy performed over a trace's input accesses.
+type Result struct {
+	Policy string
+	// Accesses is the number of input reads simulated.
+	Accesses int
+	// HitRate is hits / accesses.
+	HitRate float64
+	// ByteHitRate weights hits by file size: the fraction of read bytes
+	// served from cache.
+	ByteHitRate float64
+	// PeakUsed is the high-water cache occupancy.
+	PeakUsed units.Bytes
+}
+
+// Simulate replays a trace's input-file accesses through the policy. The
+// trace must carry input paths (§4.2's analyzable workloads). Output
+// writes update cached entries' sizes via a subsequent read's size, which
+// the trace model guarantees (jobs read the file's current size).
+func Simulate(t *trace.Trace, p Policy) (Result, error) {
+	if !t.HasPaths() {
+		return Result{}, errors.New("cache: trace carries no input paths")
+	}
+	res := Result{Policy: p.Name()}
+	var hitBytes, totalBytes float64
+	hits := 0
+	for _, j := range t.Jobs {
+		if j.InputPath == "" {
+			continue
+		}
+		res.Accesses++
+		totalBytes += float64(j.InputBytes)
+		if p.Access(j.InputPath, j.InputBytes, j.SubmitTime) {
+			hits++
+			hitBytes += float64(j.InputBytes)
+		}
+		if u := p.Used(); u > res.PeakUsed {
+			res.PeakUsed = u
+		}
+	}
+	if res.Accesses == 0 {
+		return Result{}, errors.New("cache: no input accesses in trace")
+	}
+	res.HitRate = float64(hits) / float64(res.Accesses)
+	if totalBytes > 0 {
+		res.ByteHitRate = hitBytes / totalBytes
+	}
+	return res, nil
+}
+
+// Compare runs several policies over the same trace.
+func Compare(t *trace.Trace, policies []Policy) ([]Result, error) {
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		r, err := Simulate(t, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

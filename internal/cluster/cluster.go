@@ -1,0 +1,549 @@
+// Package cluster is a discrete-event simulator of a MapReduce cluster:
+// nodes with map and reduce task slots, a pluggable job scheduler (FIFO or
+// fair-share), task lifecycle with optional straggler injection, and
+// metrics collection. It is the replay substrate standing in for the live
+// Hadoop clusters the study's SWIM tools drive (DESIGN.md): replaying a
+// trace yields the slot-occupancy time series of Figure 7's fourth column
+// and lets scheduler and provisioning what-ifs run at laptop scale.
+//
+// The execution model is the classic Hadoop shape the paper assumes: a job
+// runs its map tasks (in waves when tasks exceed slots), then its reduce
+// tasks; per-task durations are the job's task-time divided evenly across
+// its tasks. The paper's §6.2 observation that most jobs have a handful of
+// tasks — making stragglers hard to even define — carries over directly.
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// SchedulerKind selects the scheduling discipline.
+type SchedulerKind int
+
+// Supported schedulers.
+const (
+	// FIFO runs jobs strictly in arrival order (Hadoop's original default,
+	// which the paper notes lets "a single large job potentially impact
+	// performance for a large number of small jobs").
+	FIFO SchedulerKind = iota
+	// Fair round-robins task slots across runnable jobs, the discipline
+	// the small-jobs-dominated workloads motivate.
+	Fair
+)
+
+func (s SchedulerKind) String() string {
+	if s == Fair {
+		return "fair"
+	}
+	return "fifo"
+}
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Nodes in the cluster.
+	Nodes int
+	// MapSlotsPerNode and ReduceSlotsPerNode follow Hadoop 1.x static slot
+	// configuration (defaults 2 map + 1 reduce... set explicitly; zero
+	// means defaults 6 and 4 for the era's 8-12 core nodes).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// Scheduler discipline.
+	Scheduler SchedulerKind
+	// StragglerProb is the per-task probability of running StragglerFactor
+	// times longer (Mantri-style outliers [10]); zero disables.
+	StragglerProb   float64
+	StragglerFactor float64
+	// MaxTasksPerJob coalesces very wide jobs: a job with more tasks is
+	// simulated as MaxTasksPerJob tasks of proportionally longer duration,
+	// preserving total task-time and occupancy. Zero means 500.
+	MaxTasksPerJob int
+	// Seed drives straggler injection.
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 {
+		return c, errors.New("cluster: need at least one node")
+	}
+	if c.MapSlotsPerNode == 0 {
+		c.MapSlotsPerNode = 6
+	}
+	if c.ReduceSlotsPerNode == 0 {
+		c.ReduceSlotsPerNode = 4
+	}
+	if c.MapSlotsPerNode < 0 || c.ReduceSlotsPerNode < 0 {
+		return c, errors.New("cluster: negative slot count")
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return c, errors.New("cluster: straggler probability out of [0,1]")
+	}
+	if c.StragglerProb > 0 && c.StragglerFactor < 1 {
+		return c, errors.New("cluster: straggler factor must be >= 1")
+	}
+	if c.MaxTasksPerJob == 0 {
+		c.MaxTasksPerJob = 500
+	}
+	if c.MaxTasksPerJob < 1 {
+		return c, errors.New("cluster: MaxTasksPerJob must be >= 1")
+	}
+	return c, nil
+}
+
+// JobMetrics records one job's simulated execution.
+type JobMetrics struct {
+	ID int64
+	// ArrivalSec, FirstStartSec, FinishSec are seconds since trace start.
+	ArrivalSec    float64
+	FirstStartSec float64
+	FinishSec     float64
+}
+
+// Latency is finish - arrival (the simulated makespan including queueing).
+func (m JobMetrics) Latency() float64 { return m.FinishSec - m.ArrivalSec }
+
+// QueueDelay is first task start - arrival.
+func (m JobMetrics) QueueDelay() float64 { return m.FirstStartSec - m.ArrivalSec }
+
+// Result aggregates a replay run.
+type Result struct {
+	Scheduler SchedulerKind
+	// Jobs maps job ID to metrics for completed jobs.
+	Jobs map[int64]JobMetrics
+	// HourlyOccupancy[h] is the time-averaged number of busy slots (map +
+	// reduce) during hour h — Figure 7's utilization column.
+	HourlyOccupancy []float64
+	// TotalSlots is the cluster's slot capacity, for normalizing the
+	// occupancy series.
+	TotalSlots int
+	// MakespanSec is when the last task finished.
+	MakespanSec float64
+	// Completed counts finished jobs; Unfinished counts jobs still queued
+	// or running at the horizon (the simulator runs to completion, so this
+	// is nonzero only if the workload never drains, which cannot happen
+	// with finite task times).
+	Completed int
+}
+
+// MeanLatency returns the average job latency in seconds.
+func (r *Result) MeanLatency() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	// Sum in sorted order: map iteration order would otherwise make the
+	// floating-point sum run-to-run nondeterministic.
+	lats := r.sortedLatencies()
+	var s float64
+	for _, l := range lats {
+		s += l
+	}
+	return s / float64(len(lats))
+}
+
+// P99Latency returns the 99th percentile job latency in seconds.
+func (r *Result) P99Latency() float64 { return r.latencyQuantile(0.99) }
+
+// MedianLatency returns the median job latency in seconds.
+func (r *Result) MedianLatency() float64 { return r.latencyQuantile(0.5) }
+
+func (r *Result) latencyQuantile(q float64) float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	lats := r.sortedLatencies()
+	idx := int(q * float64(len(lats)-1))
+	return lats[idx]
+}
+
+// sortedLatencies returns all job latencies in ascending order.
+func (r *Result) sortedLatencies() []float64 {
+	lats := make([]float64, 0, len(r.Jobs))
+	for _, m := range r.Jobs {
+		lats = append(lats, m.Latency())
+	}
+	sortFloat64s(lats)
+	return lats
+}
+
+func sortFloat64s(a []float64) {
+	// Heapsort: avoids pulling in sort for a hot path and is deterministic.
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// --- event machinery ---
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evMapDone
+	evReduceDone
+)
+
+type event struct {
+	at   float64 // seconds since trace start
+	seq  int64   // tie-break for determinism
+	kind eventKind
+	job  *jobState
+	// node is the map slot's node for locality-aware runs (-1 otherwise).
+	node int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, k int) bool {
+	if h[i].at != h[k].at {
+		return h[i].at < h[k].at
+	}
+	return h[i].seq < h[k].seq
+}
+func (h eventHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// jobState tracks a job through the simulation.
+type jobState struct {
+	job         *trace.Job
+	arrival     float64
+	mapDur      float64 // per-map-task seconds
+	reduceDur   float64 // per-reduce-task seconds
+	mapsLeft    int     // not yet started
+	mapsRunning int
+	mapsDone    int
+	mapsTotal   int
+	redsLeft    int
+	redsRunning int
+	redsDone    int
+	redsTotal   int
+	firstStart  float64
+	started     bool
+	queueIdx    int // position in scheduler queue (FIFO bookkeeping)
+}
+
+func (js *jobState) mapsFinished() bool { return js.mapsDone == js.mapsTotal }
+func (js *jobState) done() bool         { return js.mapsFinished() && js.redsDone == js.redsTotal }
+
+// pendingTasks reports whether the job has schedulable work right now.
+func (js *jobState) pendingMapWork() bool { return js.mapsLeft > 0 }
+func (js *jobState) pendingReduceWork() bool {
+	return js.mapsFinished() && js.redsLeft > 0
+}
+
+// Run replays the trace on the simulated cluster, returning aggregated
+// metrics. The trace must be sorted (Generate and codecs guarantee it).
+func Run(t *trace.Trace, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, errors.New("cluster: empty trace")
+	}
+	sim := newSimulator(t, cfg)
+	return sim.run()
+}
+
+type simulator struct {
+	cfg        Config
+	tr         *trace.Trace
+	rng        *rand.Rand
+	events     eventHeap
+	seq        int64
+	mapFree    int
+	redFree    int
+	totalSlots int
+	runnable   []*jobState // queue in arrival order
+	rrCursor   int         // fair-share round-robin cursor
+	// locality is non-nil for locality-aware runs (RunWithLocality) and
+	// adds per-node map-slot accounting.
+	locality *localityTracker
+	// occupancy integration
+	lastT     float64
+	occupancy []float64 // per-hour busy-slot-seconds
+	result    *Result
+}
+
+func newSimulator(t *trace.Trace, cfg Config) *simulator {
+	mapSlots := cfg.Nodes * cfg.MapSlotsPerNode
+	redSlots := cfg.Nodes * cfg.ReduceSlotsPerNode
+	s := &simulator{
+		cfg:        cfg,
+		tr:         t,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		mapFree:    mapSlots,
+		redFree:    redSlots,
+		totalSlots: mapSlots + redSlots,
+		result: &Result{
+			Scheduler:  cfg.Scheduler,
+			Jobs:       make(map[int64]JobMetrics, t.Len()),
+			TotalSlots: mapSlots + redSlots,
+		},
+	}
+	start := t.Meta.Start
+	for _, j := range t.Jobs {
+		js := &jobState{
+			job:     j,
+			arrival: j.SubmitTime.Sub(start).Seconds(),
+		}
+		s.initTasks(js)
+		s.push(&event{at: js.arrival, kind: evArrival, job: js})
+	}
+	return s
+}
+
+// initTasks derives simulated task counts and durations, applying the
+// MaxTasksPerJob coalescing.
+func (s *simulator) initTasks(js *jobState) {
+	j := js.job
+	maps := j.MapTasks
+	if maps < 1 {
+		maps = 1
+	}
+	if maps > s.cfg.MaxTasksPerJob {
+		maps = s.cfg.MaxTasksPerJob
+	}
+	js.mapsTotal = maps
+	js.mapsLeft = maps
+	if mt := float64(j.MapTime); mt > 0 {
+		js.mapDur = mt / float64(maps)
+	} else {
+		js.mapDur = 1 // accounting granule for jobs with no recorded map time
+	}
+	reds := j.ReduceTasks
+	if j.ReduceTime <= 0 && reds <= 0 {
+		reds = 0
+	} else if reds < 1 {
+		reds = 1
+	}
+	if reds > s.cfg.MaxTasksPerJob {
+		reds = s.cfg.MaxTasksPerJob
+	}
+	js.redsTotal = reds
+	js.redsLeft = reds
+	if reds > 0 {
+		rt := float64(j.ReduceTime)
+		if rt <= 0 {
+			rt = float64(reds)
+		}
+		js.reduceDur = rt / float64(reds)
+	}
+}
+
+func (s *simulator) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// accrue integrates slot occupancy from lastT to now into hourly buckets.
+func (s *simulator) accrue(now float64) {
+	busy := float64(s.totalSlots - s.mapFree - s.redFree)
+	t := s.lastT
+	for t < now {
+		hour := int(t / 3600)
+		hourEnd := float64(hour+1) * 3600
+		seg := now
+		if hourEnd < seg {
+			seg = hourEnd
+		}
+		for hour >= len(s.occupancy) {
+			s.occupancy = append(s.occupancy, 0)
+		}
+		s.occupancy[hour] += busy * (seg - t)
+		t = seg
+	}
+	s.lastT = now
+}
+
+func (s *simulator) run() (*Result, error) {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.accrue(e.at)
+		switch e.kind {
+		case evArrival:
+			s.runnable = append(s.runnable, e.job)
+		case evMapDone:
+			e.job.mapsRunning--
+			e.job.mapsDone++
+			s.mapFree++
+			if s.locality != nil && e.node >= 0 {
+				s.locality.release(e.node)
+			}
+		case evReduceDone:
+			e.job.redsRunning--
+			e.job.redsDone++
+			s.redFree++
+		}
+		if e.kind != evArrival && e.job.done() {
+			s.complete(e.job, e.at)
+		}
+		s.schedule(e.at)
+	}
+	// Finalize occupancy into hourly averages.
+	res := s.result
+	res.HourlyOccupancy = make([]float64, len(s.occupancy))
+	for h, busySeconds := range s.occupancy {
+		res.HourlyOccupancy[h] = busySeconds / 3600
+	}
+	res.MakespanSec = s.lastT
+	res.Completed = len(res.Jobs)
+	if res.Completed != s.tr.Len() {
+		return nil, fmt.Errorf("cluster: %d of %d jobs completed", res.Completed, s.tr.Len())
+	}
+	return res, nil
+}
+
+func (s *simulator) complete(js *jobState, at float64) {
+	s.result.Jobs[js.job.ID] = JobMetrics{
+		ID:            js.job.ID,
+		ArrivalSec:    js.arrival,
+		FirstStartSec: js.firstStart,
+		FinishSec:     at,
+	}
+	// Drop from the runnable queue.
+	for i, q := range s.runnable {
+		if q == js {
+			s.runnable = append(s.runnable[:i], s.runnable[i+1:]...)
+			if s.rrCursor > i {
+				s.rrCursor--
+			}
+			break
+		}
+	}
+}
+
+// schedule assigns free slots to pending tasks per the discipline.
+func (s *simulator) schedule(now float64) {
+	if len(s.runnable) == 0 {
+		return
+	}
+	switch s.cfg.Scheduler {
+	case FIFO:
+		s.scheduleFIFO(now)
+	case Fair:
+		s.scheduleFair(now)
+	}
+}
+
+// scheduleFIFO drains jobs in arrival order.
+func (s *simulator) scheduleFIFO(now float64) {
+	for _, js := range s.runnable {
+		if s.mapFree == 0 && s.redFree == 0 {
+			return
+		}
+		for s.mapFree > 0 && js.pendingMapWork() {
+			s.startMap(js, now)
+		}
+		for s.redFree > 0 && js.pendingReduceWork() {
+			s.startReduce(js, now)
+		}
+	}
+}
+
+// scheduleFair hands one task at a time to each runnable job, cycling
+// until no slot or no task remains.
+func (s *simulator) scheduleFair(now float64) {
+	n := len(s.runnable)
+	if n == 0 {
+		return
+	}
+	idle := 0
+	for (s.mapFree > 0 || s.redFree > 0) && idle < n {
+		if s.rrCursor >= len(s.runnable) {
+			s.rrCursor = 0
+		}
+		js := s.runnable[s.rrCursor]
+		progressed := false
+		if s.mapFree > 0 && js.pendingMapWork() {
+			s.startMap(js, now)
+			progressed = true
+		} else if s.redFree > 0 && js.pendingReduceWork() {
+			s.startReduce(js, now)
+			progressed = true
+		}
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+		}
+		s.rrCursor++
+		if s.rrCursor >= len(s.runnable) {
+			s.rrCursor = 0
+		}
+		n = len(s.runnable)
+	}
+}
+
+func (s *simulator) startMap(js *jobState, now float64) {
+	js.mapsLeft--
+	js.mapsRunning++
+	s.mapFree--
+	node := -1
+	if s.locality != nil {
+		node = s.locality.place(js)
+	}
+	s.markStarted(js, now)
+	s.push(&event{at: now + s.taskDuration(js.mapDur), kind: evMapDone, job: js, node: node})
+}
+
+func (s *simulator) startReduce(js *jobState, now float64) {
+	js.redsLeft--
+	js.redsRunning++
+	s.redFree--
+	s.markStarted(js, now)
+	s.push(&event{at: now + s.taskDuration(js.reduceDur), kind: evReduceDone, job: js, node: -1})
+}
+
+func (s *simulator) markStarted(js *jobState, now float64) {
+	if !js.started {
+		js.started = true
+		js.firstStart = now
+	}
+}
+
+// taskDuration applies straggler injection.
+func (s *simulator) taskDuration(base float64) float64 {
+	if base <= 0 {
+		base = 0.001
+	}
+	if s.cfg.StragglerProb > 0 && s.rng.Float64() < s.cfg.StragglerProb {
+		return base * s.cfg.StragglerFactor
+	}
+	return base
+}

@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// tinyTrace builds a hand-constructed trace for exact-outcome tests.
+func tinyTrace(jobs ...*trace.Job) *trace.Trace {
+	tr := trace.New(trace.Meta{Name: "tiny", Machines: 1, Start: t0, Length: time.Hour})
+	for _, j := range jobs {
+		tr.Add(j)
+	}
+	tr.Sort()
+	return tr
+}
+
+func job(id int64, offsetSec int, mapTasks int, mapTime float64, redTasks int, redTime float64) *trace.Job {
+	return &trace.Job{
+		ID:          id,
+		SubmitTime:  t0.Add(time.Duration(offsetSec) * time.Second),
+		Duration:    time.Minute,
+		MapTasks:    mapTasks,
+		MapTime:     units.TaskSeconds(mapTime),
+		ReduceTasks: redTasks,
+		ReduceTime:  units.TaskSeconds(redTime),
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 1, 10, 0, 0))
+	if _, err := Run(tr, Config{}); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := Run(trace.New(trace.Meta{Name: "e", Start: t0}), Config{Nodes: 1}); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := Run(tr, Config{Nodes: 1, StragglerProb: 2}); err == nil {
+		t.Error("bad straggler prob should error")
+	}
+	if _, err := Run(tr, Config{Nodes: 1, StragglerProb: 0.1, StragglerFactor: 0.5}); err == nil {
+		t.Error("straggler factor < 1 should error")
+	}
+	if _, err := Run(tr, Config{Nodes: 1, MaxTasksPerJob: -1}); err == nil {
+		t.Error("negative MaxTasksPerJob should error")
+	}
+	if _, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: -1}); err == nil {
+		t.Error("negative slots should error")
+	}
+}
+
+func TestSingleJobTiming(t *testing.T) {
+	// 1 node, 2 map slots: 4 map tasks of 10s each run in 2 waves (20s),
+	// then 1 reduce task of 30s. Finish = 50s.
+	tr := tinyTrace(job(1, 0, 4, 40, 1, 30))
+	res, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Jobs[1]
+	if m.FinishSec != 50 {
+		t.Errorf("finish = %v, want 50", m.FinishSec)
+	}
+	if m.QueueDelay() != 0 {
+		t.Errorf("queue delay = %v, want 0", m.QueueDelay())
+	}
+	if res.MakespanSec != 50 {
+		t.Errorf("makespan = %v, want 50", res.MakespanSec)
+	}
+}
+
+func TestMapsBeforeReduces(t *testing.T) {
+	// Reduce must not start until all maps finish: with 1 map slot, maps
+	// serialize 3x10s, then reduce 5s => 35s.
+	tr := tinyTrace(job(1, 0, 3, 30, 1, 5))
+	res, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Jobs[1].FinishSec; got != 35 {
+		t.Errorf("finish = %v, want 35", got)
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	// The paper warns "poor management of a single large job potentially
+	// impacts performance for a large number of small jobs". Under FIFO, a
+	// huge job ahead of a tiny one delays it; under Fair the tiny job slips
+	// through.
+	huge := job(1, 0, 8, 8*600, 0, 0) // 8 tasks x 600s
+	tiny := job(2, 1, 1, 1, 0, 0)     // 1 task x 1s, arrives 1s later
+	mk := func() *trace.Trace { return tinyTrace(huge, tiny) }
+
+	fifo, err := Run(mk(), Config{Nodes: 1, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1, Scheduler: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := Run(mk(), Config{Nodes: 1, MapSlotsPerNode: 4, ReduceSlotsPerNode: 1, Scheduler: Fair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoTiny := fifo.Jobs[2].Latency()
+	fairTiny := fair.Jobs[2].Latency()
+	if fairTiny >= fifoTiny {
+		t.Errorf("fair tiny-job latency %v should beat FIFO %v", fairTiny, fifoTiny)
+	}
+	// FIFO: the tiny job waits for both waves of the huge job (~1200s).
+	if fifoTiny < 1100 {
+		t.Errorf("FIFO tiny-job latency = %v, want head-of-line blocked (~1200s)", fifoTiny)
+	}
+	// Fair is non-preemptive: the tiny job still waits for the first wave
+	// (~600s) but wins a slot at the first opportunity.
+	if fairTiny > 650 {
+		t.Errorf("fair tiny-job latency = %v, want ~600s (first wave)", fairTiny)
+	}
+}
+
+func TestOccupancyIntegration(t *testing.T) {
+	// One job, 1 map task, 1800s: occupies exactly one slot for the first
+	// half hour -> hour 0 average occupancy = 0.5 slots.
+	tr := tinyTrace(job(1, 0, 1, 1800, 0, 0))
+	res, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HourlyOccupancy) == 0 {
+		t.Fatal("no occupancy series")
+	}
+	if got := res.HourlyOccupancy[0]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("hour-0 occupancy = %v, want 0.5", got)
+	}
+	if res.TotalSlots != 4 {
+		t.Errorf("total slots = %d, want 4", res.TotalSlots)
+	}
+}
+
+func TestOccupancySpansHours(t *testing.T) {
+	// A task running 2.5 hours contributes 1.0 to hours 0,1 and 0.5 to
+	// hour 2.
+	tr := tinyTrace(job(1, 0, 1, 9000, 0, 0))
+	res, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 0.5}
+	for h, w := range want {
+		if math.Abs(res.HourlyOccupancy[h]-w) > 1e-9 {
+			t.Errorf("hour %d occupancy = %v, want %v", h, res.HourlyOccupancy[h], w)
+		}
+	}
+}
+
+func TestTaskCoalescing(t *testing.T) {
+	// 10000 map tasks coalesce to MaxTasksPerJob while preserving total
+	// task-time, so occupancy and finish stay sane.
+	j := job(1, 0, 10000, 36000, 0, 0)
+	tr := tinyTrace(j)
+	res, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 10, ReduceSlotsPerNode: 1, MaxTasksPerJob: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 tasks x 360s on 10 slots = 10 waves x 360s = 3600s.
+	if got := res.Jobs[1].FinishSec; math.Abs(got-3600) > 1e-6 {
+		t.Errorf("finish = %v, want 3600", got)
+	}
+	var occ float64
+	for _, o := range res.HourlyOccupancy {
+		occ += o * 3600
+	}
+	if math.Abs(occ-36000) > 1 {
+		t.Errorf("integrated occupancy = %v slot-seconds, want 36000", occ)
+	}
+}
+
+func TestStragglers(t *testing.T) {
+	// With all tasks straggling 10x, the job takes 10x longer.
+	tr := tinyTrace(job(1, 0, 2, 20, 0, 0))
+	base, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(tr, Config{Nodes: 1, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1,
+		StragglerProb: 1, StragglerFactor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := slow.Jobs[1].FinishSec, base.Jobs[1].FinishSec*10; math.Abs(got-want) > 1e-6 {
+		t.Errorf("straggled finish = %v, want %v", got, want)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 5, Duration: 12 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Nodes: p.Machines, Scheduler: Fair, Seed: 9, StragglerProb: 0.05, StragglerFactor: 3}
+	a, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanSec != b.MakespanSec || a.MeanLatency() != b.MeanLatency() {
+		t.Error("same seed should reproduce the run exactly")
+	}
+}
+
+func TestReplayGeneratedWorkload(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 6, Duration: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Config{Nodes: p.Machines, MapSlotsPerNode: p.SlotsPerMachine / 2,
+		ReduceSlotsPerNode: p.SlotsPerMachine / 2, Scheduler: Fair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != tr.Len() {
+		t.Fatalf("completed %d of %d", res.Completed, tr.Len())
+	}
+	// Occupancy never exceeds capacity.
+	for h, o := range res.HourlyOccupancy {
+		if o > float64(res.TotalSlots)+1e-9 {
+			t.Fatalf("hour %d occupancy %v exceeds %d slots", h, o, res.TotalSlots)
+		}
+		if o < 0 {
+			t.Fatalf("negative occupancy at hour %d", h)
+		}
+	}
+	// Every job's latency is at least its own computation lower bound.
+	for id, m := range res.Jobs {
+		if m.Latency() <= 0 {
+			t.Fatalf("job %d has non-positive latency %v", id, m.Latency())
+		}
+		if m.QueueDelay() < 0 {
+			t.Fatalf("job %d has negative queue delay", id)
+		}
+	}
+	if res.MeanLatency() <= 0 || res.P99Latency() < res.MedianLatency() {
+		t.Error("latency statistics inconsistent")
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	res := &Result{Jobs: map[int64]JobMetrics{}}
+	for i := int64(1); i <= 100; i++ {
+		res.Jobs[i] = JobMetrics{ID: i, ArrivalSec: 0, FinishSec: float64(i)}
+	}
+	if med := res.MedianLatency(); med < 49 || med > 52 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+	if p99 := res.P99Latency(); p99 < 98 || p99 > 100 {
+		t.Errorf("p99 = %v, want ~99", p99)
+	}
+	empty := &Result{Jobs: map[int64]JobMetrics{}}
+	if empty.MeanLatency() != 0 || empty.P99Latency() != 0 {
+		t.Error("empty result should produce zero stats")
+	}
+}
+
+func TestSchedulerKindString(t *testing.T) {
+	if FIFO.String() != "fifo" || Fair.String() != "fair" {
+		t.Error("scheduler names wrong")
+	}
+}

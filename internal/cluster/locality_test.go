@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/hdfs"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// localitySetup generates a CC-e window and populates a DFS matching the
+// replay cluster's node count.
+func localitySetup(t *testing.T, nodes int) (*trace.Trace, *hdfs.FS) {
+	t.Helper()
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 77, Duration: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := hdfs.New(hdfs.Config{Datanodes: nodes, ReplicationFactor: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hdfs.PopulateFromTrace(fs, tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr, fs
+}
+
+func TestRunWithLocalityValidation(t *testing.T) {
+	tr, fs := localitySetup(t, 50)
+	if _, err := RunWithLocality(tr, nil, Config{Nodes: 50}); err == nil {
+		t.Error("nil fs should error")
+	}
+	if _, err := RunWithLocality(tr, fs, Config{Nodes: 40}); err == nil {
+		t.Error("node count mismatch should error")
+	}
+	empty := trace.New(trace.Meta{Name: "e", Start: tr.Meta.Start})
+	if _, err := RunWithLocality(empty, fs, Config{Nodes: 50}); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestRunWithLocalityCompletes(t *testing.T) {
+	tr, fs := localitySetup(t, 50)
+	res, err := RunWithLocality(tr, fs, Config{Nodes: 50, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != tr.Len() {
+		t.Fatalf("completed %d of %d", res.Completed, tr.Len())
+	}
+	total := res.LocalTasks + res.RemoteTasks + res.UntrackedTasks
+	if total == 0 {
+		t.Fatal("no map placements recorded")
+	}
+	if res.UntrackedTasks > total/10 {
+		t.Errorf("untracked placements %d of %d; CC-e inputs should resolve", res.UntrackedTasks, total)
+	}
+	rate := res.LocalityRate()
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("locality rate = %v", rate)
+	}
+	// With 3 replicas on 50 nodes and an uncontended cluster, most tasks
+	// should find a replica slot free.
+	if rate < 0.3 {
+		t.Errorf("locality rate = %v, want reasonable on an uncontended cluster", rate)
+	}
+}
+
+func TestLocalityDegradesUnderContention(t *testing.T) {
+	// Shrinking per-node slots forces tasks off replica nodes: locality
+	// on a tight cluster must not exceed locality on a roomy one.
+	tr, fs := localitySetup(t, 50)
+	roomy, err := RunWithLocality(tr, fs, Config{Nodes: 50, MapSlotsPerNode: 12, ReduceSlotsPerNode: 4, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := RunWithLocality(tr, fs, Config{Nodes: 50, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.LocalityRate() > roomy.LocalityRate()+0.05 {
+		t.Errorf("tight cluster locality %v should not beat roomy %v",
+			tight.LocalityRate(), roomy.LocalityRate())
+	}
+}
+
+func TestLocalityConservesOccupancy(t *testing.T) {
+	// The locality layer must not change the simulation's physics: same
+	// trace, same makespan and occupancy as the plain run.
+	tr, fs := localitySetup(t, 50)
+	plain, err := Run(tr, Config{Nodes: 50, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := RunWithLocality(tr, fs, Config{Nodes: 50, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MakespanSec != loc.MakespanSec {
+		t.Errorf("makespan changed: %v vs %v", plain.MakespanSec, loc.MakespanSec)
+	}
+	if plain.MeanLatency() != loc.MeanLatency() {
+		t.Errorf("latency changed: %v vs %v", plain.MeanLatency(), loc.MeanLatency())
+	}
+}
+
+func TestHotFilesHurtLocality(t *testing.T) {
+	// A single hot file read by many concurrent jobs: replicas live on 3
+	// of 20 nodes, so concurrent readers beyond 3×slots must go remote.
+	start := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	tr := trace.New(trace.Meta{Name: "hot", Machines: 20, Start: start, Length: time.Hour})
+	for i := int64(1); i <= 60; i++ {
+		tr.Add(&trace.Job{
+			ID: i, SubmitTime: start, Duration: time.Minute,
+			InputBytes: 100 * units.MB, MapTasks: 1, MapTime: 600,
+			InputPath: "/hot/file",
+		})
+	}
+	fs, err := hdfs.New(hdfs.Config{Datanodes: 20, ReplicationFactor: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hdfs.PopulateFromTrace(fs, tr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithLocality(tr, fs, Config{Nodes: 20, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, Scheduler: Fair, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 simultaneous readers vs 3 replica nodes × 2 slots = 6 local
+	// slots: locality must collapse, matching the §4 point that skewed
+	// popularity concentrates load on few replica holders.
+	if res.LocalityRate() > 0.5 {
+		t.Errorf("hot-file locality = %v, want degraded (< 0.5)", res.LocalityRate())
+	}
+	if res.LocalTasks == 0 {
+		t.Error("some tasks should still land locally")
+	}
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// TieredConfig implements the §6.2 recommendation directly: "the cluster
+// should be split into two tiers ... (1) a performance tier, which handles
+// the interactive and semi-streaming computations ... and (2) a capacity
+// tier, which necessarily trades performance for efficiency". Jobs whose
+// total data is below SmallJobThreshold run on the performance partition;
+// everything else runs on the capacity partition. Each partition schedules
+// independently (fair on the performance tier, FIFO batch semantics on the
+// capacity tier), so a monster batch job can never head-of-line-block the
+// >90% population of small interactive jobs.
+type TieredConfig struct {
+	// Nodes is the total cluster size; PerformanceShare in (0,1) is the
+	// fraction of nodes assigned to the performance tier.
+	Nodes            int
+	PerformanceShare float64
+	// MapSlotsPerNode / ReduceSlotsPerNode as in Config (defaults 6/4).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// SmallJobThreshold routes jobs: total bytes below it go to the
+	// performance tier (default 10 GB, the paper's small-job boundary).
+	SmallJobThreshold units.Bytes
+	// Straggler injection, applied to both tiers.
+	StragglerProb   float64
+	StragglerFactor float64
+	// MaxTasksPerJob coalescing (see Config).
+	MaxTasksPerJob int
+	// Seed drives straggler draws.
+	Seed int64
+}
+
+// TieredResult reports a two-tier replay.
+type TieredResult struct {
+	// Performance and Capacity are the per-tier replay results.
+	Performance *Result
+	Capacity    *Result
+	// SmallJobs / LargeJobs count the routing decision.
+	SmallJobs, LargeJobs int
+}
+
+// MeanSmallLatency is the performance tier's mean latency — the metric the
+// tier exists to protect.
+func (r *TieredResult) MeanSmallLatency() float64 { return r.Performance.MeanLatency() }
+
+// P99SmallLatency is the performance tier's tail latency.
+func (r *TieredResult) P99SmallLatency() float64 { return r.Performance.P99Latency() }
+
+// RunTiered replays a trace on the two-tier cluster.
+func RunTiered(t *trace.Trace, cfg TieredConfig) (*TieredResult, error) {
+	if cfg.Nodes < 2 {
+		return nil, errors.New("cluster: tiered cluster needs at least 2 nodes")
+	}
+	if cfg.PerformanceShare <= 0 || cfg.PerformanceShare >= 1 {
+		return nil, errors.New("cluster: performance share must be in (0,1)")
+	}
+	if cfg.SmallJobThreshold == 0 {
+		cfg.SmallJobThreshold = 10 * units.GB
+	}
+	if cfg.SmallJobThreshold < 0 {
+		return nil, errors.New("cluster: negative small-job threshold")
+	}
+	perfNodes := int(float64(cfg.Nodes) * cfg.PerformanceShare)
+	if perfNodes < 1 {
+		perfNodes = 1
+	}
+	capNodes := cfg.Nodes - perfNodes
+	if capNodes < 1 {
+		capNodes = 1
+		perfNodes = cfg.Nodes - 1
+	}
+
+	small := t.Filter(func(j *trace.Job) bool { return j.TotalBytes() < cfg.SmallJobThreshold })
+	large := t.Filter(func(j *trace.Job) bool { return j.TotalBytes() >= cfg.SmallJobThreshold })
+
+	res := &TieredResult{SmallJobs: small.Len(), LargeJobs: large.Len()}
+	if small.Len() == 0 || large.Len() == 0 {
+		return nil, errors.New("cluster: threshold routes all jobs to one tier; use Run instead")
+	}
+	perfRes, err := Run(small, Config{
+		Nodes:              perfNodes,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Scheduler:          Fair,
+		StragglerProb:      cfg.StragglerProb,
+		StragglerFactor:    cfg.StragglerFactor,
+		MaxTasksPerJob:     cfg.MaxTasksPerJob,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	capRes, err := Run(large, Config{
+		Nodes:              capNodes,
+		MapSlotsPerNode:    cfg.MapSlotsPerNode,
+		ReduceSlotsPerNode: cfg.ReduceSlotsPerNode,
+		Scheduler:          FIFO,
+		StragglerProb:      cfg.StragglerProb,
+		StragglerFactor:    cfg.StragglerFactor,
+		MaxTasksPerJob:     cfg.MaxTasksPerJob,
+		Seed:               cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Performance = perfRes
+	res.Capacity = capRes
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func ccbTrace(t *testing.T, dur time.Duration) *trace.Trace {
+	t.Helper()
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 9, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunTieredValidation(t *testing.T) {
+	tr := ccbTrace(t, 6*time.Hour)
+	cases := []TieredConfig{
+		{Nodes: 1, PerformanceShare: 0.5},
+		{Nodes: 10, PerformanceShare: 0},
+		{Nodes: 10, PerformanceShare: 1},
+		{Nodes: 10, PerformanceShare: 0.5, SmallJobThreshold: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := RunTiered(tr, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunTieredRouting(t *testing.T) {
+	tr := ccbTrace(t, 24*time.Hour)
+	res, err := RunTiered(tr, TieredConfig{
+		Nodes:            100,
+		PerformanceShare: 0.3,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmallJobs+res.LargeJobs != tr.Len() {
+		t.Errorf("routing lost jobs: %d + %d != %d", res.SmallJobs, res.LargeJobs, tr.Len())
+	}
+	// CC-b is dominated by tiny jobs (~90% below 10 GB).
+	if res.SmallJobs < res.LargeJobs*5 {
+		t.Errorf("small/large = %d/%d; expected small-job dominance", res.SmallJobs, res.LargeJobs)
+	}
+	if res.Performance.Completed != res.SmallJobs || res.Capacity.Completed != res.LargeJobs {
+		t.Error("per-tier completion mismatch")
+	}
+}
+
+func TestTieredProtectsSmallJobs(t *testing.T) {
+	// On a small shared cluster, big CC-b jobs inflate small-job latency;
+	// carving out even a modest performance tier should keep small-job
+	// p99 far below the shared-FIFO p99 of the same jobs.
+	tr := ccbTrace(t, 24*time.Hour)
+
+	shared, err := Run(tr, Config{Nodes: 40, Scheduler: FIFO, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := RunTiered(tr, TieredConfig{
+		Nodes:            40,
+		PerformanceShare: 0.25,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Small-job p99 under the tiered cluster vs the same jobs' p99 under
+	// the shared cluster.
+	sharedSmallP99 := p99Of(shared, tr, func(j *trace.Job) bool {
+		return j.TotalBytes() < 10*units.GB
+	})
+	tieredSmallP99 := tiered.P99SmallLatency()
+	if tieredSmallP99 >= sharedSmallP99 {
+		t.Errorf("tiered small-job p99 %v should beat shared FIFO %v",
+			tieredSmallP99, sharedSmallP99)
+	}
+}
+
+// p99Of extracts the p99 latency of the subset of jobs matching keep.
+func p99Of(res *Result, tr *trace.Trace, keep func(*trace.Job) bool) float64 {
+	var lats []float64
+	for _, j := range tr.Jobs {
+		if m, ok := res.Jobs[j.ID]; ok && keep(j) {
+			lats = append(lats, m.Latency())
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sortFloat64s(lats)
+	return lats[int(0.99*float64(len(lats)-1))]
+}
+
+func TestTieredSingleClassErrors(t *testing.T) {
+	// All-small trace: threshold routes everything to one tier.
+	tr := trace.New(trace.Meta{Name: "small-only", Machines: 10,
+		Start: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC), Length: time.Hour})
+	for i := int64(1); i <= 10; i++ {
+		tr.Add(&trace.Job{
+			ID: i, SubmitTime: tr.Meta.Start.Add(time.Duration(i) * time.Minute),
+			Duration: time.Minute, InputBytes: units.MB, MapTasks: 1, MapTime: 10,
+		})
+	}
+	if _, err := RunTiered(tr, TieredConfig{Nodes: 10, PerformanceShare: 0.5}); err == nil {
+		t.Error("single-class trace should error")
+	}
+}

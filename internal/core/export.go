@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// ExportCSV writes the report's figure data as CSV files into dir (created
+// if missing), one file per figure, so the paper's plots can be recreated
+// with any plotting tool:
+//
+//	fig1_datasizes.csv    per-job size CDFs (dimension, bytes, fraction)
+//	fig2_access_freq.csv  rank, frequency (input and output)
+//	fig3_input_sizes.csv  file size vs jobs-fraction and bytes-fraction
+//	fig4_output_sizes.csv same for outputs
+//	fig5_intervals.csv    re-access interval CDFs
+//	fig7_timeseries.csv   hourly jobs/bytes/task-seconds series
+//	fig8_burstiness.csv   percentile, ratio-to-median
+//	fig10_names.csv       word, jobs/bytes/task-time fractions
+//	table2_jobtypes.csv   recovered job-type clusters
+//
+// Files for analyses absent from the report are skipped.
+func (r *Report) ExportCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating export dir: %w", err)
+	}
+	if r.DataSizes != nil {
+		tb := report.NewTable("dimension", "bytes", "fraction_of_jobs")
+		addCDF := func(name string, c *stats.CDF) {
+			for _, p := range c.LogPoints(10) {
+				tb.AddRow(name, formatF(p.X), formatF(p.Y))
+			}
+		}
+		addCDF("input", r.DataSizes.Input)
+		addCDF("shuffle", r.DataSizes.Shuffle)
+		addCDF("output", r.DataSizes.Output)
+		if err := writeCSV(dir, "fig1_datasizes.csv", tb); err != nil {
+			return err
+		}
+	}
+	if r.InputAccess != nil {
+		tb := report.NewTable("kind", "rank", "frequency")
+		for i, f := range r.InputAccess.Frequencies {
+			tb.AddRow("input", strconv.Itoa(i+1), strconv.FormatUint(f, 10))
+		}
+		if r.OutputAccess != nil {
+			for i, f := range r.OutputAccess.Frequencies {
+				tb.AddRow("output", strconv.Itoa(i+1), strconv.FormatUint(f, 10))
+			}
+		}
+		if err := writeCSV(dir, "fig2_access_freq.csv", tb); err != nil {
+			return err
+		}
+	}
+	if r.InputSizeAccess != nil {
+		if err := writeSizeAccess(dir, "fig3_input_sizes.csv", r.InputSizeAccess); err != nil {
+			return err
+		}
+	}
+	if r.OutputSizeAccess != nil {
+		if err := writeSizeAccess(dir, "fig4_output_sizes.csv", r.OutputSizeAccess); err != nil {
+			return err
+		}
+	}
+	if r.Intervals != nil {
+		tb := report.NewTable("kind", "interval_seconds", "fraction")
+		for _, p := range r.Intervals.InputInput.LogPoints(10) {
+			tb.AddRow("input-input", formatF(p.X), formatF(p.Y))
+		}
+		if r.Intervals.OutputInput != nil {
+			for _, p := range r.Intervals.OutputInput.LogPoints(10) {
+				tb.AddRow("output-input", formatF(p.X), formatF(p.Y))
+			}
+		}
+		if err := writeCSV(dir, "fig5_intervals.csv", tb); err != nil {
+			return err
+		}
+	}
+	if r.Series != nil {
+		tb := report.NewTable("hour", "jobs", "bytes", "task_seconds", "task_seconds_spread")
+		for h := range r.Series.Jobs {
+			tb.AddRow(strconv.Itoa(h),
+				formatF(r.Series.Jobs[h]),
+				formatF(r.Series.Bytes[h]),
+				formatF(r.Series.TaskSeconds[h]),
+				formatF(r.Series.TaskSecondsSpread[h]))
+		}
+		if err := writeCSV(dir, "fig7_timeseries.csv", tb); err != nil {
+			return err
+		}
+		if curve, err := r.Series.BurstinessOf(); err == nil {
+			tb := report.NewTable("percentile", "ratio_to_median")
+			for i := range curve.Percentiles {
+				tb.AddRow(formatF(curve.Percentiles[i]), formatF(curve.Ratios[i]))
+			}
+			if err := writeCSV(dir, "fig8_burstiness.csv", tb); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Names != nil {
+		tb := report.NewTable("word", "jobs_fraction", "bytes_fraction", "task_time_fraction")
+		for _, g := range r.Names.Groups {
+			tb.AddRow(g.Word, formatF(g.JobsFraction), formatF(g.BytesFraction), formatF(g.TaskTimeFraction))
+		}
+		if err := writeCSV(dir, "fig10_names.csv", tb); err != nil {
+			return err
+		}
+	}
+	if r.Clusters != nil {
+		tb := report.NewTable("count", "input_bytes", "shuffle_bytes", "output_bytes",
+			"duration_seconds", "map_task_seconds", "reduce_task_seconds", "label")
+		for _, jt := range r.Clusters.Types {
+			tb.AddRow(
+				strconv.Itoa(jt.Count),
+				strconv.FormatInt(int64(jt.Input), 10),
+				strconv.FormatInt(int64(jt.Shuffle), 10),
+				strconv.FormatInt(int64(jt.Output), 10),
+				formatF(jt.Duration.Seconds()),
+				formatF(float64(jt.MapTime)),
+				formatF(float64(jt.Reduce)),
+				jt.Label)
+		}
+		if err := writeCSV(dir, "table2_jobtypes.csv", tb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSizeAccess(dir, name string, sa *analysis.SizeAccess) error {
+	tb := report.NewTable("curve", "file_size_bytes", "fraction")
+	for _, p := range sa.JobsCDF.LogPoints(10) {
+		tb.AddRow("jobs", formatF(p.X), formatF(p.Y))
+	}
+	for _, p := range sa.BytesCDF {
+		tb.AddRow("stored_bytes", formatF(p.X), formatF(p.Y))
+	}
+	return writeCSV(dir, name, tb)
+}
+
+func writeCSV(dir, name string, tb *report.Table) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := tb.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func formatF(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExportCSVFullWorkload(t *testing.T) {
+	tr := genTrace(t, "CC-e", 4*24*time.Hour)
+	rep, err := Analyze(tr, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig1_datasizes.csv", "fig2_access_freq.csv", "fig3_input_sizes.csv",
+		"fig4_output_sizes.csv", "fig5_intervals.csv", "fig7_timeseries.csv",
+		"fig8_burstiness.csv", "fig10_names.csv", "table2_jobtypes.csv",
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Errorf("missing export %s: %v", name, err)
+			continue
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: invalid CSV: %v", name, err)
+			continue
+		}
+		if len(rows) < 2 {
+			t.Errorf("%s: only %d rows (header + data expected)", name, len(rows))
+		}
+		// Every row matches the header width (csv.ReadAll enforces it).
+	}
+}
+
+func TestExportCSVSkipsAbsentAnalyses(t *testing.T) {
+	tr := genTrace(t, "FB-2009", 24*time.Hour) // no paths
+	rep, err := Analyze(tr, AnalyzeOptions{SkipClustering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := rep.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"fig2_access_freq.csv", "fig5_intervals.csv", "table2_jobtypes.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, absent)); err == nil {
+			t.Errorf("%s should not be exported for FB-2009", absent)
+		}
+	}
+	for _, present := range []string{"fig1_datasizes.csv", "fig7_timeseries.csv", "fig10_names.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, present)); err != nil {
+			t.Errorf("%s should be exported: %v", present, err)
+		}
+	}
+}
+
+func TestExportCSVBadDir(t *testing.T) {
+	tr := genTrace(t, "CC-a", 24*time.Hour)
+	rep, err := Analyze(tr, AnalyzeOptions{SkipClustering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A file where the directory should be.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ExportCSV(filepath.Join(blocked, "sub")); err == nil {
+		t.Error("export into non-directory should error")
+	}
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's primary contribution: the
+// cross-industry workload characterization. It orchestrates the full
+// per-workload analysis (every figure and table that a trace's fields
+// permit) and the cross-workload study that compares all seven
+// deployments, from which the paper draws its headline findings — the
+// interactive/semi-streaming workload class, the diversity that defeats
+// any single "typical" workload, and the benchmark-design implications of
+// §7.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Report bundles every analysis of the paper that applies to one trace.
+// Fields are nil when the trace lacks the required fields (paths, names),
+// mirroring the per-workload gaps in the original study (§3, §4.2).
+type Report struct {
+	// Summary is the trace's Table-1 row.
+	Summary trace.Summary
+	// DataSizes: Figure 1.
+	DataSizes *analysis.DataSizes
+	// InputAccess / OutputAccess: Figure 2 (nil without paths).
+	InputAccess  *analysis.AccessFrequency
+	OutputAccess *analysis.AccessFrequency
+	// InputSizeAccess / OutputSizeAccess: Figures 3 and 4.
+	InputSizeAccess  *analysis.SizeAccess
+	OutputSizeAccess *analysis.SizeAccess
+	// Intervals: Figure 5 (nil without paths or re-accesses).
+	Intervals *analysis.ReaccessIntervals
+	// Reaccess: Figure 6.
+	Reaccess *analysis.ReaccessFractions
+	// Series: the hourly view behind Figures 7-9.
+	Series *analysis.TimeSeries
+	// PeakToMedian is the Figure 8 headline burstiness number.
+	PeakToMedian float64
+	// Correlations: Figure 9.
+	Correlations *analysis.Correlations
+	// Names: Figure 10 (nil without job names).
+	Names *analysis.NameAnalysis
+	// Clusters: Table 2.
+	Clusters *analysis.JobClusters
+}
+
+// AnalyzeOptions tunes Analyze.
+type AnalyzeOptions struct {
+	// TopNames bounds the Figure 10 word list (default 8, matching the
+	// figure's per-workload word counts).
+	TopNames int
+	// Cluster tunes the Table-2 clustering; the zero value uses defaults.
+	Cluster analysis.ClusterConfig
+	// SkipClustering drops the Table 2 analysis (it is the slowest step).
+	SkipClustering bool
+}
+
+// Analyze runs the full measurement methodology of the paper over a trace
+// and returns every figure and table that the trace's fields permit.
+func Analyze(t *trace.Trace, opts AnalyzeOptions) (*Report, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot analyze an empty trace")
+	}
+	if opts.TopNames == 0 {
+		opts.TopNames = 8
+	}
+	rep := &Report{Summary: t.Summarize()}
+
+	ds, err := analysis.DataSizeCDFs(t)
+	if err != nil {
+		return nil, err
+	}
+	rep.DataSizes = ds
+
+	if t.HasPaths() {
+		if af, err := analysis.InputAccessFrequency(t); err == nil {
+			rep.InputAccess = af
+		}
+		if sa, err := analysis.InputSizeAccess(t); err == nil {
+			rep.InputSizeAccess = sa
+		}
+		if iv, err := analysis.Intervals(t); err == nil {
+			rep.Intervals = iv
+		}
+		if rf, err := analysis.Reaccess(t); err == nil {
+			rep.Reaccess = rf
+		}
+	}
+	if t.HasOutputPaths() {
+		if af, err := analysis.OutputAccessFrequency(t); err == nil {
+			rep.OutputAccess = af
+		}
+		if sa, err := analysis.OutputSizeAccess(t); err == nil {
+			rep.OutputSizeAccess = sa
+		}
+	}
+
+	series, err := analysis.BinHourly(t)
+	if err != nil {
+		return nil, err
+	}
+	rep.Series = series
+	if b, err := series.BurstinessOf(); err == nil {
+		rep.PeakToMedian = b.PeakToMedian
+	}
+	if c, err := series.Correlate(); err == nil {
+		rep.Correlations = c
+	}
+
+	if t.HasNames() {
+		if na, err := analysis.JobNames(t, opts.TopNames); err == nil {
+			rep.Names = na
+		}
+	}
+
+	if !opts.SkipClustering {
+		jc, err := analysis.ClusterJobs(t, opts.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		rep.Clusters = jc
+	}
+	return rep, nil
+}
+
+// Render writes the full report as readable text: one section per figure
+// or table that applies to the workload.
+func (r *Report) Render(w io.Writer) error {
+	fmt.Fprintf(w, "==== Workload %s ====\n", r.Summary.Name)
+	fmt.Fprintf(w, "machines=%d length=%s jobs=%d bytes-moved=%s\n\n",
+		r.Summary.Machines, r.Summary.Length, r.Summary.Jobs, r.Summary.BytesMoved)
+
+	if r.DataSizes != nil {
+		fmt.Fprintln(w, "-- Figure 1: per-job data sizes --")
+		fb := func(v float64) string { return units.Bytes(v).String() }
+		if err := report.CDFChart(w, r.DataSizes.Input, "input", fb); err != nil {
+			return err
+		}
+		if err := report.CDFChart(w, r.DataSizes.Shuffle, "shuffle", fb); err != nil {
+			return err
+		}
+		if err := report.CDFChart(w, r.DataSizes.Output, "output", fb); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if r.InputAccess != nil {
+		fmt.Fprintln(w, "-- Figure 2: input file access frequency vs rank --")
+		fmt.Fprintf(w, "zipf alpha=%.3f (paper: 5/6=0.833) r2=%.3f files=%d\n",
+			r.InputAccess.Fit.Alpha, r.InputAccess.Fit.R2, r.InputAccess.DistinctFiles)
+		if err := report.LogLogChart(w, r.InputAccess.Frequencies, "input accesses"); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if r.InputSizeAccess != nil {
+		fmt.Fprintln(w, "-- Figure 3: access patterns vs input file size --")
+		fmt.Fprintf(w, "80%% of accesses hit files holding %s of stored bytes (80-N rule)\n",
+			report.Percent(r.InputSizeAccess.EightyRule()/100))
+		fmt.Fprintln(w)
+	}
+	if r.OutputSizeAccess != nil {
+		fmt.Fprintln(w, "-- Figure 4: access patterns vs output file size --")
+		fmt.Fprintf(w, "80%% of accesses hit files holding %s of stored bytes\n",
+			report.Percent(r.OutputSizeAccess.EightyRule()/100))
+		fmt.Fprintln(w)
+	}
+	if r.Intervals != nil {
+		fmt.Fprintln(w, "-- Figure 5: data re-access intervals --")
+		fmt.Fprintf(w, "re-accesses within 6h: %s (paper: ~75%%)\n",
+			report.Percent(r.Intervals.FractionWithin(6*time.Hour)))
+		fmt.Fprintln(w)
+	}
+	if r.Reaccess != nil {
+		fmt.Fprintln(w, "-- Figure 6: jobs reading pre-existing data --")
+		fmt.Fprintf(w, "input re-access=%s output re-access=%s\n",
+			report.Percent(r.Reaccess.InputReaccess), report.Percent(r.Reaccess.OutputReaccess))
+		fmt.Fprintln(w)
+	}
+	if r.Series != nil {
+		fmt.Fprintln(w, "-- Figure 7: weekly behavior (first week, hourly) --")
+		week := r.Series
+		if w7, err := r.Series.Week(0); err == nil {
+			week = w7
+		}
+		fmt.Fprintf(w, "jobs/hr  %s\n", report.Sparkline(week.Jobs))
+		fmt.Fprintf(w, "bytes/hr %s\n", report.Sparkline(week.Bytes))
+		fmt.Fprintf(w, "task-s/h %s\n", report.Sparkline(week.TaskSeconds))
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "-- Figure 8: burstiness --")
+		fmt.Fprintf(w, "peak-to-median task-time: %s (paper range: 9:1 .. 260:1)\n",
+			report.Ratio(r.PeakToMedian))
+		fmt.Fprintln(w)
+	}
+	if r.Correlations != nil {
+		fmt.Fprintln(w, "-- Figure 9: hourly dimension correlations --")
+		fmt.Fprintf(w, "jobs-bytes=%.2f jobs-tasktime=%.2f bytes-tasktime=%.2f\n",
+			r.Correlations.JobsBytes, r.Correlations.JobsTaskSeconds, r.Correlations.BytesTaskSeconds)
+		fmt.Fprintln(w)
+	}
+	if r.Names != nil {
+		fmt.Fprintln(w, "-- Figure 10: job name first words --")
+		tb := report.NewTable("word", "% jobs", "% bytes", "% task-time")
+		for _, g := range r.Names.Groups {
+			tb.AddRow(g.Word, report.Percent(g.JobsFraction),
+				report.Percent(g.BytesFraction), report.Percent(g.TaskTimeFraction))
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Clusters != nil {
+		fmt.Fprintln(w, "-- Table 2: job types (k-means) --")
+		tb := report.NewTable("# Jobs", "Input", "Shuffle", "Output", "Duration", "Map time", "Reduce time", "Label")
+		for _, jt := range r.Clusters.Types {
+			tb.AddRow(
+				fmt.Sprintf("%d", jt.Count),
+				jt.Input.String(), jt.Shuffle.String(), jt.Output.String(),
+				units.FormatDuration(jt.Duration),
+				fmt.Sprintf("%.0f", float64(jt.MapTime)),
+				fmt.Sprintf("%.0f", float64(jt.Reduce)),
+				jt.Label,
+			)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "small-job fraction: %s (paper: >90%% in all workloads)\n\n",
+			report.Percent(r.Clusters.SmallJobFraction))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Study runs the cross-industry comparison: generate (or accept) one trace
+// per workload, analyze each, and compute the cross-workload aggregates
+// the paper's summary section reports.
+type Study struct {
+	// Workloads in Table 1 order.
+	Workloads []string
+	// Traces and Reports keyed by workload name.
+	Traces  map[string]*trace.Trace
+	Reports map[string]*Report
+}
+
+// StudyConfig controls a study run.
+type StudyConfig struct {
+	// Window is the generated trace length per workload (default 14 days).
+	Window time.Duration
+	// Seed drives generation.
+	Seed int64
+	// Workloads restricts the set (default: all seven).
+	Workloads []string
+	// Analyze options applied per workload.
+	Analyze AnalyzeOptions
+}
+
+// RunStudy generates and analyzes every requested workload.
+func RunStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 14 * 24 * time.Hour
+	}
+	names := cfg.Workloads
+	if len(names) == 0 {
+		names = profile.Names()
+	}
+	st := &Study{
+		Workloads: names,
+		Traces:    make(map[string]*trace.Trace, len(names)),
+		Reports:   make(map[string]*Report, len(names)),
+	}
+	for _, name := range names {
+		p, err := profile.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := gen.Generate(gen.Config{Profile: p, Seed: cfg.Seed, Duration: cfg.Window})
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s: %w", name, err)
+		}
+		rep, err := Analyze(tr, cfg.Analyze)
+		if err != nil {
+			return nil, fmt.Errorf("core: analyzing %s: %w", name, err)
+		}
+		st.Traces[name] = tr
+		st.Reports[name] = rep
+	}
+	return st, nil
+}
+
+// CrossWorkload aggregates the study-level findings.
+type CrossWorkload struct {
+	// MedianSpans: orders of magnitude separating per-workload medians of
+	// input/shuffle/output sizes (Figure 1's headline: 6 / 8 / 4).
+	InputSpan, ShuffleSpan, OutputSpan float64
+	// Correlation averages across workloads (Figure 9: 0.21 / 0.14 / 0.62).
+	AvgJobsBytes, AvgJobsTask, AvgBytesTask float64
+	// Burstiness extremes (Figure 8: 9:1 .. 260:1).
+	MinPeakToMedian, MaxPeakToMedian float64
+	// SmallJobFractions per workload (Table 2: >90% everywhere).
+	SmallJobFractions map[string]float64
+}
+
+// Aggregate computes the cross-workload findings from a completed study.
+func (st *Study) Aggregate() (*CrossWorkload, error) {
+	if len(st.Reports) == 0 {
+		return nil, fmt.Errorf("core: empty study")
+	}
+	cw := &CrossWorkload{SmallJobFractions: map[string]float64{}}
+	var all []*analysis.DataSizes
+	n := 0.0
+	first := true
+	for _, name := range st.Workloads {
+		rep := st.Reports[name]
+		if rep == nil {
+			return nil, fmt.Errorf("core: missing report for %s", name)
+		}
+		all = append(all, rep.DataSizes)
+		if rep.Correlations != nil {
+			cw.AvgJobsBytes += rep.Correlations.JobsBytes
+			cw.AvgJobsTask += rep.Correlations.JobsTaskSeconds
+			cw.AvgBytesTask += rep.Correlations.BytesTaskSeconds
+			n++
+		}
+		if rep.PeakToMedian > 0 {
+			if first || rep.PeakToMedian < cw.MinPeakToMedian {
+				cw.MinPeakToMedian = rep.PeakToMedian
+			}
+			if rep.PeakToMedian > cw.MaxPeakToMedian {
+				cw.MaxPeakToMedian = rep.PeakToMedian
+			}
+			first = false
+		}
+		if rep.Clusters != nil {
+			cw.SmallJobFractions[name] = rep.Clusters.SmallJobFraction
+		}
+	}
+	cw.InputSpan, cw.ShuffleSpan, cw.OutputSpan = analysis.MedianSpanAcrossWorkloads(all)
+	if n > 0 {
+		cw.AvgJobsBytes /= n
+		cw.AvgJobsTask /= n
+		cw.AvgBytesTask /= n
+	}
+	return cw, nil
+}

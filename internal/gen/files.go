@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// fileStore models the HDFS namespace the workload reads and writes, at
+// the granularity the paper's trace analysis sees it: hashed path names
+// with sizes and access times. It implements the §4 access behaviour:
+//
+//   - a job's input either creates a new dataset or re-reads a
+//     pre-existing input or output (Figure 6's two re-access classes);
+//   - re-access targets are drawn with Zipf-skewed popularity so that
+//     frequency vs rank is a straight line in log-log space with slope
+//     ≈ -5/6 (Figure 2);
+//   - a recency-biased component concentrates re-access intervals in the
+//     minutes-to-hours range (Figure 5);
+//   - re-accessed files are chosen within the job's input-size decade, so
+//     per-job data sizes (Figure 1) and file sizes (Figures 3-4) stay
+//     consistent.
+type fileStore struct {
+	p   *profile.Profile
+	rng *rand.Rand
+	// inputs and outputs are decade-bucketed (log10 of size) populations
+	// in creation order.
+	inputs  map[int][]*fileEntry
+	outputs map[int][]*fileEntry
+	// hotZipf is an exact bounded-Zipf rank sampler over the hot set: the
+	// first hotSetSize files of a bucket are its stable hot datasets
+	// ("master tables"), accessed with P(rank k) ∝ k^-ZipfAlpha. Using an
+	// exact inverse-CDF table here pins the generated rank-frequency
+	// slope to the profile's ZipfAlpha (the paper's 5/6) independent of
+	// the workload's re-access fraction, which otherwise drags the slope
+	// down à la Simon's copy model.
+	hotZipf *dist.BoundedZipf
+	seq     int64
+}
+
+// hotSetSize bounds the per-bucket hot set. Two-plus decades of ranks keep
+// the log-log fit well conditioned.
+const hotSetSize = 256
+
+// fileEntry is one distinct file.
+type fileEntry struct {
+	path string
+	size units.Bytes
+}
+
+func newFileStore(p *profile.Profile, rng *rand.Rand) *fileStore {
+	hz, err := dist.NewBoundedZipf(hotSetSize, p.ZipfAlpha)
+	if err != nil {
+		// Profiles are validated before generation; a bad exponent here is
+		// a programming error.
+		panic(err)
+	}
+	return &fileStore{
+		p:       p,
+		rng:     rng,
+		inputs:  make(map[int][]*fileEntry),
+		outputs: make(map[int][]*fileEntry),
+		hotZipf: hz,
+	}
+}
+
+// decade buckets a size by order of magnitude; zero-size files land in
+// bucket 0.
+func decade(size units.Bytes) int {
+	if size <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log10(float64(size))))
+}
+
+// pickInput decides the input path for a job whose sampled input size is
+// want. It returns the path and, when an existing file is re-accessed, the
+// file's size (0 means a fresh file of exactly want bytes was created).
+func (fs *fileStore) pickInput(now time.Time, want units.Bytes) (string, units.Bytes) {
+	d := decade(want)
+	u := fs.rng.Float64()
+	switch {
+	case u < fs.p.ReuseInputProb:
+		if f := fs.pickExisting(fs.inputs[d]); f != nil {
+			return f.path, f.size
+		}
+	case u < fs.p.ReuseInputProb+fs.p.ReuseOutputProb:
+		if f := fs.pickExisting(fs.outputs[d]); f != nil {
+			return f.path, f.size
+		}
+	}
+	// Fresh input dataset.
+	f := &fileEntry{path: fs.newPath("in", d), size: want}
+	fs.inputs[d] = append(fs.inputs[d], f)
+	return f.path, 0
+}
+
+// recordOutput registers the job's output as a new file (a fraction of
+// jobs overwrite a previous output instead, modeling recurring pipelines
+// that refresh the same dataset). Overwrite targets are drawn with the
+// same skewed popularity as reads, so output-side access frequency is also
+// Zipf-like (Figure 2, bottom).
+func (fs *fileStore) recordOutput(now time.Time, size units.Bytes) string {
+	d := decade(size)
+	const overwriteProb = 0.30
+	bucket := fs.outputs[d]
+	if len(bucket) > 0 && fs.rng.Float64() < overwriteProb {
+		f := fs.pickExisting(bucket)
+		f.size = size
+		return f.path
+	}
+	f := &fileEntry{path: fs.newPath("out", d), size: size}
+	fs.outputs[d] = append(fs.outputs[d], f)
+	return f.path
+}
+
+// pickExisting selects a file from a creation-ordered bucket, or nil if
+// the bucket is empty. Selection mixes two power laws:
+//
+//   - hot set: exact Zipf(ZipfAlpha) ranks over the bucket's first
+//     hotSetSize files — stable hot datasets ("master tables") that
+//     accumulate accesses for the life of the trace and anchor the
+//     Figure 2 rank-frequency slope at the profile's exponent;
+//   - recency: Zipf(FileRecencyAlpha) over reverse creation order — the
+//     freshest datasets are re-read within minutes to hours, producing
+//     Figure 5's short re-access intervals.
+func (fs *fileStore) pickExisting(bucket []*fileEntry) *fileEntry {
+	n := len(bucket)
+	if n == 0 {
+		return nil
+	}
+	const recencyMix = 0.35
+	if fs.rng.Float64() < recencyMix {
+		k := zipfRank(fs.rng, n, fs.p.FileRecencyAlpha)
+		return bucket[n-k] // k-th most recent
+	}
+	k := fs.hotZipf.SampleRank(fs.rng)
+	if k > n {
+		k = 1 + (k-1)%n // young bucket: wrap into the available files
+	}
+	return bucket[k-1] // k-th oldest
+}
+
+// zipfRank samples a rank in [1, n] with P(k) ∝ k^-alpha using the
+// closed-form inverse CDF approximation for alpha < 1:
+// CDF(k) ≈ (k/n)^(1-alpha), so k ≈ n·u^(1/(1-alpha)). For alpha >= 1 it
+// falls back to a harmonic rejection loop. O(1) per draw, which matters:
+// a full FB-2010 trace makes ~10^6 draws against growing buckets.
+func zipfRank(rng *rand.Rand, n int, alpha float64) int {
+	if n == 1 {
+		return 1
+	}
+	if alpha < 1 {
+		u := rng.Float64()
+		k := int(math.Ceil(float64(n) * math.Pow(u, 1/(1-alpha))))
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	// alpha >= 1: inverse-CDF of the continuous analogue with rejection.
+	for i := 0; i < 8; i++ {
+		u := rng.Float64()
+		// CDF(k) ≈ ln(k+1)/ln(n+1) for alpha == 1; good enough for the
+		// recency exponents (1.0-1.1) profiles use.
+		k := int(math.Exp(u * math.Log(float64(n)+1)))
+		if k >= 1 && k <= n {
+			return k
+		}
+	}
+	return 1
+}
+
+// newPath creates a unique hashed-looking HDFS path. The study worked on
+// hashed path names; we keep a readable prefix for debuggability.
+func (fs *fileStore) newPath(kind string, d int) string {
+	fs.seq++
+	return fmt.Sprintf("/data/%s/%s/d%02d/%08x", fs.p.Name, kind, d, fs.seq)
+}

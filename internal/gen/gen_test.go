@@ -1,0 +1,366 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// genTest generates a short trace for a named workload.
+func genTest(t *testing.T, name string, dur time.Duration, seed int64) *trace.Trace {
+	t.Helper()
+	p, err := profile.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(Config{Profile: p, Seed: seed, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, name := range profile.Names() {
+		tr := genTest(t, name, 48*time.Hour, 1)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: generated trace invalid: %v", name, err)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestGenerateConfigErrors(t *testing.T) {
+	p, _ := profile.ByName("CC-a")
+	cases := []Config{
+		{},                                  // nil profile
+		{Profile: p, Duration: time.Minute}, // too short
+		{Profile: p, RateScale: -1},         // negative scale
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	bad := *p
+	bad.TotalJobs++ // breaks cluster-sum invariant
+	if _, err := Generate(Config{Profile: &bad}); err == nil {
+		t.Error("invalid profile should be rejected")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTest(t, "CC-b", 24*time.Hour, 42)
+	b := genTest(t, "CC-b", 24*time.Hour, 42)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x.InputBytes != y.InputBytes || !x.SubmitTime.Equal(y.SubmitTime) ||
+			x.Name != y.Name || x.InputPath != y.InputPath {
+			t.Fatalf("job %d differs between identical runs", i)
+		}
+	}
+	c := genTest(t, "CC-b", 24*time.Hour, 43)
+	if c.Len() == a.Len() {
+		same := true
+		for i := range a.Jobs {
+			if a.Jobs[i].InputBytes != c.Jobs[i].InputBytes {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateJobCountNearTarget(t *testing.T) {
+	// Over a decent window, the mean arrival rate should track the
+	// profile's Table-1-implied rate.
+	for _, name := range []string{"CC-b", "CC-e"} {
+		p, _ := profile.ByName(name)
+		dur := 7 * 24 * time.Hour
+		tr := genTest(t, name, dur, 7)
+		want := p.JobRatePerHour() * dur.Hours()
+		got := float64(tr.Len())
+		if got < want*0.5 || got > want*2.0 {
+			t.Errorf("%s: generated %v jobs, want within 2x of %v", name, got, want)
+		}
+	}
+}
+
+func TestGenerateRateScale(t *testing.T) {
+	p, _ := profile.ByName("CC-b")
+	full, err := Generate(Config{Profile: p, Seed: 3, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenth, err := Generate(Config{Profile: p, Seed: 3, Duration: 48 * time.Hour, RateScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tenth.Len()) / float64(full.Len())
+	if ratio < 0.05 || ratio > 0.2 {
+		t.Errorf("scaled trace ratio = %v, want ~0.1", ratio)
+	}
+}
+
+func TestSmallJobsDominateGenerated(t *testing.T) {
+	tr := genTest(t, "FB-2009", 72*time.Hour, 5)
+	small := 0
+	for _, j := range tr.Jobs {
+		if j.TotalBytes() < 10*units.GB {
+			small++
+		}
+	}
+	frac := float64(small) / float64(tr.Len())
+	if frac < 0.9 {
+		t.Errorf("small-job fraction = %v, want > 0.9 (§6.2)", frac)
+	}
+}
+
+func TestMapOnlyJobsGenerated(t *testing.T) {
+	tr := genTest(t, "CC-e", 96*time.Hour, 11)
+	mapOnly := 0
+	for _, j := range tr.Jobs {
+		if j.MapOnly() {
+			mapOnly++
+			if j.ReduceTasks != 0 || j.ShuffleBytes != 0 {
+				t.Fatal("map-only job with reduce artifacts")
+			}
+		}
+	}
+	if mapOnly == 0 {
+		t.Error("CC-e should generate map-only jobs")
+	}
+}
+
+func TestFieldAvailability(t *testing.T) {
+	// FB-2009: no paths, has names. FB-2010: input paths only, no names.
+	fb09 := genTest(t, "FB-2009", 24*time.Hour, 2)
+	if fb09.HasPaths() || fb09.HasOutputPaths() {
+		t.Error("FB-2009 should carry no paths")
+	}
+	if !fb09.HasNames() {
+		t.Error("FB-2009 should carry names")
+	}
+	fb10 := genTest(t, "FB-2010", 4*time.Hour, 2)
+	if !fb10.HasPaths() {
+		t.Error("FB-2010 should carry input paths")
+	}
+	if fb10.HasOutputPaths() {
+		t.Error("FB-2010 should not carry output paths")
+	}
+	if fb10.HasNames() {
+		t.Error("FB-2010 should not carry names")
+	}
+}
+
+func TestInputReuseHappens(t *testing.T) {
+	tr := genTest(t, "CC-c", 96*time.Hour, 9)
+	seen := map[string]int{}
+	reused := 0
+	for _, j := range tr.Jobs {
+		if j.InputPath == "" {
+			continue
+		}
+		if seen[j.InputPath] > 0 {
+			reused++
+		}
+		seen[j.InputPath]++
+	}
+	frac := float64(reused) / float64(tr.Len())
+	// CC-c targets ~75% total reuse (0.45 input + 0.30 output).
+	if frac < 0.4 {
+		t.Errorf("CC-c re-access fraction = %v, want substantial (paper: up to 78%%)", frac)
+	}
+}
+
+func TestReaccessedSizesConsistent(t *testing.T) {
+	// Replaying the trace in submit order, every input re-access must read
+	// the file's size as of that moment (new inputs set it; output writes
+	// may overwrite it).
+	tr := genTest(t, "CC-b", 48*time.Hour, 13)
+	sizes := map[string]units.Bytes{}
+	reaccesses := 0
+	for _, j := range tr.Jobs {
+		if j.InputPath != "" {
+			if prev, ok := sizes[j.InputPath]; ok {
+				reaccesses++
+				if prev != j.InputBytes {
+					t.Fatalf("re-access of %s read %v, file has %v", j.InputPath, j.InputBytes, prev)
+				}
+			} else {
+				sizes[j.InputPath] = j.InputBytes
+			}
+		}
+		if j.OutputPath != "" {
+			sizes[j.OutputPath] = j.OutputBytes
+		}
+	}
+	if reaccesses == 0 {
+		t.Error("expected some re-accesses in CC-b")
+	}
+}
+
+func TestNamesLookRealistic(t *testing.T) {
+	tr := genTest(t, "CC-b", 24*time.Hour, 17)
+	words := map[string]bool{}
+	for _, j := range tr.Jobs {
+		if j.Name == "" {
+			t.Fatal("CC-b job without a name")
+		}
+		first := strings.ToLower(strings.FieldsFunc(j.Name, func(r rune) bool {
+			return r == ' ' || r == ':' || r == '_'
+		})[0])
+		words[first] = true
+	}
+	for _, expect := range []string{"piglatin", "insert"} {
+		if !words[expect] {
+			t.Errorf("expected some job names to start with %q; got %v", expect, words)
+		}
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	tr := genTest(t, "FB-2010", 6*time.Hour, 23)
+	for _, j := range tr.Jobs {
+		if j.MapTasks < 1 {
+			t.Fatalf("job %d has %d map tasks", j.ID, j.MapTasks)
+		}
+		if (j.ReduceTime > 0 || j.ShuffleBytes > 0) && j.ReduceTasks < 1 {
+			t.Fatalf("job %d has reduce work but no reduce tasks", j.ID)
+		}
+		if j.ReduceTime == 0 && j.ShuffleBytes == 0 && j.ReduceTasks != 0 {
+			t.Fatalf("map-only job %d has reduce tasks", j.ID)
+		}
+	}
+}
+
+func TestMapTaskCountHelpers(t *testing.T) {
+	if n := mapTaskCount(1*units.KB, 10); n != 1 {
+		t.Errorf("tiny job map tasks = %d, want 1", n)
+	}
+	if n := mapTaskCount(10*units.GB, 100000); n != 40 {
+		t.Errorf("10GB job map tasks = %d, want 40 (input-bound)", n)
+	}
+	if n := mapTaskCount(10*units.GB, 60); n != 2 {
+		t.Errorf("map tasks = %d, want 2 (time-bound)", n)
+	}
+	if n := reduceTaskCount(0, 30); n != 1 {
+		t.Errorf("reduce tasks = %d, want 1", n)
+	}
+	if n := reduceTaskCount(10*units.GB, 100000); n != 11 {
+		t.Errorf("reduce tasks = %d, want 11", n)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	tr := genTest(t, "CC-d", 24*time.Hour, 31) // exercises zipfRank internally
+	_ = tr
+	rng := rand.New(rand.NewSource(55))
+	for _, alpha := range []float64{0.5, 5.0 / 6.0, 1.0, 1.1} {
+		for _, n := range []int{1, 2, 10, 1000} {
+			for i := 0; i < 200; i++ {
+				k := zipfRank(rng, n, alpha)
+				if k < 1 || k > n {
+					t.Fatalf("zipfRank(n=%d, alpha=%v) = %d out of bounds", n, alpha, k)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfRankSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	n := 1000
+	counts := make([]int, n+1)
+	for i := 0; i < 100000; i++ {
+		counts[zipfRank(rng, n, 5.0/6.0)]++
+	}
+	if counts[1] < counts[n/2] {
+		t.Error("rank 1 should be more popular than middle ranks")
+	}
+	// Roughly: P(k<=10)/P(total) ≈ (10/1000)^(1/6) ≈ 0.46
+	headCount := 0
+	for k := 1; k <= 10; k++ {
+		headCount += counts[k]
+	}
+	frac := float64(headCount) / 100000
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("head mass = %v, want ~0.46", frac)
+	}
+}
+
+func TestDurationClampedToWindow(t *testing.T) {
+	dur := 24 * time.Hour
+	tr := genTest(t, "CC-a", dur, 3)
+	p, _ := profile.ByName("CC-a")
+	limit := p.TraceStart.Add(dur)
+	for _, j := range tr.Jobs {
+		if j.SubmitTime.After(limit) {
+			t.Fatalf("job submitted at %v, after window end %v", j.SubmitTime, limit)
+		}
+	}
+}
+
+func TestIDsSequential(t *testing.T) {
+	tr := genTest(t, "CC-e", 24*time.Hour, 4)
+	for i, j := range tr.Jobs {
+		if j.ID != int64(i+1) {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestSharedFactorCouplesBytesAndTime(t *testing.T) {
+	// Within a single cluster, bigger-than-centroid jobs should tend to
+	// have bigger-than-centroid task time (the Fig 9 correlation driver).
+	tr := genTest(t, "CC-c", 7*24*time.Hour, 77)
+	var logBytes, logTime []float64
+	for _, j := range tr.Jobs {
+		// Restrict to the dominant small-jobs cluster region to avoid
+		// cross-cluster effects: jobs under 100 GB total.
+		if j.TotalBytes() > 0 && j.TotalBytes() < 100*units.GB && j.TotalTaskTime() > 0 {
+			logBytes = append(logBytes, math.Log(float64(j.TotalBytes())))
+			logTime = append(logTime, math.Log(float64(j.TotalTaskTime())))
+		}
+	}
+	if len(logBytes) < 100 {
+		t.Fatal("not enough jobs for correlation check")
+	}
+	r := pearson(logBytes, logTime)
+	if r < 0.3 {
+		t.Errorf("per-job log bytes/time correlation = %v, want > 0.3", r)
+	}
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

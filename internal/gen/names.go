@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/profile"
+)
+
+// namer synthesizes job name strings in the styles of the frameworks the
+// paper observes (§6.1): Hive and Pig generate names automatically, Oozie
+// launches carry workflow ids, and native MapReduce jobs follow informal
+// human conventions. Only the first word matters to the Figure 10
+// analysis, but realistic suffixes exercise the first-word extraction.
+type namer struct {
+	p   *profile.Profile
+	rng *rand.Rand
+	// smallWeights and largeWeights are the name mixture conditioned on
+	// job size class; LargeBias shifts data-centric words onto big jobs.
+	smallWeights []float64
+	largeWeights []float64
+	seq          int64
+}
+
+func newNamer(p *profile.Profile, rng *rand.Rand) *namer {
+	n := &namer{p: p, rng: rng}
+	n.smallWeights = make([]float64, len(p.Names))
+	n.largeWeights = make([]float64, len(p.Names))
+	for i, e := range p.Names {
+		n.smallWeights[i] = e.Weight
+		n.largeWeights[i] = e.Weight * e.LargeBias
+	}
+	return n
+}
+
+// name generates a job name for a job in cluster ci.
+func (n *namer) name(ci int, small bool) string {
+	if len(n.p.Names) == 0 {
+		return ""
+	}
+	weights := n.largeWeights
+	if small {
+		weights = n.smallWeights
+	}
+	e := n.p.Names[dist.WeightedChoice(n.rng, weights)]
+	n.seq++
+	switch e.Framework {
+	case profile.FrameworkHive:
+		// Hive generates names like "INSERT OVERWRITE TABLE x(Stage-1)".
+		return fmt.Sprintf("%s overwrite table t_%04d(Stage-%d)", e.Word, n.rng.Intn(3000), 1+n.rng.Intn(4))
+	case profile.FrameworkPig:
+		return fmt.Sprintf("%s:job_%06d-%d", e.Word, n.seq, n.rng.Intn(10))
+	case profile.FrameworkOozie:
+		return fmt.Sprintf("%s:launcher:T=map-reduce:W=wf-%05d", e.Word, n.rng.Intn(100000))
+	default:
+		return fmt.Sprintf("%s_%04d_%02d", e.Word, n.rng.Intn(10000), n.rng.Intn(100))
+	}
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// TestGeneratorInvariantsQuick asserts structural invariants over random
+// seeds and workloads: every generated trace validates, jobs stay inside
+// the window, map-only jobs are internally consistent, task counts are
+// sane, and per-job dimensions are non-negative.
+func TestGeneratorInvariantsQuick(t *testing.T) {
+	names := profile.Names()
+	f := func(seedRaw int64, wlRaw uint8) bool {
+		name := names[int(wlRaw)%len(names)]
+		p, err := profile.ByName(name)
+		if err != nil {
+			return false
+		}
+		tr, err := Generate(Config{Profile: p, Seed: seedRaw, Duration: 6 * time.Hour})
+		if err != nil {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		end := p.TraceStart.Add(6 * time.Hour)
+		for _, j := range tr.Jobs {
+			if j.SubmitTime.Before(p.TraceStart) || j.SubmitTime.After(end) {
+				return false
+			}
+			if j.InputBytes < 0 || j.ShuffleBytes < 0 || j.OutputBytes < 0 {
+				return false
+			}
+			if j.MapTasks < 1 {
+				return false
+			}
+			if j.MapOnly() && (j.ReduceTasks != 0 || j.ShuffleBytes != 0 || j.ReduceTime != 0) {
+				return false
+			}
+			if (j.ReduceTime > 0 || j.ShuffleBytes > 0) && j.ReduceTasks < 1 {
+				return false
+			}
+			if j.Duration <= 0 {
+				return false
+			}
+			// Field availability must follow the profile.
+			if !p.HasInputPaths && j.InputPath != "" {
+				return false
+			}
+			if !p.HasOutputPaths && j.OutputPath != "" {
+				return false
+			}
+			if !p.HasNames && j.Name != "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRateScaleMonotonicQuick: higher rate scales never produce fewer
+// jobs in expectation; checked coarsely over random seeds with a 3x scale
+// separation to stay above Poisson noise.
+func TestRateScaleMonotonicQuick(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		lo, err := Generate(Config{Profile: p, Seed: seed, Duration: 24 * time.Hour, RateScale: 0.3})
+		if err != nil {
+			return false
+		}
+		hi, err := Generate(Config{Profile: p, Seed: seed, Duration: 24 * time.Hour, RateScale: 0.9})
+		if err != nil {
+			return false
+		}
+		return hi.Len() > lo.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBytesScaleWithDuration: doubling the window roughly doubles total
+// bytes for a stable workload (within heavy-tail noise bounds).
+func TestBytesScaleWithDuration(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Generate(Config{Profile: p, Seed: 50, Duration: 3 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Generate(Config{Profile: p, Seed: 50, Duration: 6 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(long.Summarize().BytesMoved) / float64(short.Summarize().BytesMoved)
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Errorf("6d/3d byte ratio = %v, want ~2 within heavy-tail noise", ratio)
+	}
+}
+
+// TestSmallJobFractionStableAcrossSeeds: the dominant-cluster share is a
+// calibration constant, not a seed artifact.
+func TestSmallJobFractionStableAcrossSeeds(t *testing.T) {
+	p, err := profile.ByName("FB-2010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 42, 1001} {
+		tr, err := Generate(Config{Profile: p, Seed: seed, Duration: 12 * time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := 0
+		for _, j := range tr.Jobs {
+			if j.TotalBytes() < 10*units.GB {
+				small++
+			}
+		}
+		frac := float64(small) / float64(tr.Len())
+		if frac < 0.93 || frac > 1.0 {
+			t.Errorf("seed %d: small fraction %v, want ~0.98 (Table 2)", seed, frac)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package hdfs simulates the distributed filesystem substrate under the
+// workloads: a namespace of files split into fixed-size blocks, replicated
+// across datanodes, with per-file access accounting and a two-tier
+// (fast/capacity) storage assignment. Section 4.2 of the paper argues that
+// Zipf-skewed access frequencies "suggest a tiered storage architecture
+// should be explored" and that uniform treatment of all datasets — the
+// design assumption of HDFS — is no longer justified; this package is the
+// testbed for those implications (see internal/cache for eviction policy
+// simulation on top of it).
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// DefaultBlockSize matches the era's common HDFS configuration.
+const DefaultBlockSize = 256 * units.MB
+
+// Tier identifies the storage medium a file is assigned to.
+type Tier int
+
+// Storage tiers of the simulated cluster.
+const (
+	// TierCapacity is the default spinning-disk tier.
+	TierCapacity Tier = iota
+	// TierFast is the small, fast tier (SSD/memory) that a tiering policy
+	// promotes hot files into.
+	TierFast
+)
+
+func (t Tier) String() string {
+	if t == TierFast {
+		return "fast"
+	}
+	return "capacity"
+}
+
+// File is one namespace entry.
+type File struct {
+	Path     string
+	Size     units.Bytes
+	Blocks   []BlockID
+	Created  time.Time
+	Accesses uint64
+	LastRead time.Time
+	Tier     Tier
+}
+
+// BlockID identifies a block.
+type BlockID int64
+
+// blockInfo records a block's placement.
+type blockInfo struct {
+	file     *File
+	size     units.Bytes
+	replicas []int // datanode ids
+}
+
+// Config sizes the simulated DFS.
+type Config struct {
+	// Datanodes in the cluster; must be positive.
+	Datanodes int
+	// ReplicationFactor for new blocks (default 3, capped at Datanodes).
+	ReplicationFactor int
+	// BlockSize (default DefaultBlockSize).
+	BlockSize units.Bytes
+	// Seed for placement decisions.
+	Seed int64
+}
+
+// FS is the simulated filesystem. Not safe for concurrent use; the
+// replay and analysis drivers are single-threaded event loops.
+type FS struct {
+	cfg     Config
+	files   map[string]*File
+	blocks  map[BlockID]*blockInfo
+	nodeUse []units.Bytes // bytes stored per datanode (incl. replicas)
+	nextID  BlockID
+	rng     *rand.Rand
+}
+
+// New creates an empty simulated DFS.
+func New(cfg Config) (*FS, error) {
+	if cfg.Datanodes <= 0 {
+		return nil, errors.New("hdfs: need at least one datanode")
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.ReplicationFactor > cfg.Datanodes {
+		cfg.ReplicationFactor = cfg.Datanodes
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	return &FS{
+		cfg:     cfg,
+		files:   make(map[string]*File),
+		blocks:  make(map[BlockID]*blockInfo),
+		nodeUse: make([]units.Bytes, cfg.Datanodes),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Create writes a new file of the given size, splitting it into blocks and
+// placing replicas on distinct datanodes. Creating an existing path
+// truncates and rewrites it (HDFS overwrite semantics for job output).
+func (fs *FS) Create(path string, size units.Bytes, now time.Time) (*File, error) {
+	if path == "" {
+		return nil, errors.New("hdfs: empty path")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("hdfs: negative size for %s", path)
+	}
+	if old, ok := fs.files[path]; ok {
+		fs.removeBlocks(old)
+	}
+	f := &File{Path: path, Size: size, Created: now, Tier: TierCapacity}
+	remaining := size
+	for remaining > 0 || len(f.Blocks) == 0 {
+		b := remaining
+		if b > fs.cfg.BlockSize {
+			b = fs.cfg.BlockSize
+		}
+		if b < 0 {
+			b = 0
+		}
+		id := fs.nextID
+		fs.nextID++
+		info := &blockInfo{file: f, size: b, replicas: fs.placeReplicas()}
+		fs.blocks[id] = info
+		for _, n := range info.replicas {
+			fs.nodeUse[n] += b
+		}
+		f.Blocks = append(f.Blocks, id)
+		remaining -= b
+		if remaining <= 0 {
+			break
+		}
+	}
+	fs.files[path] = f
+	return f, nil
+}
+
+// placeReplicas picks ReplicationFactor distinct datanodes, preferring the
+// least-loaded ones with randomization (a simplification of HDFS's
+// rack-aware placement that preserves its load-spreading property).
+func (fs *FS) placeReplicas() []int {
+	n := fs.cfg.Datanodes
+	r := fs.cfg.ReplicationFactor
+	// Sample 2r candidates (or all nodes), take the r least-loaded.
+	cand := r * 2
+	if cand > n {
+		cand = n
+	}
+	perm := fs.rng.Perm(n)[:cand]
+	sort.Slice(perm, func(i, k int) bool { return fs.nodeUse[perm[i]] < fs.nodeUse[perm[k]] })
+	out := make([]int, r)
+	copy(out, perm[:r])
+	return out
+}
+
+// removeBlocks releases a file's blocks.
+func (fs *FS) removeBlocks(f *File) {
+	for _, id := range f.Blocks {
+		info := fs.blocks[id]
+		if info == nil {
+			continue
+		}
+		for _, n := range info.replicas {
+			fs.nodeUse[n] -= info.size
+		}
+		delete(fs.blocks, id)
+	}
+	f.Blocks = nil
+}
+
+// Open records a read access to the file and returns it.
+func (fs *FS) Open(path string, now time.Time) (*File, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	f.Accesses++
+	f.LastRead = now
+	return f, nil
+}
+
+// Delete removes a file.
+func (fs *FS) Delete(path string) error {
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	fs.removeBlocks(f)
+	delete(fs.files, path)
+	return nil
+}
+
+// Stat returns the file without recording an access.
+func (fs *FS) Stat(path string) (*File, bool) {
+	f, ok := fs.files[path]
+	return f, ok
+}
+
+// FileCount returns the number of files.
+func (fs *FS) FileCount() int { return len(fs.files) }
+
+// TotalStored returns logical bytes stored (before replication).
+func (fs *FS) TotalStored() units.Bytes {
+	var t units.Bytes
+	for _, f := range fs.files {
+		t += f.Size
+	}
+	return t
+}
+
+// RawStored returns physical bytes stored including replicas.
+func (fs *FS) RawStored() units.Bytes {
+	var t units.Bytes
+	for _, u := range fs.nodeUse {
+		t += u
+	}
+	return t
+}
+
+// NodeImbalance reports max/mean of per-datanode stored bytes — a check
+// that placement spreads load (1.0 is perfect balance).
+func (fs *FS) NodeImbalance() float64 {
+	var sum, max units.Bytes
+	for _, u := range fs.nodeUse {
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(fs.nodeUse))
+	return float64(max) / mean
+}
+
+// Files returns all files sorted by path (stable iteration for callers).
+func (fs *FS) Files() []*File {
+	out := make([]*File, 0, len(fs.files))
+	for _, f := range fs.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Path < out[k].Path })
+	return out
+}
+
+// ReplicaNodes returns the sorted set of datanodes holding replicas of the
+// file's first maxBlocks blocks (0 means all blocks). Schedulers use this
+// for data-locality placement: a map task reading the file runs "local"
+// when it lands on one of these nodes.
+func (fs *FS) ReplicaNodes(path string, maxBlocks int) []int {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil
+	}
+	blocks := f.Blocks
+	if maxBlocks > 0 && len(blocks) > maxBlocks {
+		blocks = blocks[:maxBlocks]
+	}
+	seen := make(map[int]bool)
+	for _, id := range blocks {
+		info := fs.blocks[id]
+		if info == nil {
+			continue
+		}
+		for _, n := range info.replicas {
+			seen[n] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Datanodes returns the cluster size.
+func (fs *FS) Datanodes() int { return fs.cfg.Datanodes }

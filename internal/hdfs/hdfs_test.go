@@ -1,0 +1,270 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func newFS(t *testing.T, nodes int) *FS {
+	t.Helper()
+	fs, err := New(Config{Datanodes: nodes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero datanodes should error")
+	}
+	fs, err := New(Config{Datanodes: 2, ReplicationFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/a", units.GB, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := fs.blocks[f.Blocks[0]]
+	if len(info.replicas) != 2 {
+		t.Errorf("replication should cap at datanodes, got %d", len(info.replicas))
+	}
+}
+
+func TestCreateBlocks(t *testing.T) {
+	fs := newFS(t, 10)
+	f, err := fs.Create("/data/x", units.Bytes(1e9), t0) // 1 GB / 256 MB -> 4 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Errorf("block count = %d, want 4", len(f.Blocks))
+	}
+	var sum units.Bytes
+	for _, id := range f.Blocks {
+		sum += fs.blocks[id].size
+	}
+	if sum != f.Size {
+		t.Errorf("block sizes sum to %v, want %v", sum, f.Size)
+	}
+	// Replicas distinct per block.
+	for _, id := range f.Blocks {
+		seen := map[int]bool{}
+		for _, n := range fs.blocks[id].replicas {
+			if seen[n] {
+				t.Fatal("duplicate replica node")
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestCreateEmptyFile(t *testing.T) {
+	fs := newFS(t, 3)
+	f, err := fs.Create("/empty", 0, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("empty file should get one zero block, got %d", len(f.Blocks))
+	}
+	if fs.TotalStored() != 0 {
+		t.Errorf("stored = %v, want 0", fs.TotalStored())
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	fs := newFS(t, 3)
+	if _, err := fs.Create("", units.KB, t0); err == nil {
+		t.Error("empty path should error")
+	}
+	if _, err := fs.Create("/x", -1, t0); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestOverwriteReleasesBlocks(t *testing.T) {
+	fs := newFS(t, 5)
+	if _, err := fs.Create("/out", units.Bytes(2e9), t0); err != nil {
+		t.Fatal(err)
+	}
+	raw1 := fs.RawStored()
+	if _, err := fs.Create("/out", units.Bytes(1e6), t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FileCount() != 1 {
+		t.Errorf("file count = %d, want 1", fs.FileCount())
+	}
+	if fs.RawStored() >= raw1 {
+		t.Errorf("overwrite with smaller file should shrink raw usage: %v -> %v", raw1, fs.RawStored())
+	}
+	if got := fs.TotalStored(); got != units.Bytes(1e6) {
+		t.Errorf("stored = %v, want 1 MB", got)
+	}
+}
+
+func TestOpenTracksAccesses(t *testing.T) {
+	fs := newFS(t, 3)
+	if _, err := fs.Create("/f", units.MB, t0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f, err := fs.Open("/f", t0.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Accesses != uint64(i+1) {
+			t.Errorf("accesses = %d, want %d", f.Accesses, i+1)
+		}
+	}
+	f, _ := fs.Stat("/f")
+	if !f.LastRead.Equal(t0.Add(4 * time.Minute)) {
+		t.Errorf("LastRead = %v", f.LastRead)
+	}
+	if _, err := fs.Open("/missing", t0); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newFS(t, 3)
+	if _, err := fs.Create("/f", units.GB, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FileCount() != 0 || fs.RawStored() != 0 {
+		t.Error("delete should release everything")
+	}
+	if err := fs.Delete("/f"); err == nil {
+		t.Error("double delete should error")
+	}
+}
+
+func TestReplicationAccounting(t *testing.T) {
+	fs, err := New(Config{Datanodes: 10, ReplicationFactor: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/f", units.GB, t0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fs.RawStored(), 3*fs.TotalStored(); got != want {
+		t.Errorf("raw = %v, want 3x logical %v", got, want)
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	fs, err := New(Config{Datanodes: 20, ReplicationFactor: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := fs.Create(pathN(i), 512*units.MB, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if imb := fs.NodeImbalance(); imb > 1.6 {
+		t.Errorf("node imbalance = %v, want < 1.6", imb)
+	}
+}
+
+func pathN(i int) string {
+	return "/data/f" + string(rune('a'+i%26)) + "/" + time.Duration(i).String()
+}
+
+func TestFilesSorted(t *testing.T) {
+	fs := newFS(t, 3)
+	for _, p := range []string{"/c", "/a", "/b"} {
+		if _, err := fs.Create(p, units.KB, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := fs.Files()
+	if len(files) != 3 || files[0].Path != "/a" || files[2].Path != "/c" {
+		t.Errorf("Files() not sorted: %v", []string{files[0].Path, files[1].Path, files[2].Path})
+	}
+}
+
+func TestFrequencyTiering(t *testing.T) {
+	fs := newFS(t, 5)
+	// hot: 1 MB accessed 100x; warm: 1 MB accessed 10x; cold: 1 GB accessed 1x.
+	mk := func(p string, size units.Bytes, accesses int) {
+		if _, err := fs.Create(p, size, t0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < accesses; i++ {
+			if _, err := fs.Open(p, t0.Add(time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("/hot", units.MB, 100)
+	mk("/warm", units.MB, 10)
+	mk("/cold", units.GB, 1)
+	rep := EvaluateTiering(fs, FrequencyTiering{}, 2*units.MB)
+	if rep.FilesPromoted != 2 {
+		t.Errorf("promoted = %d, want 2 (hot+warm fit)", rep.FilesPromoted)
+	}
+	if rep.AccessCoverage < 0.99 {
+		t.Errorf("coverage = %v, want ~110/111", rep.AccessCoverage)
+	}
+	hot, _ := fs.Stat("/hot")
+	cold, _ := fs.Stat("/cold")
+	if hot.Tier != TierFast || cold.Tier != TierCapacity {
+		t.Error("tier assignment wrong")
+	}
+}
+
+func TestSizeThresholdTiering(t *testing.T) {
+	fs := newFS(t, 5)
+	mk := func(p string, size units.Bytes, accesses int) {
+		if _, err := fs.Create(p, size, t0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < accesses; i++ {
+			if _, err := fs.Open(p, t0.Add(time.Minute)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("/small1", units.MB, 50)
+	mk("/small2", units.MB, 5)
+	mk("/big-hot", 10*units.GB, 100) // excluded by threshold despite heat
+	p := SizeThresholdTiering{Threshold: units.GB}
+	rep := EvaluateTiering(fs, p, 100*units.GB)
+	if rep.FilesPromoted != 2 {
+		t.Errorf("promoted = %d, want 2", rep.FilesPromoted)
+	}
+	bh, _ := fs.Stat("/big-hot")
+	if bh.Tier != TierCapacity {
+		t.Error("big file must stay on capacity tier")
+	}
+	// Coverage = 55/155.
+	if rep.AccessCoverage < 0.3 || rep.AccessCoverage > 0.4 {
+		t.Errorf("coverage = %v, want ~0.355", rep.AccessCoverage)
+	}
+	if rep.FastBytesFraction <= 0 {
+		t.Error("fast bytes fraction should be positive")
+	}
+}
+
+func TestTieringNames(t *testing.T) {
+	if (FrequencyTiering{}).Name() == "" || (SizeThresholdTiering{}).Name() == "" {
+		t.Error("policies must be named")
+	}
+}
+
+func TestTieringEmptyFS(t *testing.T) {
+	fs := newFS(t, 2)
+	rep := EvaluateTiering(fs, FrequencyTiering{}, units.GB)
+	if rep.AccessCoverage != 0 || rep.FastBytes != 0 {
+		t.Error("empty FS tiering should be all zeros")
+	}
+}

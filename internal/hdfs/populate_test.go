@@ -1,0 +1,117 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestPopulateFromTrace(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 12, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(Config{Datanodes: p.Machines, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PopulateFromTrace(fs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputFiles == 0 || res.OutputFiles == 0 {
+		t.Fatalf("populate created nothing: %+v", res)
+	}
+	if res.Accesses != countInputs(tr) {
+		t.Errorf("accesses = %d, want %d", res.Accesses, countInputs(tr))
+	}
+	if fs.FileCount() != res.InputFiles+res.OutputFiles {
+		t.Errorf("fs has %d files, populate reports %d",
+			fs.FileCount(), res.InputFiles+res.OutputFiles)
+	}
+	// CC-e re-accesses heavily: total accesses far exceed distinct files.
+	if res.Accesses < res.InputFiles*2 {
+		t.Errorf("accesses %d vs %d input files; expected heavy re-access",
+			res.Accesses, res.InputFiles)
+	}
+	// The populated namespace drives tiering: frequency promotion must
+	// capture a majority of accesses with a modest budget (Zipf skew).
+	rep := EvaluateTiering(fs, FrequencyTiering{}, 100*units.GB)
+	if rep.AccessCoverage < 0.5 {
+		t.Errorf("frequency tiering coverage = %v, want > 0.5 given Zipf skew", rep.AccessCoverage)
+	}
+}
+
+func countInputs(tr *trace.Trace) int {
+	n := 0
+	for _, j := range tr.Jobs {
+		if j.InputPath != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPopulateErrors(t *testing.T) {
+	fs, err := New(Config{Datanodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PopulateFromTrace(nil, &trace.Trace{}); err == nil {
+		t.Error("nil fs should error")
+	}
+	if _, err := PopulateFromTrace(fs, trace.New(trace.Meta{Name: "e"})); err == nil {
+		t.Error("empty trace should error")
+	}
+	// Pathless workload.
+	p, err := profile.ByName("FB-2009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: 1, Duration: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PopulateFromTrace(fs, tr); err == nil {
+		t.Error("pathless trace should error")
+	}
+}
+
+func TestPopulateOverwrites(t *testing.T) {
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := trace.New(trace.Meta{Name: "ow", Machines: 2, Start: start, Length: time.Hour})
+	for i := int64(1); i <= 3; i++ {
+		tr.Add(&trace.Job{
+			ID:          i,
+			SubmitTime:  start.Add(time.Duration(i) * time.Minute),
+			Duration:    time.Second,
+			InputBytes:  units.MB,
+			OutputBytes: units.MB,
+			MapTasks:    1, MapTime: 1,
+			InputPath:  "/in/shared",
+			OutputPath: "/out/daily", // same output refreshed thrice
+		})
+	}
+	fs, err := New(Config{Datanodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PopulateFromTrace(fs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputFiles != 1 || res.Overwrites != 2 {
+		t.Errorf("outputs/overwrites = %d/%d, want 1/2", res.OutputFiles, res.Overwrites)
+	}
+	if res.InputFiles != 1 || res.Accesses != 3 {
+		t.Errorf("inputs/accesses = %d/%d, want 1/3", res.InputFiles, res.Accesses)
+	}
+}

@@ -1,0 +1,122 @@
+package hdfs
+
+import (
+	"sort"
+
+	"repro/internal/units"
+)
+
+// TieringPolicy decides which files live on the fast tier. The paper's §4.2
+// observations motivate two concrete policies to compare:
+//
+//   - frequency tiering: promote the most-accessed files ("any data caching
+//     policy that includes the frequently accessed files will bring
+//     considerable benefit");
+//   - size-threshold tiering: promote files below a size cutoff ("a viable
+//     cache policy is to cache files whose size is less than a threshold",
+//     which detaches fast-tier capacity growth from total data growth).
+type TieringPolicy interface {
+	// Assign partitions files between tiers given a fast-tier byte budget.
+	// It mutates the files' Tier fields and returns fast-tier usage.
+	Assign(files []*File, fastCapacity units.Bytes) units.Bytes
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// FrequencyTiering promotes files in descending access-count order until
+// the budget is exhausted.
+type FrequencyTiering struct{}
+
+// Name implements TieringPolicy.
+func (FrequencyTiering) Name() string { return "frequency" }
+
+// Assign implements TieringPolicy.
+func (FrequencyTiering) Assign(files []*File, fastCapacity units.Bytes) units.Bytes {
+	order := make([]*File, len(files))
+	copy(order, files)
+	sort.SliceStable(order, func(i, k int) bool { return order[i].Accesses > order[k].Accesses })
+	var used units.Bytes
+	for _, f := range order {
+		if f.Accesses > 0 && used+f.Size <= fastCapacity {
+			f.Tier = TierFast
+			used += f.Size
+		} else {
+			f.Tier = TierCapacity
+		}
+	}
+	return used
+}
+
+// SizeThresholdTiering promotes every file smaller than Threshold,
+// most-accessed first, within the budget.
+type SizeThresholdTiering struct {
+	Threshold units.Bytes
+}
+
+// Name implements TieringPolicy.
+func (p SizeThresholdTiering) Name() string { return "size-threshold" }
+
+// Assign implements TieringPolicy.
+func (p SizeThresholdTiering) Assign(files []*File, fastCapacity units.Bytes) units.Bytes {
+	order := make([]*File, 0, len(files))
+	for _, f := range files {
+		if f.Size < p.Threshold {
+			order = append(order, f)
+		} else {
+			f.Tier = TierCapacity
+		}
+	}
+	sort.SliceStable(order, func(i, k int) bool { return order[i].Accesses > order[k].Accesses })
+	var used units.Bytes
+	for _, f := range order {
+		if used+f.Size <= fastCapacity {
+			f.Tier = TierFast
+			used += f.Size
+		} else {
+			f.Tier = TierCapacity
+		}
+	}
+	return used
+}
+
+// TieringReport summarizes how well a tier assignment captures traffic.
+type TieringReport struct {
+	Policy string
+	// FastBytes is fast-tier usage; FastBytesFraction is its share of all
+	// stored bytes.
+	FastBytes         units.Bytes
+	FastBytesFraction float64
+	// AccessCoverage is the fraction of historical accesses that would
+	// have hit the fast tier under this assignment.
+	AccessCoverage float64
+	// FilesPromoted counts fast-tier files.
+	FilesPromoted int
+}
+
+// EvaluateTiering applies the policy with the given budget and scores it
+// against the access history accumulated in the FS.
+func EvaluateTiering(fs *FS, policy TieringPolicy, fastCapacity units.Bytes) TieringReport {
+	files := fs.Files()
+	used := policy.Assign(files, fastCapacity)
+	var totalAccesses, fastAccesses uint64
+	promoted := 0
+	for _, f := range files {
+		totalAccesses += f.Accesses
+		if f.Tier == TierFast {
+			fastAccesses += f.Accesses
+			promoted++
+		}
+	}
+	rep := TieringReport{
+		Policy:        policy.Name(),
+		FastBytes:     used,
+		FilesPromoted: promoted,
+	}
+	if total := fs.TotalStored(); total > 0 {
+		rep.FastBytesFraction = float64(used) / float64(total)
+	}
+	if totalAccesses > 0 {
+		rep.AccessCoverage = float64(fastAccesses) / float64(totalAccesses)
+	}
+	return rep
+}

@@ -1,0 +1,267 @@
+// Package kmeans implements the clustering methodology of §6.2: jobs are
+// represented as six-dimensional vectors (input, shuffle, output bytes;
+// duration; map and reduce task-seconds), clustered with k-means, and k is
+// chosen by incrementing until the decrease in intra-cluster (residual)
+// variance shows diminishing returns — the procedure of the authors' prior
+// work [17, 18] that produced Table 2.
+//
+// Features are log-transformed and z-score standardized before clustering:
+// the raw dimensions span ten orders of magnitude, and Euclidean distance
+// in raw space would be dominated entirely by the largest job.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result describes a clustering of n points into k clusters.
+type Result struct {
+	// K is the number of clusters.
+	K int
+	// Assignments[i] is the cluster index of point i.
+	Assignments []int
+	// Centroids are in the standardized feature space.
+	Centroids [][]float64
+	// Sizes[c] is the number of points in cluster c.
+	Sizes []int
+	// ResidualVariance is the mean squared distance of points to their
+	// centroid, in standardized space.
+	ResidualVariance float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+// Config controls clustering.
+type Config struct {
+	// MaxIterations bounds Lloyd iterations per run (default 100).
+	MaxIterations int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Restarts runs k-means++ this many times keeping the best result
+	// (default 3).
+	Restarts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 3
+	}
+	return c
+}
+
+// Cluster runs k-means++ with Lloyd iterations on the given points (each a
+// feature vector of equal length) for a fixed k.
+func Cluster(points [][]float64, k int, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(points); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("kmeans: k must be >= 1")
+	}
+	if k > len(points) {
+		return nil, fmt.Errorf("kmeans: k=%d exceeds %d points", k, len(points))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(points, k, cfg.MaxIterations, rng)
+		if best == nil || res.ResidualVariance < best.ResidualVariance {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// SelectK increments k from 1 to maxK and stops when adding a cluster no
+// longer reduces residual variance by at least minGain (fractionally),
+// mirroring the paper's "increment k until there is diminishing return in
+// the decrease of intra-cluster variance". It returns the chosen clustering.
+func SelectK(points [][]float64, maxK int, minGain float64, cfg Config) (*Result, error) {
+	if maxK < 1 {
+		return nil, errors.New("kmeans: maxK must be >= 1")
+	}
+	if minGain <= 0 || minGain >= 1 {
+		return nil, errors.New("kmeans: minGain must be in (0,1)")
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	prev, err := Cluster(points, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for k := 2; k <= maxK; k++ {
+		cur, err := Cluster(points, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if prev.ResidualVariance <= 0 {
+			return prev, nil // perfect fit already
+		}
+		gain := (prev.ResidualVariance - cur.ResidualVariance) / prev.ResidualVariance
+		if gain < minGain {
+			return prev, nil
+		}
+		prev = cur
+	}
+	return prev, nil
+}
+
+// lloyd performs one k-means++ initialization followed by Lloyd iterations.
+func lloyd(points [][]float64, k, maxIter int, rng *rand.Rand) *Result {
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					bestD = d
+					bestC = c
+				}
+			}
+			if assign[i] != bestC {
+				changed = true
+			}
+			assign[i] = bestC
+			sizes[bestC]++
+		}
+		// Recompute centroids.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			for d, v := range p {
+				next[c][d] += v
+			}
+		}
+		for c := range next {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to avoid dead clusters.
+				next[c] = append([]float64(nil), farthestPoint(points, centroids, assign)...)
+				changed = true
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(sizes[c])
+			}
+		}
+		centroids = next
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Residual variance.
+	var ss float64
+	for i, p := range points {
+		ss += sqDist(p, centroids[assign[i]])
+	}
+	return &Result{
+		K:                k,
+		Assignments:      assign,
+		Centroids:        centroids,
+		Sizes:            sizes,
+		ResidualVariance: ss / float64(len(points)),
+		Iterations:       iter + 1,
+	}
+}
+
+// seedPlusPlus chooses initial centroids with the k-means++ rule: each new
+// centroid is drawn with probability proportional to squared distance from
+// the nearest already-chosen centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var chosen int
+		if total == 0 {
+			chosen = rng.Intn(len(points))
+		} else {
+			u := rng.Float64() * total
+			var cum float64
+			chosen = len(points) - 1
+			for i, d := range d2 {
+				cum += d
+				if u < cum {
+					chosen = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[chosen]...))
+	}
+	return centroids
+}
+
+// farthestPoint returns the point with maximum distance to its assigned
+// centroid — a robust re-seed location for an emptied cluster.
+func farthestPoint(points [][]float64, centroids [][]float64, assign []int) []float64 {
+	bestI, bestD := 0, -1.0
+	for i, p := range points {
+		if d := sqDist(p, centroids[assign[i]]); d > bestD {
+			bestD = d
+			bestI = i
+		}
+	}
+	return points[bestI]
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func validate(points [][]float64) error {
+	if len(points) == 0 {
+		return errors.New("kmeans: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return errors.New("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("kmeans: point %d has non-finite coordinate", i)
+			}
+		}
+	}
+	return nil
+}

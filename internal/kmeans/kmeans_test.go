@@ -1,0 +1,271 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs generates three well-separated Gaussian blobs in 2D.
+func threeBlobs(nPer int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	var pts [][]float64
+	var labels []int
+	for c, center := range centers {
+		for i := 0; i < nPer; i++ {
+			pts = append(pts, []float64{
+				center[0] + rng.NormFloat64(),
+				center[1] + rng.NormFloat64(),
+			})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	pts, truth := threeBlobs(100, 1)
+	res, err := Cluster(pts, 3, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || len(res.Assignments) != len(pts) {
+		t.Fatalf("bad result shape: %+v", res)
+	}
+	// Every ground-truth blob should map to exactly one k-means cluster.
+	for blob := 0; blob < 3; blob++ {
+		seen := map[int]int{}
+		for i, lbl := range truth {
+			if lbl == blob {
+				seen[res.Assignments[i]]++
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("blob %d split across clusters: %v", blob, seen)
+		}
+	}
+	if res.ResidualVariance > 4 {
+		t.Errorf("residual variance = %v, want small for tight blobs", res.ResidualVariance)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(pts) {
+		t.Errorf("sizes sum to %d, want %d", total, len(pts))
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, Config{}); err == nil {
+		t.Error("no points should error")
+	}
+	if _, err := Cluster([][]float64{{1}}, 0, Config{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Cluster([][]float64{{1}}, 5, Config{}); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := Cluster([][]float64{{1, 2}, {1}}, 1, Config{}); err == nil {
+		t.Error("ragged points should error")
+	}
+	if _, err := Cluster([][]float64{{math.NaN()}}, 1, Config{}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := Cluster([][]float64{{}}, 1, Config{}); err == nil {
+		t.Error("zero-dim should error")
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	pts := [][]float64{{1, 1}, {3, 3}, {5, 5}}
+	res, err := Cluster(pts, 1, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0][0] != 3 || res.Centroids[0][1] != 3 {
+		t.Errorf("k=1 centroid = %v, want mean (3,3)", res.Centroids[0])
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts, _ := threeBlobs(50, 2)
+	a, err := Cluster(pts, 3, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, 3, Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestSelectKFindsThree(t *testing.T) {
+	pts, _ := threeBlobs(100, 3)
+	res, err := SelectK(pts, 8, 0.25, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Errorf("SelectK chose k=%d, want 3", res.K)
+	}
+}
+
+func TestSelectKErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}}
+	if _, err := SelectK(pts, 0, 0.1, Config{}); err == nil {
+		t.Error("maxK<1 should error")
+	}
+	if _, err := SelectK(pts, 2, 0, Config{}); err == nil {
+		t.Error("minGain=0 should error")
+	}
+	if _, err := SelectK(pts, 2, 1, Config{}); err == nil {
+		t.Error("minGain=1 should error")
+	}
+}
+
+func TestSelectKIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := SelectK(pts, 3, 0.1, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("identical points chose k=%d, want 1", res.K)
+	}
+	if res.ResidualVariance != 0 {
+		t.Errorf("residual variance = %v, want 0", res.ResidualVariance)
+	}
+}
+
+func TestResidualVarianceDecreasesWithK(t *testing.T) {
+	pts, _ := threeBlobs(60, 4)
+	var prev float64 = math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		res, err := Cluster(pts, k, Config{Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ResidualVariance > prev+1e-9 {
+			t.Errorf("residual variance increased at k=%d: %v > %v", k, res.ResidualVariance, prev)
+		}
+		prev = res.ResidualVariance
+	}
+}
+
+func TestStandardizerRoundTrip(t *testing.T) {
+	raw := [][]float64{
+		{21e3, 0, 871e3, 32, 20, 0},
+		{230e9, 8.8e9, 491e6, 900, 104338, 66760},
+		{1.9e12, 502e6, 2.6e9, 1800, 348942, 76736},
+	}
+	var s Standardizer
+	if err := s.Fit(raw); err != nil {
+		t.Fatal(err)
+	}
+	std, err := s.Transform(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range std {
+		back, err := s.Inverse(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range back {
+			if raw[i][d] == 0 {
+				if back[d] > 1e-6 {
+					t.Errorf("point %d dim %d: 0 -> %v", i, d, back[d])
+				}
+				continue
+			}
+			rel := math.Abs(back[d]-raw[i][d]) / raw[i][d]
+			if rel > 1e-6 {
+				t.Errorf("point %d dim %d: %v -> %v (rel %v)", i, d, raw[i][d], back[d], rel)
+			}
+		}
+	}
+}
+
+func TestStandardizerErrors(t *testing.T) {
+	var s Standardizer
+	if err := s.Fit(nil); err == nil {
+		t.Error("fit on empty should error")
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("transform before fit should error")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged fit should error")
+	}
+	if err := s.Fit([][]float64{{-1}}); err == nil {
+		t.Error("negative feature should error")
+	}
+	if err := s.Fit([][]float64{{}}); err == nil {
+		t.Error("zero-dim should error")
+	}
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("dim mismatch transform should error")
+	}
+	if _, err := s.Inverse([]float64{1}); err == nil {
+		t.Error("dim mismatch inverse should error")
+	}
+}
+
+func TestStandardizerConstantDimension(t *testing.T) {
+	raw := [][]float64{{5, 0}, {50, 0}, {500, 0}}
+	var s Standardizer
+	if err := s.Fit(raw); err != nil {
+		t.Fatal(err)
+	}
+	std, err := s.Transform(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range std {
+		if p[1] != 0 {
+			t.Errorf("constant dimension should standardize to 0, got %v", p[1])
+		}
+		if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+			t.Errorf("non-finite standardized value %v", p[0])
+		}
+	}
+}
+
+// Property: every assignment index is within [0, k), sizes are consistent.
+func TestClusterInvariantsQuick(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		pts, _ := threeBlobs(20, seed)
+		res, err := Cluster(pts, k, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		counts := make([]int, k)
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+			counts[a]++
+		}
+		for c := range counts {
+			if counts[c] != res.Sizes[c] {
+				return false
+			}
+		}
+		return res.ResidualVariance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+)
+
+// Standardizer maps raw job feature vectors into the log-transformed,
+// z-scored space that clustering runs in, and maps centroids back out so
+// Table 2 can report them in natural units (bytes, seconds, task-seconds).
+type Standardizer struct {
+	means  []float64 // per-dimension mean of log1p(raw)
+	stds   []float64 // per-dimension stddev of log1p(raw), min-clamped
+	nDims  int
+	fitted bool
+}
+
+// Fit learns the per-dimension transform from raw feature vectors. All
+// vectors must share one dimensionality; raw values must be non-negative
+// (byte counts, durations, task-seconds all are).
+func (s *Standardizer) Fit(raw [][]float64) error {
+	if len(raw) == 0 {
+		return errors.New("kmeans: cannot fit standardizer on empty data")
+	}
+	s.nDims = len(raw[0])
+	if s.nDims == 0 {
+		return errors.New("kmeans: zero-dimensional features")
+	}
+	s.means = make([]float64, s.nDims)
+	s.stds = make([]float64, s.nDims)
+	n := float64(len(raw))
+	for _, p := range raw {
+		if len(p) != s.nDims {
+			return errors.New("kmeans: inconsistent feature dimensionality")
+		}
+		for d, v := range p {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return errors.New("kmeans: features must be finite and non-negative")
+			}
+			s.means[d] += math.Log1p(v)
+		}
+	}
+	for d := range s.means {
+		s.means[d] /= n
+	}
+	for _, p := range raw {
+		for d, v := range p {
+			diff := math.Log1p(v) - s.means[d]
+			s.stds[d] += diff * diff
+		}
+	}
+	for d := range s.stds {
+		s.stds[d] = math.Sqrt(s.stds[d] / n)
+		if s.stds[d] < 1e-9 {
+			// A constant dimension carries no clustering signal; clamp so
+			// transform stays finite and the dimension contributes zero.
+			s.stds[d] = 1
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Transform maps raw vectors to standardized space.
+func (s *Standardizer) Transform(raw [][]float64) ([][]float64, error) {
+	if !s.fitted {
+		return nil, errors.New("kmeans: standardizer not fitted")
+	}
+	out := make([][]float64, len(raw))
+	for i, p := range raw {
+		if len(p) != s.nDims {
+			return nil, errors.New("kmeans: inconsistent feature dimensionality")
+		}
+		q := make([]float64, s.nDims)
+		for d, v := range p {
+			q[d] = (math.Log1p(v) - s.means[d]) / s.stds[d]
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// Inverse maps a standardized centroid back to natural units:
+// expm1(z*std + mean), the geometric-style center of the cluster.
+func (s *Standardizer) Inverse(std []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, errors.New("kmeans: standardizer not fitted")
+	}
+	if len(std) != s.nDims {
+		return nil, errors.New("kmeans: inconsistent feature dimensionality")
+	}
+	out := make([]float64, s.nDims)
+	for d, z := range std {
+		v := math.Expm1(z*s.stds[d] + s.means[d])
+		if v < 0 {
+			v = 0
+		}
+		out[d] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTable1JobCounts(t *testing.T) {
+	// Cluster populations must sum exactly to Table 1 job counts.
+	want := map[string]int{
+		"CC-a": 5759, "CC-b": 22974, "CC-c": 21030, "CC-d": 13283,
+		"CC-e": 10790, "FB-2009": 1129193, "FB-2010": 1169184,
+	}
+	total := 0
+	for _, p := range All() {
+		if w, ok := want[p.Name]; !ok || p.TotalJobs != w {
+			t.Errorf("%s: TotalJobs = %d, want %d", p.Name, p.TotalJobs, w)
+		}
+		sum := 0
+		for _, c := range p.Clusters {
+			sum += c.Count
+		}
+		if sum != p.TotalJobs {
+			t.Errorf("%s: cluster sum %d != TotalJobs %d", p.Name, sum, p.TotalJobs)
+		}
+		total += p.TotalJobs
+	}
+	if total != 2372213 { // Table 1 total
+		t.Errorf("grand total jobs = %d, want 2372213", total)
+	}
+}
+
+func TestTable1BytesMoved(t *testing.T) {
+	want := map[string]units.Bytes{
+		"CC-a": 80 * units.TB, "CC-b": 600 * units.TB, "CC-c": 18 * units.PB,
+		"CC-d": 8 * units.PB, "CC-e": 590 * units.TB,
+		"FB-2009": units.Bytes(9.4e15), "FB-2010": units.Bytes(1.5e18),
+	}
+	for _, p := range All() {
+		if p.BytesMoved != want[p.Name] {
+			t.Errorf("%s: BytesMoved = %v, want %v", p.Name, p.BytesMoved, want[p.Name])
+		}
+	}
+}
+
+func TestSmallJobsDominate(t *testing.T) {
+	// §6.2: "jobs touching <10GB of total data make up >92% of all jobs";
+	// the first cluster of every workload is the small-jobs type and forms
+	// over 90% of jobs.
+	for _, p := range All() {
+		if p.Clusters[0].Label != "Small jobs" {
+			t.Errorf("%s: first cluster is %q, want Small jobs", p.Name, p.Clusters[0].Label)
+		}
+		if f := p.SmallJobFraction(); f < 0.90 {
+			t.Errorf("%s: small job fraction %v < 0.90", p.Name, f)
+		}
+	}
+}
+
+func TestMapOnlyClustersExist(t *testing.T) {
+	// §6.2: "map-only jobs appear in all but two workloads". In Table 2,
+	// CC-c and CC-d are the two without map-only clusters.
+	noMapOnly := map[string]bool{"CC-c": true, "CC-d": true}
+	for _, p := range All() {
+		found := false
+		for _, c := range p.Clusters {
+			if c.MapOnly() && c.Label != "Small jobs" {
+				found = true
+			}
+		}
+		if noMapOnly[p.Name] && found {
+			t.Errorf("%s: unexpectedly has a non-small map-only cluster", p.Name)
+		}
+		if !noMapOnly[p.Name] && !found {
+			// Small-jobs clusters of CC-a, CC-b, CC-e, FB-2009 are map-only
+			// too; check for any map-only cluster at all.
+			anyMapOnly := false
+			for _, c := range p.Clusters {
+				if c.MapOnly() {
+					anyMapOnly = true
+				}
+			}
+			if !anyMapOnly {
+				t.Errorf("%s: expected a map-only cluster", p.Name)
+			}
+		}
+	}
+}
+
+func TestJobRatePerHour(t *testing.T) {
+	// Sanity: implied rates match Figure 7's submission-rate axes.
+	rates := map[string][2]float64{ // [min, max] plausible range
+		"CC-a":    {5, 12},
+		"CC-b":    {80, 130},
+		"CC-c":    {20, 40},
+		"CC-d":    {5, 12},
+		"CC-e":    {35, 65},
+		"FB-2009": {200, 320},
+		"FB-2010": {900, 1300},
+	}
+	for _, p := range All() {
+		r := p.JobRatePerHour()
+		bounds := rates[p.Name]
+		if r < bounds[0] || r > bounds[1] {
+			t.Errorf("%s: rate %.1f jobs/hr outside [%v, %v]", p.Name, r, bounds[0], bounds[1])
+		}
+	}
+}
+
+func TestFieldAvailabilityMatchesPaper(t *testing.T) {
+	// §4.2: FB-2009 and CC-a lack paths; FB-2010 has input paths only.
+	// Fig 10: FB-2010 lacks names.
+	cases := map[string][3]bool{ // name -> {HasNames, HasInputPaths, HasOutputPaths}
+		"CC-a":    {true, false, false},
+		"CC-b":    {true, true, true},
+		"CC-c":    {true, true, true},
+		"CC-d":    {true, true, true},
+		"CC-e":    {true, true, true},
+		"FB-2009": {true, false, false},
+		"FB-2010": {false, true, false},
+	}
+	for _, p := range All() {
+		want := cases[p.Name]
+		if p.HasNames != want[0] || p.HasInputPaths != want[1] || p.HasOutputPaths != want[2] {
+			t.Errorf("%s: field availability = (%v,%v,%v), want (%v,%v,%v)", p.Name,
+				p.HasNames, p.HasInputPaths, p.HasOutputPaths, want[0], want[1], want[2])
+		}
+	}
+}
+
+func TestZipfAlphaIsFiveSixths(t *testing.T) {
+	for _, p := range All() {
+		if p.ZipfAlpha < 0.83 || p.ZipfAlpha > 0.84 {
+			t.Errorf("%s: ZipfAlpha = %v, want 5/6", p.Name, p.ZipfAlpha)
+		}
+	}
+}
+
+func TestCentroidBytesBelowTable1(t *testing.T) {
+	// Centroid-population products under-count Table 1 bytes (k-means
+	// centers sit below heavy-tailed means); SizeSigma compensates. Check
+	// the ordering holds so the calibration direction is right.
+	for _, p := range All() {
+		cb := p.CentroidBytes()
+		if cb <= 0 {
+			t.Errorf("%s: non-positive centroid bytes", p.Name)
+		}
+		if cb > p.BytesMoved {
+			t.Errorf("%s: centroid bytes %v exceed Table 1 %v", p.Name, cb, p.BytesMoved)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("FB-2009")
+	if err != nil || p.Name != "FB-2009" {
+		t.Errorf("ByName(FB-2009) = %v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	want := []string{"CC-a", "CC-b", "CC-c", "CC-d", "CC-e", "FB-2009", "FB-2010"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Profile { p, _ := ByName("CC-b"); return p }
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"no name", func(p *Profile) { p.Name = "" }},
+		{"zero machines", func(p *Profile) { p.Machines = 0 }},
+		{"zero slots", func(p *Profile) { p.SlotsPerMachine = 0 }},
+		{"zero length", func(p *Profile) { p.TraceLength = 0 }},
+		{"no clusters", func(p *Profile) { p.Clusters = nil }},
+		{"bad cluster count", func(p *Profile) { p.Clusters[0].Count = 0 }},
+		{"bad centroid", func(p *Profile) { p.Clusters[0].Input = -1 }},
+		{"zero duration cluster", func(p *Profile) { p.Clusters[0].Duration = 0 }},
+		{"unlabeled", func(p *Profile) { p.Clusters[0].Label = "" }},
+		{"population mismatch", func(p *Profile) { p.TotalJobs++ }},
+		{"names flag mismatch", func(p *Profile) { p.HasNames = false }},
+		{"name weights", func(p *Profile) { p.Names[0].Weight += 0.5 }},
+		{"bad zipf", func(p *Profile) { p.ZipfAlpha = 0 }},
+		{"bad reuse", func(p *Profile) { p.ReuseInputProb = 0.9; p.ReuseOutputProb = 0.4 }},
+		{"negative sigma", func(p *Profile) { p.SizeSigma = -1 }},
+		{"bad diurnal", func(p *Profile) { p.DiurnalAmplitude = 1.5 }},
+	}
+	for _, c := range cases {
+		p := fresh()
+		c.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: corruption not caught", c.name)
+		}
+	}
+}
+
+func TestTraceLengths(t *testing.T) {
+	want := map[string]time.Duration{
+		"CC-a":    30 * 24 * time.Hour,
+		"CC-b":    9 * 24 * time.Hour,
+		"CC-c":    30 * 24 * time.Hour,
+		"CC-d":    66 * 24 * time.Hour,
+		"CC-e":    9 * 24 * time.Hour,
+		"FB-2009": 182 * 24 * time.Hour,
+		"FB-2010": 45 * 24 * time.Hour,
+	}
+	for _, p := range All() {
+		if p.TraceLength != want[p.Name] {
+			t.Errorf("%s: length %v, want %v", p.Name, p.TraceLength, want[p.Name])
+		}
+	}
+}

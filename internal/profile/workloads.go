@@ -1,0 +1,363 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// This file transcribes the paper's published calibration data. Table 1
+// gives per-workload machines / length / jobs / bytes; Table 2 gives the
+// k-means job-type clusters (population, centroid, label). Name mixtures
+// approximate Figure 10's per-workload first-word breakdowns. Arrival and
+// file-access parameters are set so the generated traces land in the
+// ranges §4–§5 report (Zipf slope ≈ 5/6, re-access fractions up to ~78%,
+// peak-to-median task-time ratios between ~9:1 and ~260:1).
+
+const (
+	minute = time.Minute
+	hour   = time.Hour
+	day    = 24 * time.Hour
+)
+
+func ts(v float64) units.TaskSeconds { return units.TaskSeconds(v) }
+
+// ccA is the "CC-a" workload: <100 machines, 1 month, 5759 jobs, 80 TB.
+func ccA() *Profile {
+	return &Profile{
+		Name:            "CC-a",
+		Machines:        80,
+		SlotsPerMachine: 8,
+		TraceStart:      time.Date(2011, 4, 1, 0, 0, 0, 0, time.UTC),
+		TraceLength:     30 * day,
+		TotalJobs:       5759,
+		BytesMoved:      80 * units.TB,
+		Clusters: []JobCluster{
+			{Count: 5525, Input: 51 * units.MB, Shuffle: 0, Output: units.Bytes(3.9e6), Duration: 39 * time.Second, MapTime: ts(33), Reduce: 0, Label: "Small jobs"},
+			{Count: 194, Input: 14 * units.GB, Shuffle: 12 * units.GB, Output: 10 * units.GB, Duration: 35 * minute, MapTime: ts(65100), Reduce: ts(15410), Label: "Transform"},
+			{Count: 31, Input: units.Bytes(1.2e12), Shuffle: 0, Output: 27 * units.GB, Duration: 2*hour + 30*minute, MapTime: ts(437615), Reduce: 0, Label: "Map only, huge"},
+			{Count: 9, Input: 273 * units.GB, Shuffle: 185 * units.GB, Output: 21 * units.MB, Duration: 4*hour + 30*minute, MapTime: ts(191351), Reduce: ts(831181), Label: "Transform and aggregate"},
+		},
+		Names: []NameEntry{
+			{Word: "oozie", Framework: FrameworkOozie, Weight: 0.29, LargeBias: 1},
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.25, LargeBias: 6},
+			{Word: "select", Framework: FrameworkHive, Weight: 0.22, LargeBias: 0.3},
+			{Word: "twitch", Framework: FrameworkNative, Weight: 0.08, LargeBias: 1},
+			{Word: "metrodataextractor", Framework: FrameworkNative, Weight: 0.05, LargeBias: 8},
+			{Word: "snapshot", Framework: FrameworkNative, Weight: 0.05, LargeBias: 2},
+			{Word: "hourly", Framework: FrameworkNative, Weight: 0.04, LargeBias: 1},
+			{Word: "importjob", Framework: FrameworkNative, Weight: 0.02, LargeBias: 4},
+		},
+		HasNames:       true,
+		HasInputPaths:  false, // §4.2: CC-a has no path names
+		HasOutputPaths: false,
+		SizeSigma:      1.0,
+		TimeSigma:      0.8,
+		// Tiny cluster, few jobs/hour: extremely bursty (top of the 9:1 ..
+		// 260:1 range comes from the small CC deployments).
+		DiurnalAmplitude: 0.25,
+		NoiseSigma:       0.8,
+		SpikeProb:        0.01,
+		SpikeAlpha:       1.1,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.20,
+		ReuseOutputProb:  0.10,
+		FileRecencyAlpha: 0.9,
+	}
+}
+
+// ccB is "CC-b": 300 machines, 9 days, 22974 jobs, 600 TB.
+func ccB() *Profile {
+	return &Profile{
+		Name:            "CC-b",
+		Machines:        300,
+		SlotsPerMachine: 8,
+		TraceStart:      time.Date(2011, 5, 3, 0, 0, 0, 0, time.UTC),
+		TraceLength:     9 * day,
+		TotalJobs:       22974,
+		BytesMoved:      600 * units.TB,
+		Clusters: []JobCluster{
+			{Count: 21210, Input: units.Bytes(4.6e3), Shuffle: 0, Output: units.Bytes(4.7e3), Duration: 23 * time.Second, MapTime: ts(11), Reduce: 0, Label: "Small jobs"},
+			{Count: 1565, Input: 41 * units.GB, Shuffle: 10 * units.GB, Output: units.Bytes(2.1e9), Duration: 4 * minute, MapTime: ts(15837), Reduce: ts(12392), Label: "Transform, small"},
+			{Count: 165, Input: 123 * units.GB, Shuffle: 43 * units.GB, Output: 13 * units.GB, Duration: 6 * minute, MapTime: ts(36265), Reduce: ts(31389), Label: "Transform, medium"},
+			{Count: 31, Input: units.Bytes(4.7e12), Shuffle: 374 * units.MB, Output: 24 * units.MB, Duration: 9 * minute, MapTime: ts(876786), Reduce: ts(705), Label: "Aggregate and transform"},
+			{Count: 3, Input: 600 * units.GB, Shuffle: units.Bytes(1.6e9), Output: 550 * units.MB, Duration: 6*hour + 45*minute, MapTime: ts(3092977), Reduce: ts(230976), Label: "Aggregate"},
+		},
+		Names: []NameEntry{
+			{Word: "piglatin", Framework: FrameworkPig, Weight: 0.38, LargeBias: 2},
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.24, LargeBias: 5},
+			{Word: "select", Framework: FrameworkHive, Weight: 0.14, LargeBias: 0.3},
+			{Word: "flow", Framework: FrameworkOozie, Weight: 0.10, LargeBias: 1},
+			{Word: "tr", Framework: FrameworkNative, Weight: 0.06, LargeBias: 6},
+			{Word: "distcp", Framework: FrameworkNative, Weight: 0.03, LargeBias: 8},
+			{Word: "bmdailyjob", Framework: FrameworkNative, Weight: 0.03, LargeBias: 3},
+			{Word: "stage", Framework: FrameworkNative, Weight: 0.02, LargeBias: 2},
+		},
+		HasNames:         true,
+		HasInputPaths:    true,
+		HasOutputPaths:   true,
+		SizeSigma:        1.25,
+		TimeSigma:        0.9,
+		DiurnalAmplitude: 0.35,
+		NoiseSigma:       0.8,
+		SpikeProb:        0.015,
+		SpikeAlpha:       1.3,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.15,
+		ReuseOutputProb:  0.10,
+		FileRecencyAlpha: 0.9,
+	}
+}
+
+// ccC is "CC-c": 700 machines, 1 month, 21030 jobs, 18 PB.
+func ccC() *Profile {
+	return &Profile{
+		Name:            "CC-c",
+		Machines:        700,
+		SlotsPerMachine: 10,
+		TraceStart:      time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC),
+		TraceLength:     30 * day,
+		TotalJobs:       21030,
+		BytesMoved:      18 * units.PB,
+		Clusters: []JobCluster{
+			{Count: 19975, Input: units.Bytes(5.7e9), Shuffle: 3 * units.GB, Output: 200 * units.MB, Duration: 4 * minute, MapTime: ts(10933), Reduce: ts(6586), Label: "Small jobs"},
+			{Count: 477, Input: 1 * units.TB, Shuffle: units.Bytes(4.2e12), Output: 920 * units.GB, Duration: 47 * minute, MapTime: ts(1927432), Reduce: ts(462070), Label: "Transform, light reduce"},
+			{Count: 246, Input: 887 * units.GB, Shuffle: 57 * units.GB, Output: 22 * units.MB, Duration: 4*hour + 14*minute, MapTime: ts(569391), Reduce: ts(158930), Label: "Aggregate"},
+			{Count: 197, Input: units.Bytes(1.1e12), Shuffle: units.Bytes(3.7e12), Output: units.Bytes(3.7e12), Duration: 53 * minute, MapTime: ts(1895403), Reduce: ts(886347), Label: "Transform, heavy reduce"},
+			{Count: 105, Input: 32 * units.GB, Shuffle: 37 * units.GB, Output: units.Bytes(2.4e9), Duration: 2*hour + 11*minute, MapTime: ts(14865972), Reduce: ts(369846), Label: "Aggregate, large"},
+			{Count: 23, Input: units.Bytes(3.7e12), Shuffle: 562 * units.GB, Output: 37 * units.GB, Duration: 17 * hour, MapTime: ts(9779062), Reduce: ts(14989871), Label: "Long jobs"},
+			{Count: 7, Input: 220 * units.TB, Shuffle: 18 * units.GB, Output: units.Bytes(2.8e9), Duration: 5*hour + 15*minute, MapTime: ts(66839710), Reduce: ts(758957), Label: "Aggregate, huge"},
+		},
+		Names: []NameEntry{
+			{Word: "select", Framework: FrameworkHive, Weight: 0.42, LargeBias: 0.4},
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.18, LargeBias: 5},
+			{Word: "oozie", Framework: FrameworkOozie, Weight: 0.12, LargeBias: 1},
+			{Word: "edwsequence", Framework: FrameworkNative, Weight: 0.10, LargeBias: 2},
+			{Word: "etl", Framework: FrameworkNative, Weight: 0.07, LargeBias: 6},
+			{Word: "columnset", Framework: FrameworkNative, Weight: 0.05, LargeBias: 4},
+			{Word: "semi", Framework: FrameworkNative, Weight: 0.03, LargeBias: 2},
+			{Word: "parallel", Framework: FrameworkNative, Weight: 0.03, LargeBias: 3},
+		},
+		HasNames:         true,
+		HasInputPaths:    true,
+		HasOutputPaths:   true,
+		SizeSigma:        1.35,
+		TimeSigma:        1.0,
+		DiurnalAmplitude: 0.3,
+		NoiseSigma:       0.7,
+		SpikeProb:        0.01,
+		SpikeAlpha:       1.4,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.45,
+		ReuseOutputProb:  0.30,
+		FileRecencyAlpha: 1.0,
+	}
+}
+
+// ccD is "CC-d": 400-500 machines (450), 2+ months, 13283 jobs, 8 PB.
+func ccD() *Profile {
+	return &Profile{
+		Name:            "CC-d",
+		Machines:        450,
+		SlotsPerMachine: 10,
+		TraceStart:      time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC),
+		TraceLength:     66 * day,
+		TotalJobs:       13283,
+		BytesMoved:      8 * units.PB,
+		Clusters: []JobCluster{
+			{Count: 12736, Input: units.Bytes(3.1e9), Shuffle: 753 * units.MB, Output: 231 * units.MB, Duration: 67 * time.Second, MapTime: ts(7376), Reduce: ts(5085), Label: "Small jobs"},
+			{Count: 214, Input: 633 * units.GB, Shuffle: units.Bytes(2.9e12), Output: 332 * units.GB, Duration: 11 * minute, MapTime: ts(544433), Reduce: ts(352692), Label: "Expand and aggregate"},
+			{Count: 162, Input: units.Bytes(5.3e9), Shuffle: units.Bytes(6.1e12), Output: 33 * units.GB, Duration: 23 * minute, MapTime: ts(2011911), Reduce: ts(910673), Label: "Transform and aggregate"},
+			{Count: 128, Input: 1 * units.TB, Shuffle: units.Bytes(6.2e12), Output: units.Bytes(6.7e12), Duration: 20 * minute, MapTime: ts(847286), Reduce: ts(900395), Label: "Expand and transform"},
+			{Count: 43, Input: 17 * units.GB, Shuffle: 4 * units.GB, Output: units.Bytes(1.7e9), Duration: 36 * minute, MapTime: ts(6259747), Reduce: ts(7067), Label: "Aggregate"},
+		},
+		Names: []NameEntry{
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.30, LargeBias: 4},
+			{Word: "piglatin", Framework: FrameworkPig, Weight: 0.22, LargeBias: 2},
+			{Word: "select", Framework: FrameworkHive, Weight: 0.16, LargeBias: 0.3},
+			{Word: "sywr", Framework: FrameworkNative, Weight: 0.09, LargeBias: 1},
+			{Word: "edw", Framework: FrameworkNative, Weight: 0.08, LargeBias: 5},
+			{Word: "tr", Framework: FrameworkNative, Weight: 0.06, LargeBias: 4},
+			{Word: "snapshot", Framework: FrameworkNative, Weight: 0.05, LargeBias: 2},
+			{Word: "iteminquiry", Framework: FrameworkNative, Weight: 0.04, LargeBias: 0.5},
+		},
+		HasNames:         true,
+		HasInputPaths:    true,
+		HasOutputPaths:   true,
+		SizeSigma:        1.25,
+		TimeSigma:        0.9,
+		DiurnalAmplitude: 0.3,
+		NoiseSigma:       0.9,
+		SpikeProb:        0.015,
+		SpikeAlpha:       1.2,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.40,
+		ReuseOutputProb:  0.35,
+		FileRecencyAlpha: 1.0,
+	}
+}
+
+// ccE is "CC-e": 100 machines, 9 days, 10790 jobs, 590 TB.
+func ccE() *Profile {
+	return &Profile{
+		Name:            "CC-e",
+		Machines:        100,
+		SlotsPerMachine: 8,
+		TraceStart:      time.Date(2011, 8, 2, 0, 0, 0, 0, time.UTC),
+		TraceLength:     9 * day,
+		TotalJobs:       10790,
+		BytesMoved:      590 * units.TB,
+		Clusters: []JobCluster{
+			{Count: 10243, Input: units.Bytes(8.1e6), Shuffle: 0, Output: 970 * units.KB, Duration: 18 * time.Second, MapTime: ts(15), Reduce: 0, Label: "Small jobs"},
+			{Count: 452, Input: 166 * units.GB, Shuffle: 180 * units.GB, Output: 118 * units.GB, Duration: 31 * minute, MapTime: ts(35606), Reduce: ts(38194), Label: "Transform, large"},
+			{Count: 68, Input: 543 * units.GB, Shuffle: 502 * units.GB, Output: 166 * units.GB, Duration: 2 * hour, MapTime: ts(115077), Reduce: ts(108745), Label: "Transform, very large"},
+			{Count: 20, Input: 3 * units.TB, Shuffle: 0, Output: 200, Duration: 5 * minute, MapTime: ts(137077), Reduce: 0, Label: "Map only summary"},
+			{Count: 7, Input: units.Bytes(6.7e12), Shuffle: units.Bytes(2.3e9), Output: units.Bytes(6.7e12), Duration: 3*hour + 47*minute, MapTime: ts(335807), Reduce: 0, Label: "Map only transform"},
+		},
+		Names: []NameEntry{
+			{Word: "select", Framework: FrameworkHive, Weight: 0.36, LargeBias: 0.4},
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.21, LargeBias: 5},
+			{Word: "piglatin", Framework: FrameworkPig, Weight: 0.15, LargeBias: 2},
+			{Word: "edw", Framework: FrameworkNative, Weight: 0.08, LargeBias: 4},
+			{Word: "search", Framework: FrameworkNative, Weight: 0.07, LargeBias: 0.5},
+			{Word: "item", Framework: FrameworkNative, Weight: 0.05, LargeBias: 0.5},
+			{Word: "esb", Framework: FrameworkNative, Weight: 0.04, LargeBias: 1},
+			{Word: "si", Framework: FrameworkNative, Weight: 0.04, LargeBias: 2},
+		},
+		HasNames:         true,
+		HasInputPaths:    true,
+		HasOutputPaths:   true,
+		SizeSigma:        0.85,
+		TimeSigma:        0.8,
+		DiurnalAmplitude: 0.45, // CC-e's utilization shows a visible diurnal (Fig 7)
+		NoiseSigma:       0.75,
+		SpikeProb:        0.02,
+		SpikeAlpha:       1.3,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.50,
+		ReuseOutputProb:  0.25,
+		FileRecencyAlpha: 1.1,
+	}
+}
+
+// fb2009 is "FB-2009": 600 machines, 6 months, 1129193 jobs, 9.4 PB.
+func fb2009() *Profile {
+	return &Profile{
+		Name:            "FB-2009",
+		Machines:        600,
+		SlotsPerMachine: 8,
+		TraceStart:      time.Date(2009, 1, 5, 0, 0, 0, 0, time.UTC),
+		TraceLength:     182 * day,
+		TotalJobs:       1129193,
+		BytesMoved:      units.Bytes(9.4e15),
+		Clusters: []JobCluster{
+			{Count: 1081918, Input: 21 * units.KB, Shuffle: 0, Output: 871 * units.KB, Duration: 32 * time.Second, MapTime: ts(20), Reduce: 0, Label: "Small jobs"},
+			{Count: 37038, Input: 381 * units.KB, Shuffle: 0, Output: units.Bytes(1.9e9), Duration: 21 * minute, MapTime: ts(6079), Reduce: 0, Label: "Load data, fast"},
+			{Count: 2070, Input: 10 * units.KB, Shuffle: 0, Output: units.Bytes(4.2e9), Duration: 1*hour + 50*minute, MapTime: ts(26321), Reduce: 0, Label: "Load data, slow"},
+			{Count: 602, Input: 405 * units.KB, Shuffle: 0, Output: 447 * units.GB, Duration: 1*hour + 10*minute, MapTime: ts(66657), Reduce: 0, Label: "Load data, large"},
+			{Count: 180, Input: 446 * units.KB, Shuffle: 0, Output: units.Bytes(1.1e12), Duration: 5*hour + 5*minute, MapTime: ts(125662), Reduce: 0, Label: "Load data, huge"},
+			{Count: 6035, Input: 230 * units.GB, Shuffle: units.Bytes(8.8e9), Output: 491 * units.MB, Duration: 15 * minute, MapTime: ts(104338), Reduce: ts(66760), Label: "Aggregate, fast"},
+			{Count: 379, Input: units.Bytes(1.9e12), Shuffle: 502 * units.MB, Output: units.Bytes(2.6e9), Duration: 30 * minute, MapTime: ts(348942), Reduce: ts(76736), Label: "Aggregate and expand"},
+			{Count: 159, Input: 418 * units.GB, Shuffle: units.Bytes(2.5e12), Output: 45 * units.GB, Duration: 1*hour + 25*minute, MapTime: ts(1076089), Reduce: ts(974395), Label: "Expand and aggregate"},
+			{Count: 793, Input: 255 * units.GB, Shuffle: 788 * units.GB, Output: units.Bytes(1.6e9), Duration: 35 * minute, MapTime: ts(384562), Reduce: ts(338050), Label: "Data transform"},
+			{Count: 19, Input: units.Bytes(7.6e12), Shuffle: 51 * units.GB, Output: 104 * units.KB, Duration: 55 * minute, MapTime: ts(4843452), Reduce: ts(853911), Label: "Data summary"},
+		},
+		Names: []NameEntry{
+			// Fig 10: 44% of FB-2009 jobs begin with "ad", 12% with
+			// "insert"; "from" carries 27% of I/O and 34% of task-time.
+			{Word: "ad", Framework: FrameworkNative, Weight: 0.44, LargeBias: 0.1},
+			{Word: "insert", Framework: FrameworkHive, Weight: 0.12, LargeBias: 4},
+			{Word: "from", Framework: FrameworkHive, Weight: 0.10, LargeBias: 5},
+			{Word: "select", Framework: FrameworkHive, Weight: 0.15, LargeBias: 0.2},
+			{Word: "queryresult", Framework: FrameworkNative, Weight: 0.07, LargeBias: 0.5},
+			{Word: "ajax", Framework: FrameworkNative, Weight: 0.05, LargeBias: 0.3},
+			{Word: "etl", Framework: FrameworkNative, Weight: 0.04, LargeBias: 5},
+			{Word: "piglatin", Framework: FrameworkPig, Weight: 0.03, LargeBias: 2},
+		},
+		HasNames:         true,
+		HasInputPaths:    false, // §4.2: FB-2009 has no path names
+		HasOutputPaths:   false,
+		SizeSigma:        1.3,
+		TimeSigma:        1.0,
+		DiurnalAmplitude: 0.35,
+		NoiseSigma:       0.85,
+		SpikeProb:        0.012,
+		SpikeAlpha:       1.25,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.25,
+		ReuseOutputProb:  0.15,
+		FileRecencyAlpha: 1.0,
+	}
+}
+
+// fb2010 is "FB-2010": 3000 machines, 45 days, 1169184 jobs, 1.5 EB.
+func fb2010() *Profile {
+	return &Profile{
+		Name:            "FB-2010",
+		Machines:        3000,
+		SlotsPerMachine: 12,
+		TraceStart:      time.Date(2010, 10, 4, 0, 0, 0, 0, time.UTC),
+		TraceLength:     45 * day,
+		TotalJobs:       1169184,
+		BytesMoved:      units.Bytes(1.5e18),
+		Clusters: []JobCluster{
+			{Count: 1145663, Input: units.Bytes(6.9e6), Shuffle: 600, Output: 60 * units.KB, Duration: 1 * minute, MapTime: ts(48), Reduce: ts(34), Label: "Small jobs"},
+			{Count: 7911, Input: 50 * units.GB, Shuffle: 0, Output: 61 * units.GB, Duration: 8 * hour, MapTime: ts(60664), Reduce: 0, Label: "Map only transform, 8 hrs"},
+			{Count: 779, Input: units.Bytes(3.6e12), Shuffle: 0, Output: units.Bytes(4.4e12), Duration: 45 * minute, MapTime: ts(3081710), Reduce: 0, Label: "Map only transform, 45 min"},
+			{Count: 670, Input: units.Bytes(2.1e12), Shuffle: 0, Output: units.Bytes(2.7e9), Duration: 1*hour + 20*minute, MapTime: ts(9457592), Reduce: 0, Label: "Map only aggregate"},
+			{Count: 104, Input: 35 * units.GB, Shuffle: 0, Output: units.Bytes(3.5e9), Duration: 72 * hour, MapTime: ts(198436), Reduce: 0, Label: "Map only transform, 3 days"},
+			{Count: 11491, Input: units.Bytes(1.5e12), Shuffle: 30 * units.GB, Output: units.Bytes(2.2e9), Duration: 30 * minute, MapTime: ts(1112765), Reduce: ts(387191), Label: "Aggregate"},
+			{Count: 1876, Input: 711 * units.GB, Shuffle: units.Bytes(2.6e12), Output: 860 * units.GB, Duration: 2 * hour, MapTime: ts(1618792), Reduce: ts(2056439), Label: "Transform, 2 hrs"},
+			{Count: 454, Input: 9 * units.TB, Shuffle: units.Bytes(1.5e12), Output: units.Bytes(1.2e12), Duration: 1 * hour, MapTime: ts(1795682), Reduce: ts(818344), Label: "Aggregate and transform"},
+			{Count: 169, Input: units.Bytes(2.7e12), Shuffle: 12 * units.TB, Output: 260 * units.GB, Duration: 2*hour + 7*minute, MapTime: ts(2862726), Reduce: ts(3091678), Label: "Expand and aggregate"},
+			{Count: 67, Input: 630 * units.GB, Shuffle: units.Bytes(1.2e12), Output: 140 * units.GB, Duration: 18 * hour, MapTime: ts(1545220), Reduce: ts(18144174), Label: "Transform, 18 hrs"},
+		},
+		Names:          nil, // Fig 10 caption: the FB-2010 trace has no job names
+		HasNames:       false,
+		HasInputPaths:  true, // §4.2: input paths only
+		HasOutputPaths: false,
+		SizeSigma:      1.4,
+		TimeSigma:      1.0,
+		// The 2010 workload multiplexes many organizations: the paper
+		// reports peak-to-median fell from 31:1 to 9:1 — least bursty of
+		// the seven, with a visible diurnal in job submissions.
+		DiurnalAmplitude: 0.5,
+		NoiseSigma:       0.75,
+		SpikeProb:        0.012,
+		SpikeAlpha:       1.5,
+		ZipfAlpha:        5.0 / 6.0,
+		ReuseInputProb:   0.30,
+		ReuseOutputProb:  0.0, // output paths absent, so no measurable output reuse
+		FileRecencyAlpha: 1.0,
+	}
+}
+
+// All returns the seven calibrated profiles in the paper's Table 1 order.
+func All() []*Profile {
+	return []*Profile{ccA(), ccB(), ccC(), ccD(), ccE(), fb2009(), fb2010()}
+}
+
+// Names lists the profile names in Table 1 order.
+func Names() []string {
+	ps := All()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ByName returns the profile with the given name (case-sensitive, e.g.
+// "FB-2009"), or an error listing valid names.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("profile: unknown workload %q (valid: %v)", name, valid)
+}

@@ -1,0 +1,189 @@
+// Package report renders analysis results as aligned text tables, compact
+// ASCII charts, and CSV — the output layer of cmd/swimanalyze and
+// cmd/swimbench. Every figure and table regenerated from the paper is
+// ultimately printed through this package so runs are inspectable without
+// plotting tools.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded, long rows truncated to the
+// header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...any) {
+	parts := strings.Split(fmt.Sprintf(format, cells...), "\t")
+	t.AddRow(parts...)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sparkline renders a series as a one-line unicode mini-chart, useful for
+// the weekly time-series views (Figure 7).
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+// CDFChart renders an empirical CDF as rows of "x-value  bar  p", sampled
+// at the given probabilities.
+func CDFChart(w io.Writer, c *stats.CDF, label string, format func(float64) string) error {
+	if c.Len() == 0 {
+		_, err := fmt.Fprintf(w, "%s: (empty)\n", label)
+		return err
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.3g", v) }
+	}
+	if _, err := fmt.Fprintf(w, "%s:\n", label); err != nil {
+		return err
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		v := c.Quantile(q)
+		bar := strings.Repeat("#", int(q*40))
+		if _, err := fmt.Fprintf(w, "  p%02.0f %12s |%-40s|\n", q*100, format(v), bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogLogChart renders rank-frequency points (Figure 2 style) as a compact
+// table of decade markers.
+func LogLogChart(w io.Writer, freqs []uint64, label string) error {
+	if len(freqs) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (empty)\n", label)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s (rank -> frequency):\n", label); err != nil {
+		return err
+	}
+	for rank := 1; rank <= len(freqs); rank *= 10 {
+		if _, err := fmt.Fprintf(w, "  rank %-8d freq %d\n", rank, freqs[rank-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Percent formats a fraction as "12.3%".
+func Percent(f float64) string {
+	return fmt.Sprintf("%.1f%%", 100*f)
+}
+
+// Ratio formats a burstiness ratio as "31:1".
+func Ratio(r float64) string {
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f:1", r)
+}

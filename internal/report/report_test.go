@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Trace", "Jobs", "Bytes")
+	tb.AddRow("CC-a", "5759", "80 TB")
+	tb.AddRow("FB-2010", "1169184", "1.5 EB")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Trace") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "1.5 EB") {
+		t.Errorf("row line = %q", lines[3])
+	}
+	// Columns aligned: "Jobs" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "Jobs")
+	if !strings.HasPrefix(lines[2][idx:], "5759") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "overflow-dropped")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "overflow") {
+		t.Error("overflow cell should be dropped")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRowf("%d\t%.2f", 42, 3.14159)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "42") || !strings.Contains(buf.String(), "3.14") {
+		t.Errorf("AddRowf output missing values:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %d, want 4", len([]rune(s)))
+	}
+	rs := []rune(s)
+	if rs[0] != '▁' || rs[3] != '█' {
+		t.Errorf("sparkline = %q, want min..max blocks", s)
+	}
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render lowest block, got %q", string(flat))
+		}
+	}
+}
+
+func TestCDFChart(t *testing.T) {
+	c := stats.NewCDF([]float64{1, 10, 100, 1000})
+	var buf bytes.Buffer
+	if err := CDFChart(&buf, c, "sizes", nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sizes:") || !strings.Contains(out, "p50") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+	var empty bytes.Buffer
+	if err := CDFChart(&empty, stats.NewCDF(nil), "none", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "(empty)") {
+		t.Error("empty CDF should render placeholder")
+	}
+}
+
+func TestLogLogChart(t *testing.T) {
+	freqs := make([]uint64, 1000)
+	for i := range freqs {
+		freqs[i] = uint64(1000 / (i + 1))
+	}
+	var buf bytes.Buffer
+	if err := LogLogChart(&buf, freqs, "access"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rank 1 ", "rank 10 ", "rank 100 ", "rank 1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	var empty bytes.Buffer
+	if err := LogLogChart(&empty, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "(empty)") {
+		t.Error("empty chart should render placeholder")
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if got := Percent(0.785); got != "78.5%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Ratio(31.2); got != "31:1" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(math.Inf(1)); got != "n/a" {
+		t.Errorf("Ratio(Inf) = %q", got)
+	}
+	if got := Ratio(math.NaN()); got != "n/a" {
+		t.Errorf("Ratio(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,362 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson negative = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 5000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.05 {
+		t.Errorf("independent series correlation = %v, want ~0", r)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear: Spearman = 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rs, err := SpearmanRank(xs, ys)
+	if err != nil || !almostEqual(rs, 1, 1e-12) {
+		t.Errorf("Spearman = %v, %v; want 1", rs, err)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) || !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1 R2 1", fit)
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero x-variance should error")
+	}
+	if _, err := FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant-y fit = %+v, want slope 0 R2 1", fit)
+	}
+}
+
+func TestFitZipfExact(t *testing.T) {
+	// Construct frequencies exactly following f = 1e6 * rank^-0.8.
+	n := 500
+	freqs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		freqs[i] = uint64(math.Round(1e6 * math.Pow(float64(i+1), -0.8)))
+	}
+	fit, err := FitZipf(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-0.8) > 0.02 {
+		t.Errorf("Alpha = %v, want ~0.8", fit.Alpha)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+	if fit.Ranks != n {
+		t.Errorf("Ranks = %d, want %d", fit.Ranks, n)
+	}
+}
+
+func TestFitZipfFiltersZeros(t *testing.T) {
+	if _, err := FitZipf([]uint64{0, 0, 5}); err == nil {
+		t.Error("one positive frequency should error")
+	}
+	if _, err := FitZipf(nil); err == nil {
+		t.Error("empty should error")
+	}
+	fit, err := FitZipf([]uint64{100, 0, 10, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Ranks != 3 {
+		t.Errorf("Ranks = %d, want 3 (zeros dropped)", fit.Ranks)
+	}
+}
+
+func TestSortDescUint64(t *testing.T) {
+	f := func(raw []uint64) bool {
+		a := append([]uint64(nil), raw...)
+		sortDescUint64(a)
+		for i := 1; i < len(a); i++ {
+			if a[i] > a[i-1] {
+				return false
+			}
+		}
+		return len(a) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFTConstant(t *testing.T) {
+	series := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	spec, err := DFT(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(spec.Magnitude[0], 40, 1e-9) {
+		t.Errorf("DC magnitude = %v, want 40", spec.Magnitude[0])
+	}
+	for k := 1; k < len(spec.Magnitude); k++ {
+		if spec.Magnitude[k] > 1e-9 {
+			t.Errorf("non-DC magnitude[%d] = %v, want 0", k, spec.Magnitude[k])
+		}
+	}
+}
+
+func TestDFTPureTone(t *testing.T) {
+	n := 96 // 4 days hourly
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Sin(2 * math.Pi * float64(i) / 24) // 4 cycles over n
+	}
+	spec, err := DFT(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := spec.PeakFrequency()
+	if k != 4 {
+		t.Errorf("peak frequency = %d, want 4", k)
+	}
+}
+
+func TestDFTTooShort(t *testing.T) {
+	if _, err := DFT([]float64{1, 2}); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestDiurnalStrength(t *testing.T) {
+	n := 7 * 24
+	diurnal := make([]float64, n)
+	flat := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		diurnal[i] = 100 + 80*math.Sin(2*math.Pi*float64(i)/24) + rng.Float64()
+		flat[i] = 100 + 10*rng.Float64()
+	}
+	ds, err := DiurnalStrength(diurnal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := DiurnalStrength(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds < 10 {
+		t.Errorf("diurnal strength of sinusoid = %v, want >> 1", ds)
+	}
+	if fs > ds/5 {
+		t.Errorf("flat series strength %v should be far below diurnal %v", fs, ds)
+	}
+	if _, err := DiurnalStrength(make([]float64, 10)); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestBurstinessConstantSeries(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 7
+	}
+	b, err := Burstiness(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(b.PeakToMedian, 1, 1e-12) {
+		t.Errorf("constant series peak-to-median = %v, want 1", b.PeakToMedian)
+	}
+	for _, r := range b.Ratios {
+		if !almostEqual(r, 1, 1e-12) {
+			t.Fatalf("constant series ratio = %v, want 1", r)
+		}
+	}
+}
+
+func TestBurstinessBursty(t *testing.T) {
+	// Mostly 1s with a few large spikes: peak-to-median high.
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 1
+	}
+	series[10], series[50] = 260, 100
+	b, err := Burstiness(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(b.PeakToMedian, 260, 1e-9) {
+		t.Errorf("peak-to-median = %v, want 260", b.PeakToMedian)
+	}
+	if b.RatioAt(50) != 1 {
+		t.Errorf("median ratio = %v, want 1", b.RatioAt(50))
+	}
+}
+
+func TestBurstinessErrors(t *testing.T) {
+	if _, err := Burstiness(nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Burstiness([]float64{0, 0, 0, 1}); err == nil {
+		t.Error("zero median should error")
+	}
+}
+
+func TestBurstinessSineBaselines(t *testing.T) {
+	// Figure 8's reference curves: sine+2 is burstier than sine+20.
+	b2, err := Burstiness(SineSeries(7*24, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b20, err := Burstiness(SineSeries(7*24, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.PeakToMedian <= b20.PeakToMedian {
+		t.Errorf("sine+2 peak ratio %v should exceed sine+20 %v", b2.PeakToMedian, b20.PeakToMedian)
+	}
+	if b20.PeakToMedian > 1.06 {
+		t.Errorf("sine+20 peak-to-median = %v, want close to 1", b20.PeakToMedian)
+	}
+}
+
+// Property: burstiness ratios are monotone in percentile and the ratio at
+// the median percentile is 1.
+func TestBurstinessMonotoneQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		series := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				series = append(series, math.Abs(v)+1)
+			}
+		}
+		if len(series) < 3 {
+			return true
+		}
+		b, err := Burstiness(series)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, r := range b.Ratios {
+			if r < prev-1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return almostEqual(b.RatioAt(50), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 0, 6) // bins: 1-10, 10-100, ..., 1e5-1e6
+	for _, v := range []float64{0, 5, 50, 500, 5e5, 2e7} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.ZeroCount != 1 {
+		t.Errorf("ZeroCount = %d, want 1", h.ZeroCount)
+	}
+	// 2e7 clamps into last bin.
+	if h.Counts[len(h.Counts)-1] != 2 {
+		t.Errorf("last bin = %d, want 2 (5e5 and clamped 2e7)", h.Counts[len(h.Counts)-1])
+	}
+	pts := h.CumulativeFraction()
+	if len(pts) != len(h.Counts) {
+		t.Fatalf("cumulative points = %d, want %d", len(pts), len(h.Counts))
+	}
+	last := pts[len(pts)-1]
+	if !almostEqual(last.Y, 1, 1e-12) {
+		t.Errorf("final cumulative fraction = %v, want 1", last.Y)
+	}
+	if h.BinLeft(0) != 1 || !almostEqual(h.BinRight(0), 10, 1e-9) {
+		t.Errorf("bin 0 edges = [%v, %v), want [1, 10)", h.BinLeft(0), h.BinRight(0))
+	}
+}
+
+func TestLogHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad args")
+		}
+	}()
+	NewLogHistogram(0, 0, 6)
+}
+
+func TestLogHistogramEmptyCumulative(t *testing.T) {
+	h := NewLogHistogram(2, 0, 3)
+	if pts := h.CumulativeFraction(); pts != nil {
+		t.Error("empty histogram should have nil cumulative points")
+	}
+}

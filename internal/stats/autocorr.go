@@ -1,0 +1,58 @@
+package stats
+
+import "errors"
+
+// Autocorrelation returns the sample autocorrelation function of a series
+// for lags 0..maxLag: r[k] = corr(x_t, x_{t+k}). For hourly workload
+// series, r[24] measures day-over-day regularity — a complementary view to
+// the DFT diurnal detector: predictable load (the prior assumption the
+// paper overturns) shows high r[24], while the bursty workloads here decay
+// quickly toward zero.
+func Autocorrelation(series []float64, maxLag int) ([]float64, error) {
+	n := len(series)
+	if n < 2 {
+		return nil, errors.New("stats: series too short for autocorrelation")
+	}
+	if maxLag < 0 {
+		return nil, errors.New("stats: negative lag")
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean, _ := Mean(series)
+	var denom float64
+	for _, v := range series {
+		d := v - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		// Constant series: define r[0]=1, rest 0 (no structure to find).
+		out[0] = 1
+		return out, nil
+	}
+	// Unbiased-style normalization: scale each lag's sum by n/(n-k) so a
+	// perfectly periodic signal scores r[period] = 1 regardless of series
+	// length.
+	for k := 0; k <= maxLag; k++ {
+		var num float64
+		for t := 0; t+k < n; t++ {
+			num += (series[t] - mean) * (series[t+k] - mean)
+		}
+		out[k] = num / denom * float64(n) / float64(n-k)
+	}
+	return out, nil
+}
+
+// DailyRegularity returns r[24] of an hourly series: how strongly one
+// day's profile predicts the next. Requires at least 48 samples.
+func DailyRegularity(hourly []float64) (float64, error) {
+	if len(hourly) < 48 {
+		return 0, errors.New("stats: need at least 48 hourly samples")
+	}
+	acf, err := Autocorrelation(hourly, 24)
+	if err != nil {
+		return 0, err
+	}
+	return acf[24], nil
+}

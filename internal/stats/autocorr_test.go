@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	series := []float64{1, 3, 2, 5, 4, 6, 2, 8}
+	acf, err := Autocorrelation(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(acf[0], 1, 1e-12) {
+		t.Errorf("r[0] = %v, want 1", acf[0])
+	}
+	if len(acf) != 4 {
+		t.Errorf("len = %d, want 4", len(acf))
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	n := 10 * 24
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = 100 + 50*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	acf, err := Autocorrelation(series, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[24] < 0.8 {
+		t.Errorf("r[24] of pure diurnal = %v, want high", acf[24])
+	}
+	if acf[12] > -0.5 {
+		t.Errorf("r[12] of pure diurnal = %v, want strongly negative (antiphase)", acf[12])
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	series := make([]float64, 2000)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 24; k++ {
+		if math.Abs(acf[k]) > 0.1 {
+			t.Errorf("white noise r[%d] = %v, want ~0", k, acf[k])
+		}
+	}
+}
+
+func TestAutocorrelationConstant(t *testing.T) {
+	series := []float64{5, 5, 5, 5, 5}
+	acf, err := Autocorrelation(series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 {
+		t.Errorf("constant series acf = %v", acf)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 1); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := Autocorrelation([]float64{1, 2}, -1); err == nil {
+		t.Error("negative lag should error")
+	}
+	// Lag clamping.
+	acf, err := Autocorrelation([]float64{1, 2, 3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acf) != 3 {
+		t.Errorf("clamped acf len = %d, want 3", len(acf))
+	}
+}
+
+func TestDailyRegularity(t *testing.T) {
+	n := 7 * 24
+	regular := make([]float64, n)
+	for i := range regular {
+		regular[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	r, err := DailyRegularity(regular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("regular series r24 = %v, want ~1", r)
+	}
+	if _, err := DailyRegularity(make([]float64, 24)); err == nil {
+		t.Error("short series should error")
+	}
+}

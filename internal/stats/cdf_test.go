@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.2}, {1.5, 0.2}, {2, 0.6}, {3, 0.8}, {9.99, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.P(cse.x); !almostEqual(got, cse.want, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if c.Min() != 1 || c.Max() != 10 {
+		t.Errorf("Min/Max = %v/%v, want 1/10", c.Min(), c.Max())
+	}
+	if got := c.Median(); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.P(5) != 0 || c.Quantile(0.5) != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+	if pts := c.LogPoints(5); pts != nil {
+		t.Error("empty CDF LogPoints should be nil")
+	}
+}
+
+func TestCDFQuantileClamps(t *testing.T) {
+	c := NewCDF([]float64{5, 6, 7})
+	if c.Quantile(-1) != 5 {
+		t.Error("Quantile(-1) should clamp to min")
+	}
+	if c.Quantile(2) != 7 {
+		t.Error("Quantile(2) should clamp to max")
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	c := NewCDF(in)
+	in[0] = 100
+	if c.Max() == 100 {
+		t.Error("CDF aliased caller's slice")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d, want 5", len(pts))
+	}
+	if pts[0].Y != 0 || pts[len(pts)-1].Y != 1 {
+		t.Error("Points should span quantiles 0..1")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatal("Points should be monotone")
+		}
+	}
+}
+
+func TestCDFLogPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 10, 100, 1000})
+	pts := c.LogPoints(1)
+	if len(pts) == 0 {
+		t.Fatal("expected log points")
+	}
+	// Last point must reach cumulative probability 1 at or beyond max.
+	last := pts[len(pts)-1]
+	if last.Y != 1 {
+		t.Errorf("last log point Y = %v, want 1", last.Y)
+	}
+	// Monotone in both axes.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatal("LogPoints should be monotone")
+		}
+	}
+	// All-zero sample has no positive support.
+	if pts := NewCDF([]float64{0, 0}).LogPoints(5); pts != nil {
+		t.Error("LogPoints of all-zero sample should be nil")
+	}
+	if pts := c.LogPoints(0); pts != nil {
+		t.Error("LogPoints with perDecade<1 should be nil")
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := NewCDF([]float64{1, 2, 3, 4})
+	if d := KSDistance(a, a); d != 0 {
+		t.Errorf("KS(a,a) = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := NewCDF([]float64{1, 2, 3})
+	b := NewCDF([]float64{10, 20, 30})
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS disjoint = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceEmpty(t *testing.T) {
+	a := NewCDF(nil)
+	b := NewCDF([]float64{1})
+	if d := KSDistance(a, b); d != 1 {
+		t.Errorf("KS with empty = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 4000)
+	ys := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	d := KSDistance(NewCDF(xs), NewCDF(ys))
+	if d > 0.06 {
+		t.Errorf("KS of two N(0,1) samples = %v, want small", d)
+	}
+}
+
+// Properties: P is monotone nondecreasing, in [0,1]; KS is symmetric and in
+// [0,1].
+func TestCDFQuick(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		c := NewCDF(xs)
+		p := c.P(probe)
+		if p < 0 || p > 1 {
+			return false
+		}
+		if !math.IsNaN(probe) && !math.IsInf(probe, 0) {
+			if c.P(probe+1) < p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	g := func(a, b []float64) bool {
+		ca, cb := NewCDF(clean(a)), NewCDF(clean(b))
+		d1, d2 := KSDistance(ca, cb), KSDistance(cb, ca)
+		return d1 == d2 && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clean(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

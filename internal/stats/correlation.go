@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient
+// between two equal-length series. The paper computes exactly this between
+// the hourly jobsSubmitted(t), dataSizeBytes(t) and
+// computeTimeTaskSeconds(t) vectors (§5.3, Figure 9).
+//
+// It returns an error for mismatched lengths, fewer than two points, or a
+// zero-variance series (correlation undefined).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, errors.New("stats: need at least 2 points for correlation")
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance series")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanRank returns the Spearman rank correlation: Pearson correlation
+// of the rank-transformed series. It is robust to the heavy-tailed hourly
+// byte counts in these workloads and is provided for sensitivity analysis
+// alongside the paper's Pearson values.
+func SpearmanRank(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks converts values to their (average-tie) ranks.
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		idx int
+		v   float64
+	}
+	order := make([]iv, len(xs))
+	for i, v := range xs {
+		order[i] = iv{i, v}
+	}
+	// insertion sort by value; n is small (hourly bins over weeks).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].v < order[j-1].v; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]float64, len(xs))
+	i := 0
+	for i < len(order) {
+		j := i
+		for j+1 < len(order) && order[j+1].v == order[i].v {
+			j++
+		}
+		// average rank for ties, 1-based ranks
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[order[k].idx] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogHistogram buckets strictly positive values into logarithmically spaced
+// bins (a fixed number of bins per base-10 decade). The paper's data-size
+// figures span 1 byte to tens of terabytes, so linear binning is useless;
+// log bins match its axes. Zero and negative observations are counted
+// separately in ZeroCount.
+type LogHistogram struct {
+	// BinsPerDecade is the resolution; 5 gives bin edges at 1, 1.58, 2.51 ...
+	BinsPerDecade int
+	// MinExp is the base-10 exponent of the left edge of the first bin.
+	MinExp float64
+	// Counts[i] is the number of observations in bin i.
+	Counts []uint64
+	// ZeroCount tallies observations that were <= 0 (e.g. map-only jobs
+	// have zero shuffle bytes).
+	ZeroCount uint64
+	total     uint64
+}
+
+// NewLogHistogram creates a histogram with the given resolution covering
+// [10^minExp, 10^maxExp). It panics on nonsensical arguments because these
+// are programmer errors, not data errors.
+func NewLogHistogram(binsPerDecade int, minExp, maxExp float64) *LogHistogram {
+	if binsPerDecade < 1 {
+		panic("stats: binsPerDecade must be >= 1")
+	}
+	if maxExp <= minExp {
+		panic("stats: maxExp must exceed minExp")
+	}
+	n := int(math.Ceil((maxExp - minExp) * float64(binsPerDecade)))
+	return &LogHistogram{
+		BinsPerDecade: binsPerDecade,
+		MinExp:        minExp,
+		Counts:        make([]uint64, n),
+	}
+}
+
+// Observe adds one observation. Values outside the configured range clamp
+// to the first or last bin so totals stay consistent.
+func (h *LogHistogram) Observe(v float64) {
+	h.total++
+	if v <= 0 {
+		h.ZeroCount++
+		return
+	}
+	idx := int(math.Floor((math.Log10(v) - h.MinExp) * float64(h.BinsPerDecade)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of observations including zeros.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// BinLeft returns the left edge of bin i.
+func (h *LogHistogram) BinLeft(i int) float64 {
+	return math.Pow(10, h.MinExp+float64(i)/float64(h.BinsPerDecade))
+}
+
+// BinRight returns the right edge of bin i.
+func (h *LogHistogram) BinRight(i int) float64 {
+	return math.Pow(10, h.MinExp+float64(i+1)/float64(h.BinsPerDecade))
+}
+
+// CumulativeFraction returns, for each bin, the fraction of all
+// observations (zeros included, attributed below the first bin) that fall
+// in that bin or any earlier one. This is the piecewise CDF the paper plots.
+func (h *LogHistogram) CumulativeFraction() []Point {
+	if h.total == 0 {
+		return nil
+	}
+	pts := make([]Point, len(h.Counts))
+	cum := h.ZeroCount
+	for i, c := range h.Counts {
+		cum += c
+		pts[i] = Point{X: h.BinRight(i), Y: float64(cum) / float64(h.total)}
+	}
+	return pts
+}
+
+// String summarizes the histogram for debugging.
+func (h *LogHistogram) String() string {
+	return fmt.Sprintf("LogHistogram{bins=%d, perDecade=%d, total=%d, zeros=%d}",
+		len(h.Counts), h.BinsPerDecade, h.total, h.ZeroCount)
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least-squares line fit
+// y = Slope*x + Intercept, with the coefficient of determination R2.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine fits y = a*x + b by ordinary least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: series length mismatch")
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points for regression")
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: x has zero variance")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // constant y perfectly fit by horizontal line
+	}
+	return fit, nil
+}
+
+// ZipfFit describes a fitted Zipf-like rank-frequency relationship
+// frequency ∝ rank^(-Alpha). Alpha is reported positive; the paper states
+// the file-access distributions have log-log "slope parameters ...
+// approximately 5/6 across workloads" (§4.2, Figure 2), i.e. Alpha ≈ 0.833.
+type ZipfFit struct {
+	// Alpha is the positive Zipf exponent (negated log-log slope).
+	Alpha float64
+	// R2 of the log-log linear fit; near 1 means "approximately straight
+	// lines" as the paper observes.
+	R2 float64
+	// Ranks is the number of distinct items the fit covered.
+	Ranks int
+}
+
+// FitZipf fits a Zipf exponent to a set of access frequencies (one entry
+// per item, e.g. accesses per file). Frequencies are sorted into descending
+// rank order internally; zero frequencies are dropped. At least two
+// distinct positive frequencies are required.
+func FitZipf(frequencies []uint64) (ZipfFit, error) {
+	// Sort a copy descending.
+	fs := make([]uint64, 0, len(frequencies))
+	for _, f := range frequencies {
+		if f > 0 {
+			fs = append(fs, f)
+		}
+	}
+	if len(fs) < 2 {
+		return ZipfFit{}, errors.New("stats: need >= 2 positive frequencies for Zipf fit")
+	}
+	sortDescUint64(fs)
+	logRank := make([]float64, len(fs))
+	logFreq := make([]float64, len(fs))
+	for i, f := range fs {
+		logRank[i] = math.Log10(float64(i + 1))
+		logFreq[i] = math.Log10(float64(f))
+	}
+	fit, err := FitLine(logRank, logFreq)
+	if err != nil {
+		return ZipfFit{}, err
+	}
+	return ZipfFit{Alpha: -fit.Slope, R2: fit.R2, Ranks: len(fs)}, nil
+}
+
+// sortDescUint64 sorts in place, descending. Hand-rolled heapsort keeps the
+// package dependency-free and avoids an extra float conversion pass.
+func sortDescUint64(a []uint64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftMin(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftMin(a, 0, end)
+	}
+}
+
+// siftMin maintains a min-heap so that repeated extraction yields a
+// descending array.
+func siftMin(a []uint64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] < a[child] {
+			child++
+		}
+		if a[root] <= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -1,0 +1,220 @@
+// Package suite implements the benchmark design §7 of the paper argues
+// for: because no single workload is representative, a big-data benchmark
+// must be a *workload suite* — a set of workload classes covering the
+// observed range of behavior, each replayed as a steady processing stream,
+// scored with multiple performance metrics rather than a single
+// jobs-per-second number.
+//
+// A Suite pairs each calibrated workload with a scaled-down synthetic
+// stream (via internal/synth) and replays it on a simulated cluster under
+// a chosen configuration, producing a scorecard per workload: latency
+// percentiles for the small interactive population and the large batch
+// population separately, sustained utilization, and throughput. Systems or
+// configurations are compared by running the same suite against each.
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/units"
+)
+
+// Config describes one suite run.
+type Config struct {
+	// Workloads to include (default: all seven).
+	Workloads []string
+	// SourceWindow is how much of each workload to generate before
+	// scale-down (default 7 days).
+	SourceWindow time.Duration
+	// StreamLength is the replayed stream duration after scale-down
+	// (default 24h).
+	StreamLength time.Duration
+	// TargetNodes sizes the benchmarked cluster; each workload's data and
+	// compute are scaled from its home cluster size to TargetNodes
+	// (default 50).
+	TargetNodes int
+	// Scheduler under test.
+	Scheduler cluster.SchedulerKind
+	// SlotsPerNode splits evenly between map and reduce slots (default 10).
+	SlotsPerNode int
+	// SmallJobThreshold separates the interactive population in scoring
+	// (default 10 GB, the paper's small-job boundary — scaled along with
+	// the data so the classification is invariant).
+	SmallJobThreshold units.Bytes
+	// Seed drives generation, sampling, and replay.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = profile.Names()
+	}
+	if c.SourceWindow == 0 {
+		c.SourceWindow = 7 * 24 * time.Hour
+	}
+	if c.StreamLength == 0 {
+		c.StreamLength = 24 * time.Hour
+	}
+	if c.TargetNodes == 0 {
+		c.TargetNodes = 50
+	}
+	if c.SlotsPerNode == 0 {
+		c.SlotsPerNode = 10
+	}
+	if c.SmallJobThreshold == 0 {
+		c.SmallJobThreshold = 10 * units.GB
+	}
+	return c
+}
+
+// Score is the multi-metric result for one workload in the suite.
+type Score struct {
+	Workload string
+	// Jobs replayed.
+	Jobs int
+	// SmallP50/SmallP99: latency (seconds) of the interactive population.
+	SmallP50, SmallP99 float64
+	// LargeP50/LargeP99: latency of the batch population (0 when the
+	// scaled stream contains none).
+	LargeP50, LargeP99 float64
+	// MeanUtilization is the average busy-slot share over the stream.
+	MeanUtilization float64
+	// BytesPerHour is sustained data throughput.
+	BytesPerHour units.Bytes
+	// Fidelity of the scaled stream against its source.
+	Fidelity synth.Fidelity
+}
+
+// Result is a full suite scorecard.
+type Result struct {
+	Config Config
+	Scores []Score
+}
+
+// Run executes the suite.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Config: cfg}
+	for _, name := range cfg.Workloads {
+		s, err := runOne(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("suite: %s: %w", name, err)
+		}
+		res.Scores = append(res.Scores, s)
+	}
+	return res, nil
+}
+
+func runOne(cfg Config, name string) (Score, error) {
+	p, err := profile.ByName(name)
+	if err != nil {
+		return Score{}, err
+	}
+	src, err := gen.Generate(gen.Config{Profile: p, Seed: cfg.Seed, Duration: cfg.SourceWindow})
+	if err != nil {
+		return Score{}, err
+	}
+	syn, err := synth.Synthesize(src, synth.Config{
+		TargetLength:   cfg.StreamLength,
+		SourceMachines: p.Machines,
+		TargetMachines: cfg.TargetNodes,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return Score{}, err
+	}
+	if syn.Len() == 0 {
+		return Score{}, errors.New("scaled stream is empty")
+	}
+	fid, err := synth.Compare(src, syn)
+	if err != nil {
+		return Score{}, err
+	}
+	rep, err := cluster.Run(syn, cluster.Config{
+		Nodes:              cfg.TargetNodes,
+		MapSlotsPerNode:    cfg.SlotsPerNode - cfg.SlotsPerNode/2,
+		ReduceSlotsPerNode: cfg.SlotsPerNode / 2,
+		Scheduler:          cfg.Scheduler,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return Score{}, err
+	}
+
+	// The small-job boundary scales with the data.
+	scale := float64(cfg.TargetNodes) / float64(p.Machines)
+	threshold := units.Bytes(float64(cfg.SmallJobThreshold) * scale)
+
+	score := Score{Workload: name, Jobs: syn.Len(), Fidelity: fid}
+	var smallLats, largeLats []float64
+	for _, j := range syn.Jobs {
+		m, ok := rep.Jobs[j.ID]
+		if !ok {
+			continue
+		}
+		if j.TotalBytes() < threshold {
+			smallLats = append(smallLats, m.Latency())
+		} else {
+			largeLats = append(largeLats, m.Latency())
+		}
+	}
+	score.SmallP50, score.SmallP99 = percentiles(smallLats)
+	score.LargeP50, score.LargeP99 = percentiles(largeLats)
+
+	var occSum float64
+	for _, o := range rep.HourlyOccupancy {
+		occSum += o
+	}
+	if len(rep.HourlyOccupancy) > 0 && rep.TotalSlots > 0 {
+		score.MeanUtilization = occSum / float64(len(rep.HourlyOccupancy)) / float64(rep.TotalSlots)
+	}
+	sum := syn.Summarize()
+	hours := cfg.StreamLength.Hours()
+	if hours > 0 {
+		score.BytesPerHour = units.Bytes(float64(sum.BytesMoved) / hours)
+	}
+	return score, nil
+}
+
+// percentiles returns (p50, p99) of latencies; zeros when empty.
+func percentiles(lats []float64) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(lats)
+	return lats[len(lats)/2], lats[int(0.99*float64(len(lats)-1))]
+}
+
+// CompareSchedulers runs the same suite under two schedulers and returns
+// the per-workload p99 ratio for the small-job population — the headline
+// comparison §6.2 motivates.
+func CompareSchedulers(cfg Config, a, b cluster.SchedulerKind) (map[string]float64, error) {
+	cfg = cfg.withDefaults()
+	cfgA := cfg
+	cfgA.Scheduler = a
+	resA, err := Run(cfgA)
+	if err != nil {
+		return nil, err
+	}
+	cfgB := cfg
+	cfgB.Scheduler = b
+	resB, err := Run(cfgB)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(resA.Scores))
+	for i, sa := range resA.Scores {
+		sb := resB.Scores[i]
+		if sb.SmallP99 > 0 {
+			out[sa.Workload] = sa.SmallP99 / sb.SmallP99
+		}
+	}
+	return out, nil
+}

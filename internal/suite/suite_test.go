@@ -1,0 +1,103 @@
+package suite
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// fastCfg keeps suite tests quick: two contrasting workloads, short
+// windows.
+func fastCfg() Config {
+	return Config{
+		Workloads:    []string{"CC-b", "CC-e"},
+		SourceWindow: 48 * time.Hour,
+		StreamLength: 12 * time.Hour,
+		TargetNodes:  30,
+		Seed:         5,
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	res, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 2 {
+		t.Fatalf("scores = %d, want 2", len(res.Scores))
+	}
+	for _, s := range res.Scores {
+		if s.Jobs == 0 {
+			t.Errorf("%s: no jobs replayed", s.Workload)
+		}
+		if s.SmallP50 <= 0 || s.SmallP99 < s.SmallP50 {
+			t.Errorf("%s: small-job latencies malformed: p50=%v p99=%v",
+				s.Workload, s.SmallP50, s.SmallP99)
+		}
+		if s.MeanUtilization < 0 || s.MeanUtilization > 1 {
+			t.Errorf("%s: utilization %v out of [0,1]", s.Workload, s.MeanUtilization)
+		}
+		if s.BytesPerHour <= 0 {
+			t.Errorf("%s: no throughput", s.Workload)
+		}
+		// Scaled streams must stay faithful to their sources.
+		if s.Fidelity.WorstExcess() > 0.08 {
+			t.Errorf("%s: scaled stream distorted: %v", s.Workload, s.Fidelity)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i].SmallP99 != b.Scores[i].SmallP99 ||
+			a.Scores[i].Jobs != b.Scores[i].Jobs {
+			t.Fatal("same seed should reproduce the suite exactly")
+		}
+	}
+}
+
+func TestSuiteUnknownWorkload(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Workloads = []string{"nope"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestSuiteDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if len(cfg.Workloads) != 7 {
+		t.Errorf("default workloads = %v", cfg.Workloads)
+	}
+	if cfg.TargetNodes != 50 || cfg.SlotsPerNode != 10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestCompareSchedulers(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Workloads = []string{"CC-b"}
+	cfg.TargetNodes = 10 // small cluster so scheduling pressure exists
+	ratios, err := CompareSchedulers(cfg, cluster.FIFO, cluster.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := ratios["CC-b"]
+	if !ok {
+		t.Fatal("missing CC-b ratio")
+	}
+	// FIFO should never make small jobs *faster* than fair by much; under
+	// contention fair wins (ratio >= 1 within tolerance).
+	if r < 0.8 {
+		t.Errorf("FIFO/fair small-job p99 ratio = %v; fair should not lose badly", r)
+	}
+}

@@ -1,0 +1,263 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func genWorkload(t *testing.T, name string, dur time.Duration, seed int64) *trace.Trace {
+	t.Helper()
+	p, err := profile.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: seed, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSynthesizeBasics(t *testing.T) {
+	src := genWorkload(t, "CC-b", 7*24*time.Hour, 1)
+	syn, err := Synthesize(src, Config{TargetLength: 24 * time.Hour, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Validate(); err != nil {
+		t.Fatalf("synthetic trace invalid: %v", err)
+	}
+	if syn.Meta.Length != 24*time.Hour {
+		t.Errorf("length = %v", syn.Meta.Length)
+	}
+	if syn.Meta.Name != "CC-b-synth" {
+		t.Errorf("name = %q", syn.Meta.Name)
+	}
+	// Roughly 1/7 of the source jobs (window sampling preserves rates).
+	ratio := float64(syn.Len()) / float64(src.Len())
+	if ratio < 0.07 || ratio > 0.25 {
+		t.Errorf("job ratio = %v, want ~1/7", ratio)
+	}
+	// All jobs inside the target window.
+	end := syn.Meta.Start.Add(syn.Meta.Length)
+	for _, j := range syn.Jobs {
+		if j.SubmitTime.Before(syn.Meta.Start) || j.SubmitTime.After(end) {
+			t.Fatalf("job %d at %v outside window", j.ID, j.SubmitTime)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	src := genWorkload(t, "CC-b", 24*time.Hour, 1)
+	if _, err := Synthesize(src, Config{TargetLength: time.Minute}); err == nil {
+		t.Error("sub-window target should error")
+	}
+	empty := trace.New(trace.Meta{Name: "e", Start: src.Meta.Start, Length: time.Hour})
+	if _, err := Synthesize(empty, Config{TargetLength: time.Hour}); err == nil {
+		t.Error("empty source should error")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	src := genWorkload(t, "CC-e", 72*time.Hour, 3)
+	a, err := Synthesize(src, Config{TargetLength: 24 * time.Hour, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(src, Config{TargetLength: 24 * time.Hour, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different job counts")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].InputBytes != b.Jobs[i].InputBytes ||
+			!a.Jobs[i].SubmitTime.Equal(b.Jobs[i].SubmitTime) {
+			t.Fatal("same seed, different jobs")
+		}
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	src := genWorkload(t, "CC-b", 48*time.Hour, 5)
+	syn, err := Synthesize(src, Config{
+		TargetLength:   24 * time.Hour,
+		SourceMachines: 300,
+		TargetMachines: 30,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Meta.Machines != 30 {
+		t.Errorf("machines = %d, want 30", syn.Meta.Machines)
+	}
+	// Aggregate bytes per hour should be roughly 10x smaller than source
+	// (same arrival process, 10x smaller jobs).
+	srcSum := src.Summarize().BytesMoved.Float() / src.Meta.Length.Hours()
+	synSum := syn.Summarize().BytesMoved.Float() / syn.Meta.Length.Hours()
+	ratio := synSum / srcSum
+	if ratio < 0.03 || ratio > 0.4 {
+		t.Errorf("hourly byte ratio = %v, want ~0.1", ratio)
+	}
+	// Task counts never scale below 1.
+	for _, j := range syn.Jobs {
+		if j.MapTasks < 1 {
+			t.Fatal("map tasks scaled below 1")
+		}
+	}
+}
+
+func TestScaleJobPreservesZeros(t *testing.T) {
+	j := &trace.Job{
+		SubmitTime:   time.Now(),
+		InputBytes:   1000,
+		ShuffleBytes: 0,
+		OutputBytes:  10,
+		MapTime:      100,
+		ReduceTime:   0,
+		MapTasks:     4,
+		ReduceTasks:  0,
+	}
+	nj := scaleJob(j, 0.1)
+	if nj.ShuffleBytes != 0 || nj.ReduceTime != 0 || nj.ReduceTasks != 0 {
+		t.Error("zeros must stay zero (map-only jobs stay map-only)")
+	}
+	if nj.InputBytes != 100 {
+		t.Errorf("input = %v, want 100", nj.InputBytes)
+	}
+	if nj.OutputBytes != 1 {
+		t.Errorf("output = %v, want 1", nj.OutputBytes)
+	}
+	if nj.MapTasks != 1 {
+		t.Errorf("map tasks = %d, want 1 (floor)", nj.MapTasks)
+	}
+	// Tiny bytes floor at 1, not 0.
+	small := &trace.Job{InputBytes: 3, SubmitTime: time.Now()}
+	if got := scaleJob(small, 0.1).InputBytes; got != 1 {
+		t.Errorf("scaled tiny input = %v, want 1", got)
+	}
+}
+
+func TestFidelitySelfComparison(t *testing.T) {
+	src := genWorkload(t, "CC-e", 72*time.Hour, 9)
+	fid, err := Compare(src, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.MaxKS() != 0 {
+		t.Errorf("self KS = %v, want 0", fid.MaxKS())
+	}
+	if fid.PeakToMedianRel != 0 {
+		t.Errorf("self p2m rel = %v, want 0", fid.PeakToMedianRel)
+	}
+}
+
+func TestFidelityOfSynthesis(t *testing.T) {
+	// The headline SWIM property: a sampled, scaled-down workload keeps
+	// the distribution shapes. Paper §7 / DESIGN.md target: KS <= ~0.1.
+	src := genWorkload(t, "FB-2009", 14*24*time.Hour, 11)
+	syn, err := Synthesize(src, Config{
+		TargetLength:   2 * 24 * time.Hour,
+		SourceMachines: 600,
+		TargetMachines: 60,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := Compare(src, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every dimension must be within (a small margin of) the two-sample
+	// K-S noise floor: the synthetic workload is statistically
+	// indistinguishable from a resample of the source.
+	if fid.WorstExcess() > 0.03 {
+		t.Errorf("worst KS excess over noise floor = %v (%v), want <= 0.03", fid.WorstExcess(), fid)
+	}
+	// The densely-sampled input dimension should be tight in absolute terms.
+	if fid.Input.KS > 0.05 {
+		t.Errorf("input KS = %v, want <= 0.05", fid.Input.KS)
+	}
+	if fid.PeakToMedianRel > 2.0 {
+		t.Errorf("peak-to-median drift = %v, want bounded", fid.PeakToMedianRel)
+	}
+}
+
+func TestFidelityDetectsDistortion(t *testing.T) {
+	src := genWorkload(t, "CC-b", 72*time.Hour, 13)
+	// Distort the *shape*: collapse every input size to a constant. The
+	// comparison normalizes by median, so only shape changes can (and
+	// must) be detected.
+	distorted := trace.New(src.Meta)
+	for _, j := range src.Jobs {
+		cp := *j
+		cp.InputBytes = units.GB
+		distorted.Add(&cp)
+	}
+	fid, err := Compare(src, distorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.Input.KS < 0.3 {
+		t.Errorf("input KS = %v, want large for constant-size distortion", fid.Input.KS)
+	}
+	if fid.WorstExcess() <= 0 {
+		t.Errorf("worst excess = %v, want positive for a real distortion", fid.WorstExcess())
+	}
+	// Untouched dimensions stay perfect.
+	if fid.Output.KS != 0 {
+		t.Errorf("output KS = %v, want 0", fid.Output.KS)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	src := genWorkload(t, "CC-b", 24*time.Hour, 15)
+	empty := trace.New(trace.Meta{Name: "e", Start: src.Meta.Start, Length: time.Hour})
+	if _, err := Compare(src, empty); err == nil {
+		t.Error("empty comparison should error")
+	}
+	if _, err := Compare(empty, src); err == nil {
+		t.Error("empty comparison should error")
+	}
+}
+
+func TestFidelityString(t *testing.T) {
+	f := Fidelity{
+		Input:           DimFidelity{KS: 0.01, SrcN: 1000, SynN: 100},
+		Shuffle:         DimFidelity{KS: 0.02, SrcN: 1000, SynN: 100},
+		Output:          DimFidelity{KS: 0.03, SrcN: 1000, SynN: 100},
+		TaskTime:        DimFidelity{KS: 0.04, SrcN: 1000, SynN: 100},
+		PeakToMedianRel: 0.5,
+	}
+	if f.String() == "" {
+		t.Error("String should render")
+	}
+	if f.MaxKS() != 0.04 {
+		t.Errorf("MaxKS = %v, want 0.04", f.MaxKS())
+	}
+}
+
+func TestSynthesizedReplayable(t *testing.T) {
+	// End-to-end: synthesized workloads must be consumable by the other
+	// subsystems (analysis bins, byte totals sane).
+	src := genWorkload(t, "CC-e", 72*time.Hour, 17)
+	syn, err := Synthesize(src, Config{TargetLength: 24 * time.Hour, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := syn.Summarize()
+	if sum.Jobs != syn.Len() || sum.BytesMoved <= 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.BytesMoved > 100*units.PB {
+		t.Errorf("implausible synthetic volume %v", sum.BytesMoved)
+	}
+}

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/units"
+)
+
+// The on-disk formats mirror what the study worked with: Hadoop history
+// logs reduced to per-job summary rows. We support two codecs:
+//
+//   - JSONL: one JSON object per line, with a leading meta line. Lossless
+//     and self-describing; the native format of cmd/swimgen.
+//   - CSV: a flat table with a fixed header, interoperable with the SWIM
+//     repository's trace format and spreadsheet tooling.
+
+// jsonlHeader is the first line of a JSONL trace file.
+type jsonlHeader struct {
+	Format   string `json:"format"`
+	Name     string `json:"name"`
+	Machines int    `json:"machines"`
+	Start    int64  `json:"start_unix"`
+	LengthMS int64  `json:"length_ms"`
+}
+
+const jsonlFormat = "swim-trace-v1"
+
+// WriteJSONL serializes the trace as a meta header line followed by one
+// JSON job record per line.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	hdr := jsonlHeader{
+		Format:   jsonlFormat,
+		Name:     t.Meta.Name,
+		Machines: t.Meta.Machines,
+		Start:    t.Meta.Start.UnixMilli(),
+		LengthMS: t.Meta.Length.Milliseconds(),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("trace: writing job %d: %w", j.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: parsing header: %w", err)
+	}
+	if hdr.Format != jsonlFormat {
+		return nil, fmt.Errorf("trace: unknown format %q", hdr.Format)
+	}
+	t := New(Meta{
+		Name:     hdr.Name,
+		Machines: hdr.Machines,
+		Start:    time.UnixMilli(hdr.Start).UTC(),
+		Length:   time.Duration(hdr.LengthMS) * time.Millisecond,
+	})
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Jobs = append(t.Jobs, &j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return t, nil
+}
+
+// csvHeader is the fixed column set of the CSV codec.
+var csvHeader = []string{
+	"id", "name", "submit_unix_ms", "duration_ms",
+	"input_bytes", "shuffle_bytes", "output_bytes",
+	"map_task_seconds", "reduce_task_seconds",
+	"map_tasks", "reduce_tasks", "input_path", "output_path",
+}
+
+// WriteCSV serializes the job table (metadata is not representable in CSV;
+// pair with a JSONL file or supply Meta at read time).
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, j := range t.Jobs {
+		row[0] = strconv.FormatInt(j.ID, 10)
+		row[1] = j.Name
+		row[2] = strconv.FormatInt(j.SubmitTime.UnixMilli(), 10)
+		row[3] = strconv.FormatInt(j.Duration.Milliseconds(), 10)
+		row[4] = strconv.FormatInt(int64(j.InputBytes), 10)
+		row[5] = strconv.FormatInt(int64(j.ShuffleBytes), 10)
+		row[6] = strconv.FormatInt(int64(j.OutputBytes), 10)
+		row[7] = strconv.FormatFloat(float64(j.MapTime), 'f', -1, 64)
+		row[8] = strconv.FormatFloat(float64(j.ReduceTime), 'f', -1, 64)
+		row[9] = strconv.Itoa(j.MapTasks)
+		row[10] = strconv.Itoa(j.ReduceTasks)
+		row[11] = j.InputPath
+		row[12] = j.OutputPath
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a job table written by WriteCSV, attaching the supplied
+// metadata.
+func ReadCSV(r io.Reader, meta Meta) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if hdr[i] != col {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, hdr[i], col)
+		}
+	}
+	t := New(meta)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		j, err := parseCSVRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	return t, nil
+}
+
+func parseCSVRow(rec []string) (*Job, error) {
+	id, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad id %q: %v", rec[0], err)
+	}
+	submitMS, err := strconv.ParseInt(rec[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad submit time %q: %v", rec[2], err)
+	}
+	durMS, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad duration %q: %v", rec[3], err)
+	}
+	var sizes [3]int64
+	for i := 0; i < 3; i++ {
+		sizes[i], err = strconv.ParseInt(rec[4+i], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad byte count %q: %v", rec[4+i], err)
+		}
+	}
+	mapTime, err := strconv.ParseFloat(rec[7], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad map time %q: %v", rec[7], err)
+	}
+	reduceTime, err := strconv.ParseFloat(rec[8], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad reduce time %q: %v", rec[8], err)
+	}
+	mapTasks, err := strconv.Atoi(rec[9])
+	if err != nil {
+		return nil, fmt.Errorf("bad map tasks %q: %v", rec[9], err)
+	}
+	reduceTasks, err := strconv.Atoi(rec[10])
+	if err != nil {
+		return nil, fmt.Errorf("bad reduce tasks %q: %v", rec[10], err)
+	}
+	return &Job{
+		ID:           id,
+		Name:         rec[1],
+		SubmitTime:   time.UnixMilli(submitMS).UTC(),
+		Duration:     time.Duration(durMS) * time.Millisecond,
+		InputBytes:   units.Bytes(sizes[0]),
+		ShuffleBytes: units.Bytes(sizes[1]),
+		OutputBytes:  units.Bytes(sizes[2]),
+		MapTime:      units.TaskSeconds(mapTime),
+		ReduceTime:   units.TaskSeconds(reduceTime),
+		MapTasks:     mapTasks,
+		ReduceTasks:  reduceTasks,
+		InputPath:    rec[11],
+		OutputPath:   rec[12],
+	}, nil
+}

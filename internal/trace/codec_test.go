@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/units"
+)
+
+func sampleTrace() *Trace {
+	tr := New(Meta{Name: "CC-test", Machines: 42, Start: t0, Length: 48 * time.Hour})
+	for i := 0; i < 25; i++ {
+		j := mkJob(int64(i), time.Duration(i)*7*time.Minute)
+		if i%3 == 0 {
+			j.Name = ""
+			j.InputPath = ""
+			j.OutputPath = ""
+		}
+		if i%5 == 0 {
+			j.ShuffleBytes, j.ReduceTime, j.ReduceTasks = 0, 0, 0
+		}
+		tr.Add(j)
+	}
+	return tr
+}
+
+func tracesEqual(t *testing.T, a, b *Trace) {
+	t.Helper()
+	if a.Meta.Name != b.Meta.Name || a.Meta.Machines != b.Meta.Machines {
+		t.Fatalf("meta mismatch: %+v vs %+v", a.Meta, b.Meta)
+	}
+	if !a.Meta.Start.Equal(b.Meta.Start) || a.Meta.Length != b.Meta.Length {
+		t.Fatalf("meta time mismatch: %+v vs %+v", a.Meta, b.Meta)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("job count %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x.ID != y.ID || x.Name != y.Name || !x.SubmitTime.Equal(y.SubmitTime) ||
+			x.Duration != y.Duration || x.InputBytes != y.InputBytes ||
+			x.ShuffleBytes != y.ShuffleBytes || x.OutputBytes != y.OutputBytes ||
+			x.MapTime != y.MapTime || x.ReduceTime != y.ReduceTime ||
+			x.MapTasks != y.MapTasks || x.ReduceTasks != y.ReduceTasks ||
+			x.InputPath != y.InputPath || x.OutputPath != y.OutputPath {
+			t.Fatalf("job %d mismatch:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, orig, back)
+}
+
+func TestJSONLEmptyTrace(t *testing.T) {
+	orig := New(Meta{Name: "empty", Machines: 1, Start: t0, Length: time.Hour})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("expected empty trace, got %d jobs", back.Len())
+	}
+}
+
+func TestJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header should error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"format":"other"}` + "\n")); err == nil {
+		t.Error("unknown format should error")
+	}
+	good := `{"format":"swim-trace-v1","name":"x","machines":1,"start_unix":0,"length_ms":1000}`
+	if _, err := ReadJSONL(strings.NewReader(good + "\n{bad json\n")); err == nil {
+		t.Error("garbage job line should error")
+	}
+	// Blank lines are tolerated.
+	tr, err := ReadJSONL(strings.NewReader(good + "\n\n"))
+	if err != nil {
+		t.Fatalf("blank line: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Error("blank line should not create a job")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, orig.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, orig, back)
+}
+
+func TestCSVErrors(t *testing.T) {
+	meta := Meta{Name: "x"}
+	if _, err := ReadCSV(strings.NewReader(""), meta); err == nil {
+		t.Error("empty csv should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n"), meta); err == nil {
+		t.Error("wrong column count should error")
+	}
+	wrongHeader := strings.Repeat("x,", 12) + "x\n"
+	if _, err := ReadCSV(strings.NewReader(wrongHeader), meta); err == nil {
+		t.Error("wrong header names should error")
+	}
+	// Build a header-correct file with one bad row.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, New(meta)); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.String() + "notanumber,n,0,0,0,0,0,0,0,0,0,,\n"
+	if _, err := ReadCSV(strings.NewReader(bad), meta); err == nil {
+		t.Error("bad id should error")
+	}
+}
+
+// Property: JSONL round-trip preserves arbitrary job dimension values.
+func TestJSONLRoundTripQuick(t *testing.T) {
+	f := func(id int64, in, sh, out int64, durMS int64, mt, rt float64, mtasks, rtasks uint16) bool {
+		abs := func(x int64) int64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		fabs := func(x float64) float64 {
+			if x < 0 || x != x { // negatives and NaN
+				return 0
+			}
+			return x
+		}
+		j := &Job{
+			ID:           abs(id),
+			Name:         "q",
+			SubmitTime:   t0,
+			Duration:     time.Duration(abs(durMS)%1e9) * time.Millisecond,
+			InputBytes:   units.Bytes(abs(in)),
+			ShuffleBytes: units.Bytes(abs(sh)),
+			OutputBytes:  units.Bytes(abs(out)),
+			MapTime:      units.TaskSeconds(fabs(mt)),
+			ReduceTime:   units.TaskSeconds(fabs(rt)),
+			MapTasks:     int(mtasks),
+			ReduceTasks:  int(rtasks),
+		}
+		tr := New(Meta{Name: "q", Machines: 1, Start: t0, Length: time.Hour})
+		tr.Add(j)
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr); err != nil {
+			return false
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil || back.Len() != 1 {
+			return false
+		}
+		g := back.Jobs[0]
+		return g.ID == j.ID && g.InputBytes == j.InputBytes &&
+			g.ShuffleBytes == j.ShuffleBytes && g.OutputBytes == j.OutputBytes &&
+			g.Duration == j.Duration && g.MapTasks == j.MapTasks &&
+			g.ReduceTasks == j.ReduceTasks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func eraT(name string, start time.Time, n int) *Trace {
+	tr := New(Meta{Name: name, Machines: 100, Start: start, Length: 2 * time.Hour})
+	for i := 0; i < n; i++ {
+		tr.Add(&Job{
+			ID:         int64(i + 1),
+			SubmitTime: start.Add(time.Duration(i) * time.Minute),
+			Duration:   time.Minute,
+			InputBytes: units.MB,
+			MapTasks:   1,
+			MapTime:    10,
+			InputPath:  "/data/in",
+			OutputPath: "/data/out",
+		})
+	}
+	return tr
+}
+
+func TestMergeBasics(t *testing.T) {
+	s1 := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	s2 := s1.Add(3 * time.Hour)
+	a := eraT("wl-a", s1, 10)
+	b := eraT("wl-b", s2, 20)
+	m, err := Merge("consolidated", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 30 {
+		t.Fatalf("merged jobs = %d, want 30", m.Len())
+	}
+	if m.Meta.Machines != 200 {
+		t.Errorf("machines = %d, want 200 (summed)", m.Meta.Machines)
+	}
+	if !m.Meta.Start.Equal(s1) {
+		t.Errorf("start = %v, want earliest %v", m.Meta.Start, s1)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// Time alignment: wl-b's jobs are shifted onto wl-a's start.
+	for _, j := range m.Jobs {
+		if j.SubmitTime.Before(s1) || j.SubmitTime.After(s1.Add(time.Hour)) {
+			t.Fatalf("job %d at %v outside aligned window", j.ID, j.SubmitTime)
+		}
+	}
+	// Path namespaces stay disjoint.
+	sawA, sawB := false, false
+	for _, j := range m.Jobs {
+		if strings.HasPrefix(j.InputPath, "/wl-a/") {
+			sawA = true
+		}
+		if strings.HasPrefix(j.InputPath, "/wl-b/") {
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Error("merged paths should be prefixed per source workload")
+	}
+	// IDs renumbered sequentially.
+	for i, j := range m.Jobs {
+		if j.ID != int64(i+1) {
+			t.Fatalf("IDs not renumbered: job %d has ID %d", i, j.ID)
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	s := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	a := eraT("a", s, 5)
+	if _, err := Merge("m", a); err == nil {
+		t.Error("single trace should error")
+	}
+	if _, err := Merge("m", a, New(Meta{Name: "empty", Start: s})); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := Merge("m", a, nil); err == nil {
+		t.Error("nil trace should error")
+	}
+}
+
+func TestMergeDoesNotMutateSources(t *testing.T) {
+	s := time.Date(2011, 3, 1, 0, 0, 0, 0, time.UTC)
+	a := eraT("a", s, 3)
+	b := eraT("b", s.Add(time.Hour), 3)
+	origPath := a.Jobs[0].InputPath
+	origID := b.Jobs[2].ID
+	if _, err := Merge("m", a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Jobs[0].InputPath != origPath {
+		t.Error("merge mutated source paths")
+	}
+	if b.Jobs[2].ID != origID {
+		t.Error("merge mutated source IDs")
+	}
+}

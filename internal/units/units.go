@@ -1,0 +1,170 @@
+// Package units provides the scalar quantities used throughout the workload
+// study: byte sizes spanning bytes to exabytes, wall-clock durations, and
+// task-time measured in slot-seconds. The paper reports data in these units
+// (Table 1, Table 2), and every module in this repository exchanges values
+// typed with them.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bytes is a data size in bytes. Per-job input, shuffle, and output sizes,
+// file sizes, and aggregate bytes-moved figures are all expressed as Bytes.
+type Bytes int64
+
+// Decimal byte-size units. The paper's axes ("1 KB MB GB TB") are decimal
+// powers; we follow that convention rather than IEC binary units.
+const (
+	KB Bytes = 1e3
+	MB Bytes = 1e6
+	GB Bytes = 1e9
+	TB Bytes = 1e12
+	PB Bytes = 1e15
+	EB Bytes = 1e18
+)
+
+// String renders the size with the largest unit that keeps the mantissa in
+// [1, 1000), matching the paper's "14 GB" / "1.2 TB" style.
+func (b Bytes) String() string {
+	neg := ""
+	v := float64(b)
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= 1e18:
+		return fmt.Sprintf("%s%.3g EB", neg, v/1e18)
+	case v >= 1e15:
+		return fmt.Sprintf("%s%.3g PB", neg, v/1e15)
+	case v >= 1e12:
+		return fmt.Sprintf("%s%.3g TB", neg, v/1e12)
+	case v >= 1e9:
+		return fmt.Sprintf("%s%.3g GB", neg, v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%s%.3g MB", neg, v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%s%.3g KB", neg, v/1e3)
+	default:
+		return fmt.Sprintf("%s%d B", neg, int64(v))
+	}
+}
+
+// Float returns the size as a float64 byte count, convenient for statistics.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// ParseBytes parses strings like "80 TB", "4.6KB", "600B", or a bare number
+// of bytes. It accepts the unit suffixes B, KB, MB, GB, TB, PB, EB
+// case-insensitively, with optional whitespace before the suffix.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty byte size")
+	}
+	upper := strings.ToUpper(t)
+	suffixes := []struct {
+		suffix string
+		mult   float64
+	}{
+		{"EB", 1e18}, {"PB", 1e15}, {"TB", 1e12}, {"GB", 1e9},
+		{"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	}
+	for _, sf := range suffixes {
+		if strings.HasSuffix(upper, sf.suffix) {
+			num := strings.TrimSpace(upper[:len(upper)-len(sf.suffix)])
+			if num == "" {
+				return 0, fmt.Errorf("units: missing magnitude in %q", s)
+			}
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
+			}
+			return Bytes(math.Round(v * sf.mult)), nil
+		}
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte size %q: %v", s, err)
+	}
+	return Bytes(math.Round(v)), nil
+}
+
+// TaskSeconds is the map/reduce "task time" unit of the paper: the sum over
+// tasks of per-task wall-clock slot occupancy, in seconds. A job with 2 map
+// tasks of 10 seconds each has MapTime = 20 task-seconds (Table 2 caption).
+type TaskSeconds float64
+
+// String renders task-time in the most natural unit (task-seconds up to
+// task-hours), e.g. "65,100 task-s" or "1,234 task-hr".
+func (ts TaskSeconds) String() string {
+	v := float64(ts)
+	if math.Abs(v) >= 3600*10 {
+		return fmt.Sprintf("%s task-hr", groupDigits(v/3600))
+	}
+	return fmt.Sprintf("%s task-s", groupDigits(v))
+}
+
+// Hours converts to task-hours, the unit used on Figure 7's compute axis.
+func (ts TaskSeconds) Hours() float64 { return float64(ts) / 3600 }
+
+// Float returns the raw task-second count.
+func (ts TaskSeconds) Float() float64 { return float64(ts) }
+
+// Duration is a wall-clock duration. It aliases time.Duration but carries
+// helpers for the paper's coarse display style ("2 hrs 30 min", "39 sec").
+type Duration = time.Duration
+
+// FormatDuration renders a duration in the paper's Table 2 style.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= 48*time.Hour:
+		days := d / (24 * time.Hour)
+		rem := d - days*24*time.Hour
+		if rem < time.Hour {
+			return fmt.Sprintf("%d days", days)
+		}
+		return fmt.Sprintf("%d days %d hrs", days, rem/time.Hour)
+	case d >= time.Hour:
+		h := d / time.Hour
+		m := (d - h*time.Hour) / time.Minute
+		if m == 0 {
+			return fmt.Sprintf("%d hrs", h)
+		}
+		return fmt.Sprintf("%d hrs %d min", h, m)
+	case d >= time.Minute:
+		m := d / time.Minute
+		s := (d - m*time.Minute) / time.Second
+		if s == 0 {
+			return fmt.Sprintf("%d min", m)
+		}
+		return fmt.Sprintf("%d min %d sec", m, s)
+	default:
+		return fmt.Sprintf("%d sec", d/time.Second)
+	}
+}
+
+// groupDigits formats v with thousands separators and no decimals beyond
+// what is needed, e.g. 65100 -> "65,100".
+func groupDigits(v float64) string {
+	s := strconv.FormatFloat(math.Round(v), 'f', 0, 64)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

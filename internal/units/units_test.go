@@ -1,0 +1,154 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{999, "999 B"},
+		{1 * KB, "1 KB"},
+		{4600, "4.6 KB"},
+		{51 * MB, "51 MB"},
+		{14 * GB, "14 GB"},
+		{Bytes(1.2e12), "1.2 TB"},
+		{8 * PB, "8 PB"},
+		{Bytes(1.5e18), "1.5 EB"},
+		{-2 * GB, "-2 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"80 TB", 80 * TB},
+		{"600TB", 600 * TB},
+		{"18 PB", 18 * PB},
+		{"590 TB", 590 * TB},
+		{"9.4 PB", Bytes(9.4e15)},
+		{"1.5 EB", Bytes(1.5e18)},
+		{"4.6KB", 4600},
+		{"600B", 600},
+		{"  512  ", 512},
+		{"0 B", 0},
+		{"2.5 gb", Bytes(2.5e9)},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "GB", "12XB", "1.2.3 GB", "abc"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: String() then ParseBytes() round-trips within the 3-significant-
+// figure precision that String prints.
+func TestBytesRoundTripQuick(t *testing.T) {
+	f := func(raw int64) bool {
+		b := Bytes(raw % int64(2e18))
+		parsed, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		a, p := math.Abs(float64(b)), math.Abs(float64(parsed))
+		if a < 1000 { // byte-exact below 1 KB
+			return b == parsed
+		}
+		rel := math.Abs(a-p) / a
+		return rel < 0.005 // 3 significant figures
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaskSecondsString(t *testing.T) {
+	cases := []struct {
+		in   TaskSeconds
+		want string
+	}{
+		{20, "20 task-s"},
+		{65100, "18 task-hr"},
+		{3600 * 9, "32,400 task-s"},
+		{3600 * 11, "11 task-hr"},
+		{66839710, "18,567 task-hr"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("TaskSeconds(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTaskSecondsHours(t *testing.T) {
+	if got := TaskSeconds(7200).Hours(); got != 2 {
+		t.Errorf("Hours() = %v, want 2", got)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{39 * time.Second, "39 sec"},
+		{23 * time.Second, "23 sec"},
+		{35 * time.Minute, "35 min"},
+		{4 * time.Minute, "4 min"},
+		{67 * time.Second, "1 min 7 sec"},
+		{2*time.Hour + 30*time.Minute, "2 hrs 30 min"},
+		{time.Hour, "1 hrs"},
+		{3 * 24 * time.Hour, "3 days"},
+		{72*time.Hour + 5*time.Hour, "3 days 5 hrs"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGroupDigits(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{65100, "65,100"},
+		{66839710, "66,839,710"},
+		{-4233, "-4,233"},
+	}
+	for _, c := range cases {
+		if got := groupDigits(c.in); got != c.want {
+			t.Errorf("groupDigits(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package swim is a Go reimplementation of the measurement and synthesis
+// pipeline behind "Interactive Analytical Processing in Big Data Systems:
+// A Cross-Industry Study of MapReduce Workloads" (Chen, Alspaugh, Katz —
+// VLDB 2012) and of the paper's companion tool SWIM, the Statistical
+// Workload Injector for MapReduce.
+//
+// The package is a façade over the implementation in internal/…:
+//
+//   - calibrated statistical profiles of the paper's seven workloads
+//     (five Cloudera customers CC-a..CC-e, plus FB-2009 and FB-2010) and a
+//     deterministic generator that synthesizes traces from them
+//     (Workloads, WorkloadProfile, Generate);
+//   - the full analysis suite reproducing every figure and table of the
+//     study from any trace (Analyze, Report);
+//   - the SWIM synthesizer: sample + scale a trace down while preserving
+//     its distributions, with measured fidelity (Synthesize, ScaleDown,
+//     Fidelity);
+//   - a discrete-event MapReduce cluster simulator for replay
+//     (Replay, ReplayOptions);
+//   - cache and storage-tiering policy evaluation driven by the trace's
+//     file access stream (CompareCachePolicies).
+//
+// Everything is deterministic given explicit seeds. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package swim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Re-exported core types. These aliases make the public API self-contained
+// while the implementation lives in internal packages.
+type (
+	// Trace is a workload: metadata plus jobs ordered by submit time.
+	Trace = trace.Trace
+	// Job is one MapReduce job summary record (the Hadoop history-log
+	// schema of §3).
+	Job = trace.Job
+	// Meta is per-trace metadata (workload name, machines, start, length).
+	Meta = trace.Meta
+	// Summary is a Table-1 row (jobs, bytes moved).
+	Summary = trace.Summary
+	// Profile is a calibrated workload profile (Tables 1-2, Figures 2, 6,
+	// 8-10 encoded as generator parameters).
+	Profile = profile.Profile
+	// Bytes is a byte count; TaskSeconds is slot-seconds of task time.
+	Bytes = units.Bytes
+	// TaskSeconds is the map/reduce task-time unit of Table 2.
+	TaskSeconds = units.TaskSeconds
+	// Fidelity scores synthesis quality (K-S distances, burstiness drift).
+	Fidelity = synth.Fidelity
+	// ReplayResult aggregates a simulated replay run.
+	ReplayResult = cluster.Result
+	// CacheResult reports one cache policy's hit rates over a trace.
+	CacheResult = cache.Result
+)
+
+// Byte size constants re-exported for convenience.
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+	TB = units.TB
+	PB = units.PB
+	EB = units.EB
+)
+
+// Workloads lists the seven calibrated workload names in Table 1 order:
+// CC-a, CC-b, CC-c, CC-d, CC-e, FB-2009, FB-2010.
+func Workloads() []string { return profile.Names() }
+
+// WorkloadProfile returns the calibrated profile for a workload name.
+func WorkloadProfile(name string) (*Profile, error) { return profile.ByName(name) }
+
+// GenerateOptions controls synthetic trace generation.
+type GenerateOptions struct {
+	// Workload is one of Workloads(). Required unless Profile is set.
+	Workload string
+	// Profile overrides Workload with a custom profile.
+	Profile *Profile
+	// Seed fixes all randomness (default 1).
+	Seed int64
+	// Duration truncates the trace (zero: the profile's full Table-1
+	// length — note FB-2009 is six months; prefer a few weeks for
+	// interactive use).
+	Duration time.Duration
+	// RateScale scales the arrival rate (zero: 1.0).
+	RateScale float64
+}
+
+// Generate synthesizes a workload trace from a calibrated profile. The
+// generated trace reproduces the published statistics of the original
+// proprietary trace (see DESIGN.md for the substitution argument).
+func Generate(opts GenerateOptions) (*Trace, error) {
+	p := opts.Profile
+	if p == nil {
+		if opts.Workload == "" {
+			return nil, fmt.Errorf("swim: GenerateOptions needs Workload or Profile")
+		}
+		var err error
+		p, err = profile.ByName(opts.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return gen.Generate(gen.Config{
+		Profile:   p,
+		Seed:      seed,
+		Duration:  opts.Duration,
+		RateScale: opts.RateScale,
+	})
+}
+
+// SaveTrace writes a trace to path; format by extension: .jsonl (native,
+// lossless) or .csv (flat job table).
+func SaveTrace(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("swim: %w", err)
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".jsonl":
+		err = trace.WriteJSONL(f, t)
+	case ".csv":
+		err = trace.WriteCSV(f, t)
+	default:
+		err = fmt.Errorf("swim: unknown trace extension %q (use .jsonl or .csv)", filepath.Ext(path))
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace written by SaveTrace. CSV files carry no
+// metadata; meta must be supplied for them and is ignored for JSONL.
+func LoadTrace(path string, meta Meta) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("swim: %w", err)
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".jsonl":
+		return trace.ReadJSONL(f)
+	case ".csv":
+		return trace.ReadCSV(f, meta)
+	default:
+		return nil, fmt.Errorf("swim: unknown trace extension %q", filepath.Ext(path))
+	}
+}
+
+// SynthesizeOptions controls SWIM workload synthesis (§7).
+type SynthesizeOptions struct {
+	// TargetLength of the synthetic workload. Required.
+	TargetLength time.Duration
+	// WindowLength is the sampling granule (default 1 hour).
+	WindowLength time.Duration
+	// SourceMachines/TargetMachines scale data and compute proportionally
+	// to cluster size; zero keeps the original scale.
+	SourceMachines int
+	TargetMachines int
+	// Seed fixes sampling.
+	Seed int64
+}
+
+// Synthesize produces a SWIM-style synthetic workload from a source trace:
+// window-sampled to TargetLength and scaled to the target cluster size.
+func Synthesize(src *Trace, opts SynthesizeOptions) (*Trace, error) {
+	return synth.Synthesize(src, synth.Config{
+		TargetLength:   opts.TargetLength,
+		WindowLength:   opts.WindowLength,
+		SourceMachines: opts.SourceMachines,
+		TargetMachines: opts.TargetMachines,
+		Seed:           opts.Seed,
+	})
+}
+
+// ScaleDownFidelity synthesizes and scores in one step, returning the
+// synthetic trace and its fidelity against the source.
+func ScaleDownFidelity(src *Trace, opts SynthesizeOptions) (*Trace, Fidelity, error) {
+	syn, err := Synthesize(src, opts)
+	if err != nil {
+		return nil, Fidelity{}, err
+	}
+	fid, err := synth.Compare(src, syn)
+	if err != nil {
+		return nil, Fidelity{}, err
+	}
+	return syn, fid, nil
+}
+
+// SchedulerKind selects the replay scheduling discipline.
+type SchedulerKind = cluster.SchedulerKind
+
+// Scheduler disciplines for Replay.
+const (
+	// SchedulerFIFO runs jobs strictly in arrival order.
+	SchedulerFIFO = cluster.FIFO
+	// SchedulerFair round-robins slots across runnable jobs.
+	SchedulerFair = cluster.Fair
+)
+
+// ReplayOptions sizes the simulated cluster for Replay.
+type ReplayOptions struct {
+	// Nodes in the simulated cluster (default: the trace's Meta.Machines).
+	Nodes int
+	// MapSlotsPerNode / ReduceSlotsPerNode (defaults 6 / 4).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// Scheduler discipline (default FIFO).
+	Scheduler SchedulerKind
+	// Straggler injection: per-task probability and slowdown factor.
+	StragglerProb   float64
+	StragglerFactor float64
+	// Seed fixes straggler draws.
+	Seed int64
+}
+
+// Replay runs the trace through the discrete-event cluster simulator and
+// returns per-job latencies and the hourly slot-occupancy series (the
+// utilization column of Figure 7).
+func Replay(t *Trace, opts ReplayOptions) (*ReplayResult, error) {
+	nodes := opts.Nodes
+	if nodes == 0 {
+		nodes = t.Meta.Machines
+	}
+	return cluster.Run(t, cluster.Config{
+		Nodes:              nodes,
+		MapSlotsPerNode:    opts.MapSlotsPerNode,
+		ReduceSlotsPerNode: opts.ReduceSlotsPerNode,
+		Scheduler:          opts.Scheduler,
+		StragglerProb:      opts.StragglerProb,
+		StragglerFactor:    opts.StragglerFactor,
+		Seed:               opts.Seed,
+	})
+}
+
+// CompareCachePolicies replays the trace's input accesses through the §4
+// policy suite — LRU, LFU, FIFO, and the paper-recommended size-threshold
+// LRU — each with the given byte capacity. Threshold is the admission cut
+// for the size-threshold policy (e.g. 1 GB, per Figure 3's "90% of jobs
+// access files of less than a few GBs").
+func CompareCachePolicies(t *Trace, capacity, threshold Bytes) ([]CacheResult, error) {
+	return cache.Compare(t, []cache.Policy{
+		cache.NewLRU(capacity),
+		cache.NewLFU(capacity),
+		cache.NewFIFO(capacity),
+		cache.NewSizeThresholdLRU(capacity, threshold),
+	})
+}

@@ -1,0 +1,222 @@
+package swim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func genFB(t testing.TB, dur time.Duration) *Trace {
+	t.Helper()
+	tr, err := Generate(GenerateOptions{Workload: "FB-2009", Seed: 42, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("Workloads() = %v", ws)
+	}
+	for _, name := range ws {
+		p, err := WorkloadProfile(name)
+		if err != nil || p.Name != name {
+			t.Errorf("WorkloadProfile(%s): %v, %v", name, p, err)
+		}
+	}
+	if _, err := WorkloadProfile("bogus"); err == nil {
+		t.Error("bogus workload should error")
+	}
+}
+
+func TestGenerateFacade(t *testing.T) {
+	tr := genFB(t, 48*time.Hour)
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(GenerateOptions{}); err == nil {
+		t.Error("missing workload should error")
+	}
+	// Custom profile path.
+	p, _ := WorkloadProfile("CC-a")
+	tr2, err := Generate(GenerateOptions{Profile: p, Duration: 24 * time.Hour})
+	if err != nil || tr2.Len() == 0 {
+		t.Errorf("custom profile generate: %v", err)
+	}
+}
+
+func TestSaveLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	tr := genFB(t, 24*time.Hour)
+
+	jsonl := filepath.Join(dir, "t.jsonl")
+	if err := SaveTrace(jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(jsonl, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.Meta.Name != tr.Meta.Name {
+		t.Error("jsonl round trip mismatch")
+	}
+
+	csvPath := filepath.Join(dir, "t.csv")
+	if err := SaveTrace(csvPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := LoadTrace(csvPath, tr.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Len() != tr.Len() {
+		t.Error("csv round trip mismatch")
+	}
+
+	if err := SaveTrace(filepath.Join(dir, "t.xml"), tr); err == nil {
+		t.Error("unknown extension should error")
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "t.xml"), Meta{}); err == nil {
+		t.Error("unknown extension should error")
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "missing.jsonl"), Meta{}); err == nil {
+		t.Error("missing file should error")
+	}
+	// Save into an unwritable location.
+	if err := SaveTrace(filepath.Join(dir, "nodir", "t.jsonl"), tr); err == nil {
+		t.Error("bad path should error")
+	}
+	_ = os.Remove(jsonl)
+}
+
+func TestAnalyzeFullReport(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-c", Seed: 7, Duration: 7 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(tr, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DataSizes == nil || rep.Series == nil || rep.Correlations == nil {
+		t.Fatal("universal analyses missing")
+	}
+	// CC-c has paths and names: everything should populate.
+	if rep.InputAccess == nil || rep.InputSizeAccess == nil || rep.Intervals == nil ||
+		rep.Reaccess == nil || rep.Names == nil || rep.Clusters == nil ||
+		rep.OutputAccess == nil || rep.OutputSizeAccess == nil {
+		t.Errorf("CC-c report incomplete: %+v", rep)
+	}
+	if rep.PeakToMedian <= 1 {
+		t.Errorf("peak-to-median = %v, want > 1", rep.PeakToMedian)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "Table 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+func TestAnalyzeRespectsFieldGaps(t *testing.T) {
+	// FB-2009: no paths -> no Figures 2-6; has names -> Figure 10 present.
+	tr := genFB(t, 72*time.Hour)
+	rep, err := Analyze(tr, AnalyzeOptions{SkipClustering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputAccess != nil || rep.Intervals != nil || rep.Reaccess != nil {
+		t.Error("FB-2009 should have no path-based analyses")
+	}
+	if rep.Names == nil {
+		t.Error("FB-2009 should have name analysis")
+	}
+	if rep.Clusters != nil {
+		t.Error("SkipClustering should skip Table 2")
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Figure 2") {
+		t.Error("report should omit inapplicable sections")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(&Trace{}, AnalyzeOptions{}); err == nil {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestSynthesizeAndFidelity(t *testing.T) {
+	src := genFB(t, 7*24*time.Hour)
+	syn, fid, err := ScaleDownFidelity(src, SynthesizeOptions{
+		TargetLength:   24 * time.Hour,
+		SourceMachines: 600,
+		TargetMachines: 60,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Len() == 0 {
+		t.Fatal("empty synthetic trace")
+	}
+	if fid.WorstExcess() > 0.03 {
+		t.Errorf("scale-down fidelity excess = %v (%v), want within sampling noise", fid.WorstExcess(), fid)
+	}
+}
+
+func TestReplayFacade(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-e", Seed: 5, Duration: 12 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(tr, ReplayOptions{Scheduler: SchedulerFair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != tr.Len() {
+		t.Errorf("completed %d of %d", res.Completed, tr.Len())
+	}
+	if len(res.HourlyOccupancy) == 0 {
+		t.Error("no occupancy series")
+	}
+}
+
+func TestCompareCachePoliciesFacade(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-d", Seed: 5, Duration: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareCachePolicies(tr, 100*GB, GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 policies", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Policy] = true
+	}
+	for _, want := range []string{"LRU", "LFU", "FIFO", "SizeThreshold+LRU"} {
+		if !names[want] {
+			t.Errorf("missing policy %s", want)
+		}
+	}
+}
