@@ -9,6 +9,8 @@ package swim
 // tables; EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -508,15 +510,35 @@ func BenchmarkConsolidation(b *testing.B) {
 
 // BenchmarkGenerate measures raw trace synthesis throughput (jobs/op is
 // implicit in the window; this is the substrate every experiment pays).
+// The P=1 vs P=GOMAXPROCS variants quantify the sharded generator's
+// speedup on a multi-week FB-2009 trace — the same seed produces the
+// identical trace in every variant, so they time the same work.
 func BenchmarkGenerate(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tr, err := Generate(GenerateOptions{Workload: "CC-b", Seed: int64(i), Duration: 48 * time.Hour})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if tr.Len() == 0 {
-			b.Fatal("empty trace")
-		}
+	const window = 3 * 7 * 24 * time.Hour
+	pars := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pars = append(pars, n)
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("P=%d", par), func(b *testing.B) {
+			var jobs int
+			for i := 0; i < b.N; i++ {
+				tr, err := Generate(GenerateOptions{
+					Workload:    "FB-2009",
+					Seed:        1,
+					Duration:    window,
+					Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Len() == 0 {
+					b.Fatal("empty trace")
+				}
+				jobs = tr.Len()
+			}
+			b.ReportMetric(float64(jobs), "jobs")
+		})
 	}
 }
 

@@ -46,6 +46,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "short windows (2 days) for a fast smoke run")
 		seed  = flag.Int64("seed", 1, "generation seed")
+		par   = flag.Int("parallelism", 0, "trace-generation workers (0 = all cores); traces are identical at any setting")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 	reports := map[string]*swim.Report{}
 	traces := map[string]*swim.Trace{}
 	for _, name := range swim.Workloads() {
-		tr, err := swim.Generate(swim.GenerateOptions{Workload: name, Seed: *seed, Duration: dur})
+		tr, err := swim.Generate(swim.GenerateOptions{Workload: name, Seed: *seed, Duration: dur, Parallelism: *par})
 		if err != nil {
 			log.Fatal(err)
 		}

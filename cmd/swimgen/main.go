@@ -26,9 +26,10 @@ func main() {
 
 	var (
 		workload = flag.String("workload", "CC-b", "workload to synthesize: "+strings.Join(swim.Workloads(), ", "))
-		seed     = flag.Int64("seed", 1, "generator seed (deterministic output)")
+		seed     = flag.Int64("seed", 1, "generator seed (deterministic output at any -parallelism)")
 		duration = flag.Duration("duration", 0, "trace duration (0 = the workload's full Table-1 length)")
 		scale    = flag.Float64("scale", 1.0, "arrival-rate scale factor")
+		par      = flag.Int("parallelism", 0, "generation workers (0 = all cores); output is identical at any setting")
 		out      = flag.String("out", "", "output file (.jsonl or .csv); required")
 	)
 	flag.Parse()
@@ -39,10 +40,11 @@ func main() {
 	}
 	start := time.Now()
 	tr, err := swim.Generate(swim.GenerateOptions{
-		Workload:  *workload,
-		Seed:      *seed,
-		Duration:  *duration,
-		RateScale: *scale,
+		Workload:    *workload,
+		Seed:        *seed,
+		Duration:    *duration,
+		RateScale:   *scale,
+		Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSamplersDeterministic: every sampler in the package is a pure
+// function of its source — two sources seeded identically must yield
+// identical draw sequences. This is the contract the sharded generator
+// builds its cross-parallelism reproducibility on.
+func TestSamplersDeterministic(t *testing.T) {
+	src := func() *rand.Rand { return rand.New(rand.NewPCG(101, 202)) }
+	const draws = 2000
+
+	t.Run("BoundedZipf", func(t *testing.T) {
+		z, err := NewBoundedZipf(333, 5.0/6.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := src(), src()
+		for i := 0; i < draws; i++ {
+			if x, y := z.SampleRank(a), z.SampleRank(b); x != y {
+				t.Fatalf("draw %d: %d vs %d", i, x, y)
+			}
+		}
+	})
+	t.Run("ApproxZipfRank", func(t *testing.T) {
+		a, b := src(), src()
+		for i := 0; i < draws; i++ {
+			if x, y := ApproxZipfRank(a, 777, 1.05), ApproxZipfRank(b, 777, 1.05); x != y {
+				t.Fatalf("draw %d: %d vs %d", i, x, y)
+			}
+		}
+	})
+	t.Run("Pareto", func(t *testing.T) {
+		p := Pareto{Xm: 1.5, Alpha: 1.8}
+		a, b := src(), src()
+		for i := 0; i < draws; i++ {
+			if x, y := p.Sample(a), p.Sample(b); x != y {
+				t.Fatalf("draw %d: %v vs %v", i, x, y)
+			}
+		}
+	})
+	t.Run("Poisson", func(t *testing.T) {
+		a, b := src(), src()
+		for _, lambda := range []float64{3, 300} {
+			for i := 0; i < draws; i++ {
+				if x, y := Poisson(a, lambda), Poisson(b, lambda); x != y {
+					t.Fatalf("lambda %v draw %d: %d vs %d", lambda, i, x, y)
+				}
+			}
+		}
+	})
+	t.Run("WeightedChoice", func(t *testing.T) {
+		wc, err := NewWeightedChoice([]float64{0.4, 0.3, 0.2, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := src(), src()
+		for i := 0; i < draws; i++ {
+			if x, y := wc.Sample(a), wc.Sample(b); x != y {
+				t.Fatalf("draw %d: %d vs %d", i, x, y)
+			}
+		}
+	})
+	t.Run("LogNormal", func(t *testing.T) {
+		ln := MeanOneLogNormal(0.8)
+		a, b := src(), src()
+		for i := 0; i < draws; i++ {
+			if x, y := ln.Sample(a), ln.Sample(b); x != y {
+				t.Fatalf("draw %d: %v vs %v", i, x, y)
+			}
+		}
+	})
+}

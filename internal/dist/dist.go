@@ -1,0 +1,25 @@
+// Package dist provides the random-variate samplers the trace generator
+// is built on: bounded and unbounded Zipf ranks (file popularity, Figure
+// 2 of the study), Pareto (burst multipliers, Figure 8), Poisson (hourly
+// arrival counts, §5), lognormal (within-cluster size and time spread,
+// Table 2), and an alias-method weighted choice (job-name mixtures,
+// Figure 10).
+//
+// Every sampler draws exclusively from the *rand.Rand passed at call
+// time and keeps no mutable state of its own, so a constructed sampler
+// is safe for concurrent use from many goroutines as long as each
+// goroutine brings its own source. That contract is what lets
+// internal/gen shard trace generation across workers while staying
+// bit-reproducible: randomness is a pure function of the caller's
+// (seed-derived) source, never of scheduling.
+//
+// See DESIGN.md for why each algorithm was chosen.
+package dist
+
+import "math/rand/v2"
+
+// Sampler is the common face of the continuous distributions in this
+// package: one draw per call from the supplied source.
+type Sampler interface {
+	Sample(rng *rand.Rand) float64
+}

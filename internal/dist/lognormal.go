@@ -1,0 +1,34 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// LogNormal is a lognormal distribution parameterized by the mean Mu and
+// standard deviation Sigma of the underlying normal (natural-log space).
+// Table 2's within-cluster size and time spread and §5's hourly rate
+// noise are both lognormal in the generator.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws exp(Mu + Sigma·Z).
+func (ln LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(ln.Mu + ln.Sigma*rng.NormFloat64())
+}
+
+// Median is exp(Mu).
+func (ln LogNormal) Median() float64 { return math.Exp(ln.Mu) }
+
+// Mean is exp(Mu + Sigma²/2).
+func (ln LogNormal) Mean() float64 { return math.Exp(ln.Mu + ln.Sigma*ln.Sigma/2) }
+
+// MeanOneLogNormal returns the lognormal with the given log-space sigma
+// whose mean is exactly 1 (Mu = -Sigma²/2). The arrival process
+// multiplies hourly rates by such noise so that modulation reshapes the
+// rate series without inflating the long-run job count.
+func MeanOneLogNormal(sigma float64) LogNormal {
+	return LogNormal{Mu: -sigma * sigma / 2, Sigma: sigma}
+}

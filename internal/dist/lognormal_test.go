@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLogNormalMoments(t *testing.T) {
+	ln := LogNormal{Mu: 0.4, Sigma: 0.7}
+	if got, want := ln.Median(), math.Exp(0.4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Median = %v, want %v", got, want)
+	}
+	if got, want := ln.Mean(), math.Exp(0.4+0.49/2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+
+	rng := rand.New(rand.NewPCG(41, 3))
+	const n = 400000
+	var sum float64
+	samples := make([]float64, n)
+	for i := range samples {
+		x := ln.Sample(rng)
+		if x <= 0 {
+			t.Fatal("lognormal sample must be positive")
+		}
+		samples[i] = x
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-ln.Mean())/ln.Mean() > 0.02 {
+		t.Errorf("empirical mean %v, analytic %v", mean, ln.Mean())
+	}
+	// Median check: about half the samples below exp(Mu).
+	below := 0
+	for _, x := range samples {
+		if x < ln.Median() {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below median = %v, want ~0.5", frac)
+	}
+}
+
+func TestMeanOneLogNormal(t *testing.T) {
+	for _, sigma := range []float64{0.2, 0.8, 1.5} {
+		ln := MeanOneLogNormal(sigma)
+		if math.Abs(ln.Mean()-1) > 1e-12 {
+			t.Errorf("sigma %v: analytic mean %v, want 1", sigma, ln.Mean())
+		}
+		rng := rand.New(rand.NewPCG(43, math.Float64bits(sigma)))
+		const n = 500000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += ln.Sample(rng)
+		}
+		// Heavy right tail at sigma 1.5: generous empirical tolerance.
+		if mean := sum / n; math.Abs(mean-1) > 0.05 {
+			t.Errorf("sigma %v: empirical mean %v, want ~1", sigma, mean)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Pareto is a type-I Pareto distribution with scale Xm (the minimum
+// value) and shape Alpha: P(X > x) = (Xm/x)^Alpha for x >= Xm. The
+// generator uses it for the burst multipliers behind Figure 8's
+// 9:1–260:1 peak-to-median ratios; the heavy tail is the point, so the
+// sampler is exact inverse-CDF rather than a clipped approximation.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws one variate in [Xm, ∞). The uniform is taken as 1-u with
+// u ∈ [0, 1) so the argument to Pow is in (0, 1] and the result is
+// always finite.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	return p.Xm * math.Pow(1-rng.Float64(), -1/p.Alpha)
+}
+
+// Mean returns the distribution mean, or +Inf when Alpha <= 1 (the tail
+// is too heavy for a first moment).
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}

@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestParetoSupport(t *testing.T) {
+	p := Pareto{Xm: 1.5, Alpha: 2.5}
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 10000; i++ {
+		x := p.Sample(rng)
+		if x < p.Xm {
+			t.Fatalf("sample %v below scale %v", x, p.Xm)
+		}
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("non-finite sample %v", x)
+		}
+	}
+}
+
+// TestParetoTailIndexRecovered checks the maximum-likelihood (Hill)
+// estimate of the tail index against the configured shape: with all
+// samples above Xm, alphaHat = n / Σ ln(xᵢ/Xm).
+func TestParetoTailIndexRecovered(t *testing.T) {
+	for _, alpha := range []float64{1.2, 2.0, 3.5} {
+		p := Pareto{Xm: 2.0, Alpha: alpha}
+		rng := rand.New(rand.NewPCG(17, uint64(alpha*100)))
+		const n = 200000
+		var sumLog float64
+		for i := 0; i < n; i++ {
+			sumLog += math.Log(p.Sample(rng) / p.Xm)
+		}
+		alphaHat := float64(n) / sumLog
+		if math.Abs(alphaHat-alpha)/alpha > 0.02 {
+			t.Errorf("alpha = %v: MLE recovered %v, want within 2%%", alpha, alphaHat)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	if m := (Pareto{Xm: 1, Alpha: 0.9}).Mean(); !math.IsInf(m, 1) {
+		t.Errorf("alpha <= 1 mean = %v, want +Inf", m)
+	}
+	p := Pareto{Xm: 1.5, Alpha: 3}
+	want := p.Mean() // 3·1.5/2 = 2.25
+	rng := rand.New(rand.NewPCG(23, 5))
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("empirical mean %v, analytic %v", got, want)
+	}
+}

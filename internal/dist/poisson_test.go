@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPoissonDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, lambda := range []float64{0, -3, math.NaN()} {
+		for i := 0; i < 100; i++ {
+			if k := Poisson(rng, lambda); k != 0 {
+				t.Fatalf("Poisson(%v) = %d, want 0", lambda, k)
+			}
+		}
+	}
+}
+
+// TestPoissonMeanVariance checks the defining property E[X] = Var[X] =
+// lambda on both sides of the Knuth/PTRS cutoff.
+func TestPoissonMeanVariance(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 12, 29.9, 30.1, 80, 500, 4000} {
+		rng := rand.New(rand.NewPCG(29, math.Float64bits(lambda)))
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := Poisson(rng, lambda)
+			if k < 0 {
+				t.Fatalf("negative count %d at lambda %v", k, lambda)
+			}
+			x := float64(k)
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Standard error of the mean is sqrt(lambda/n); allow 5 sigma.
+		tol := 5 * math.Sqrt(lambda/n)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("lambda %v: mean %v (tolerance %v)", lambda, mean, tol)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.05 {
+			t.Errorf("lambda %v: variance %v, want within 5%%", lambda, variance)
+		}
+	}
+}
+
+// TestPoissonTailMass: large deviations must be rare but possible —
+// P(X >= lambda + 4·sqrt(lambda)) is a fraction of a percent.
+func TestPoissonTailMass(t *testing.T) {
+	const lambda = 100.0
+	rng := rand.New(rand.NewPCG(31, 7))
+	const n = 100000
+	over := 0
+	cut := lambda + 4*math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		if float64(Poisson(rng, lambda)) >= cut {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if frac > 0.003 {
+		t.Errorf("P(X >= mean+4sd) = %v, want < 0.003", frac)
+	}
+}

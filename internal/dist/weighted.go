@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// WeightedChoice draws indices i with probability proportional to
+// weights[i] in O(1) per draw via Vose's alias method. The generator
+// uses it for the Figure 10 job-name mixtures, replacing a linear scan
+// over the weight vector on every job.
+//
+// The table is immutable after construction and safe for concurrent
+// draws from independent sources.
+type WeightedChoice struct {
+	prob  []float64 // prob[i]: chance column i keeps its own index
+	alias []int     // alias[i]: index drawn when the coin flip loses
+}
+
+// NewWeightedChoice builds the alias table in O(n). Weights must be
+// non-negative and finite with a positive sum; individual zero weights
+// are fine (those indices are simply never drawn).
+func NewWeightedChoice(weights []float64) (*WeightedChoice, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: WeightedChoice needs at least one weight")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: WeightedChoice weight[%d] = %v", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("dist: WeightedChoice weights sum to zero")
+	}
+
+	// Vose's method: scale weights to mean 1, then pair each underfull
+	// column with an overfull donor.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	wc := &WeightedChoice{prob: make([]float64, n), alias: make([]int, n)}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		wc.prob[s] = scaled[s]
+		wc.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Round-off leftovers are all exactly probability 1.
+	for _, i := range large {
+		wc.prob[i] = 1
+		wc.alias[i] = i
+	}
+	for _, i := range small {
+		wc.prob[i] = 1
+		wc.alias[i] = i
+	}
+	return wc, nil
+}
+
+// Len returns the number of indices.
+func (w *WeightedChoice) Len() int { return len(w.prob) }
+
+// Sample draws one index: a fair column pick plus one biased coin.
+func (w *WeightedChoice) Sample(rng *rand.Rand) int {
+	i := rng.IntN(len(w.prob))
+	if rng.Float64() < w.prob[i] {
+		return i
+	}
+	return w.alias[i]
+}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewWeightedChoiceErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{1, -0.5},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+		{0, 0, 0},
+	}
+	for i, ws := range cases {
+		if _, err := NewWeightedChoice(ws); err == nil {
+			t.Errorf("case %d (%v): expected error", i, ws)
+		}
+	}
+}
+
+func TestWeightedChoiceSingle(t *testing.T) {
+	wc, err := NewWeightedChoice([]float64{3.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 100; i++ {
+		if wc.Sample(rng) != 0 {
+			t.Fatal("single-weight table must always return 0")
+		}
+	}
+	if wc.Len() != 1 {
+		t.Errorf("Len = %d", wc.Len())
+	}
+}
+
+func TestWeightedChoiceZeroWeightNeverDrawn(t *testing.T) {
+	wc, err := NewWeightedChoice([]float64{0.5, 0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 50000; i++ {
+		if wc.Sample(rng) == 1 {
+			t.Fatal("index with zero weight was drawn")
+		}
+	}
+}
+
+// TestWeightedChoiceDistribution is a chi-squared goodness-of-fit check:
+// the alias table must reproduce the weight vector, including weights
+// that do not sum to 1 (the table normalizes internally).
+func TestWeightedChoiceDistribution(t *testing.T) {
+	weights := []float64{5, 3, 1.5, 0.4, 0.1}
+	wc, err := NewWeightedChoice(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	rng := rand.New(rand.NewPCG(8, 15))
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[wc.Sample(rng)]++
+	}
+	var chi2 float64
+	for i, w := range weights {
+		exp := n * w / total
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+	}
+	// df = 4; critical value at p = 0.001 is 18.47.
+	if chi2 > 18.47 {
+		t.Errorf("chi-squared = %v over df=4, want < 18.47 (counts %v)", chi2, counts)
+	}
+}

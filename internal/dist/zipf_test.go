@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewBoundedZipfErrors(t *testing.T) {
+	cases := []struct {
+		n     int
+		alpha float64
+	}{
+		{0, 0.8},
+		{-5, 0.8},
+		{10, 0},
+		{10, -1},
+		{10, math.NaN()},
+		{10, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewBoundedZipf(c.n, c.alpha); err == nil {
+			t.Errorf("NewBoundedZipf(%d, %v): expected error", c.n, c.alpha)
+		}
+	}
+}
+
+func TestBoundedZipfAccessors(t *testing.T) {
+	z, err := NewBoundedZipf(100, 5.0/6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 100 || z.Alpha() != 5.0/6.0 {
+		t.Errorf("accessors: N=%d Alpha=%v", z.N(), z.Alpha())
+	}
+}
+
+func TestBoundedZipfProbNormalized(t *testing.T) {
+	z, err := NewBoundedZipf(64, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for k := 1; k <= 64; k++ {
+		p := z.Prob(k)
+		if p <= 0 {
+			t.Fatalf("Prob(%d) = %v, want > 0", k, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(0) != 0 || z.Prob(65) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+	// Monotone decreasing mass.
+	for k := 2; k <= 64; k++ {
+		if z.Prob(k) > z.Prob(k-1) {
+			t.Fatalf("Prob(%d) > Prob(%d)", k, k-1)
+		}
+	}
+}
+
+func TestBoundedZipfBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, n := range []int{1, 2, 17, 500} {
+		z, err := NewBoundedZipf(n, 5.0/6.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if k := z.SampleRank(rng); k < 1 || k > n {
+				t.Fatalf("SampleRank(n=%d) = %d out of bounds", n, k)
+			}
+		}
+	}
+}
+
+// TestBoundedZipfExponentRecovered is the Figure 2 property: empirical
+// frequency vs rank on log-log axes must be a straight line whose slope
+// recovers the configured exponent.
+func TestBoundedZipfExponentRecovered(t *testing.T) {
+	const (
+		n       = 400
+		alpha   = 5.0 / 6.0
+		samples = 400000
+	)
+	z, err := NewBoundedZipf(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	counts := make([]int, n+1)
+	for i := 0; i < samples; i++ {
+		counts[z.SampleRank(rng)]++
+	}
+	// Regress log(freq) on log(rank) over the well-populated head.
+	var xs, ys []float64
+	for k := 1; k <= 100; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(k)))
+		ys = append(ys, math.Log(float64(counts[k])))
+	}
+	slope, r2 := linFit(xs, ys)
+	if math.Abs(-slope-alpha) > 0.06 {
+		t.Errorf("recovered exponent %v, want %v ± 0.06", -slope, alpha)
+	}
+	if r2 < 0.98 {
+		t.Errorf("log-log fit R² = %v, want a straight line (> 0.98)", r2)
+	}
+}
+
+func TestApproxZipfRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 1))
+	for _, alpha := range []float64{0.5, 5.0 / 6.0, 1.0, 1.1} {
+		for _, n := range []int{1, 2, 10, 1000} {
+			for i := 0; i < 500; i++ {
+				k := ApproxZipfRank(rng, n, alpha)
+				if k < 1 || k > n {
+					t.Fatalf("ApproxZipfRank(n=%d, alpha=%v) = %d out of bounds", n, alpha, k)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxZipfRankSkew(t *testing.T) {
+	rng := rand.New(rand.NewPCG(56, 1))
+	n := 1000
+	counts := make([]int, n+1)
+	for i := 0; i < 100000; i++ {
+		counts[ApproxZipfRank(rng, n, 5.0/6.0)]++
+	}
+	if counts[1] < counts[n/2] {
+		t.Error("rank 1 should be more popular than middle ranks")
+	}
+	// P(k <= 10) ≈ (10/1000)^(1/6) ≈ 0.46 for the continuous analogue.
+	head := 0
+	for k := 1; k <= 10; k++ {
+		head += counts[k]
+	}
+	frac := float64(head) / 100000
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("head mass = %v, want ~0.46", frac)
+	}
+}
+
+// linFit returns the least-squares slope and R² of y on x.
+func linFit(xs, ys []float64) (slope, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	slope = sxy / sxx
+	r := sxy / math.Sqrt(sxx*syy)
+	return slope, r * r
+}

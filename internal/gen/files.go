@@ -3,8 +3,7 @@ package gen
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"time"
+	"math/rand/v2"
 
 	"repro/internal/dist"
 	"repro/internal/profile"
@@ -25,9 +24,14 @@ import (
 //   - re-accessed files are chosen within the job's input-size decade, so
 //     per-job data sizes (Figure 1) and file sizes (Figures 3-4) stay
 //     consistent.
+//
+// The store is the one deliberately sequential piece of the generator:
+// re-access causality (a job sees the namespace as of its submit time)
+// is global state, so Generate threads jobs through it in submit order
+// during the merge phase. All randomness still comes from the rng each
+// call supplies — the job's own window stream.
 type fileStore struct {
-	p   *profile.Profile
-	rng *rand.Rand
+	p *profile.Profile
 	// inputs and outputs are decade-bucketed (log10 of size) populations
 	// in creation order.
 	inputs  map[int][]*fileEntry
@@ -53,7 +57,7 @@ type fileEntry struct {
 	size units.Bytes
 }
 
-func newFileStore(p *profile.Profile, rng *rand.Rand) *fileStore {
+func newFileStore(p *profile.Profile) *fileStore {
 	hz, err := dist.NewBoundedZipf(hotSetSize, p.ZipfAlpha)
 	if err != nil {
 		// Profiles are validated before generation; a bad exponent here is
@@ -62,7 +66,6 @@ func newFileStore(p *profile.Profile, rng *rand.Rand) *fileStore {
 	}
 	return &fileStore{
 		p:       p,
-		rng:     rng,
 		inputs:  make(map[int][]*fileEntry),
 		outputs: make(map[int][]*fileEntry),
 		hotZipf: hz,
@@ -81,16 +84,16 @@ func decade(size units.Bytes) int {
 // pickInput decides the input path for a job whose sampled input size is
 // want. It returns the path and, when an existing file is re-accessed, the
 // file's size (0 means a fresh file of exactly want bytes was created).
-func (fs *fileStore) pickInput(now time.Time, want units.Bytes) (string, units.Bytes) {
+func (fs *fileStore) pickInput(rng *rand.Rand, want units.Bytes) (string, units.Bytes) {
 	d := decade(want)
-	u := fs.rng.Float64()
+	u := rng.Float64()
 	switch {
 	case u < fs.p.ReuseInputProb:
-		if f := fs.pickExisting(fs.inputs[d]); f != nil {
+		if f := fs.pickExisting(rng, fs.inputs[d]); f != nil {
 			return f.path, f.size
 		}
 	case u < fs.p.ReuseInputProb+fs.p.ReuseOutputProb:
-		if f := fs.pickExisting(fs.outputs[d]); f != nil {
+		if f := fs.pickExisting(rng, fs.outputs[d]); f != nil {
 			return f.path, f.size
 		}
 	}
@@ -105,12 +108,12 @@ func (fs *fileStore) pickInput(now time.Time, want units.Bytes) (string, units.B
 // that refresh the same dataset). Overwrite targets are drawn with the
 // same skewed popularity as reads, so output-side access frequency is also
 // Zipf-like (Figure 2, bottom).
-func (fs *fileStore) recordOutput(now time.Time, size units.Bytes) string {
+func (fs *fileStore) recordOutput(rng *rand.Rand, size units.Bytes) string {
 	d := decade(size)
 	const overwriteProb = 0.30
 	bucket := fs.outputs[d]
-	if len(bucket) > 0 && fs.rng.Float64() < overwriteProb {
-		f := fs.pickExisting(bucket)
+	if len(bucket) > 0 && rng.Float64() < overwriteProb {
+		f := fs.pickExisting(rng, bucket)
 		f.size = size
 		return f.path
 	}
@@ -129,54 +132,21 @@ func (fs *fileStore) recordOutput(now time.Time, size units.Bytes) string {
 //   - recency: Zipf(FileRecencyAlpha) over reverse creation order — the
 //     freshest datasets are re-read within minutes to hours, producing
 //     Figure 5's short re-access intervals.
-func (fs *fileStore) pickExisting(bucket []*fileEntry) *fileEntry {
+func (fs *fileStore) pickExisting(rng *rand.Rand, bucket []*fileEntry) *fileEntry {
 	n := len(bucket)
 	if n == 0 {
 		return nil
 	}
 	const recencyMix = 0.35
-	if fs.rng.Float64() < recencyMix {
-		k := zipfRank(fs.rng, n, fs.p.FileRecencyAlpha)
+	if rng.Float64() < recencyMix {
+		k := dist.ApproxZipfRank(rng, n, fs.p.FileRecencyAlpha)
 		return bucket[n-k] // k-th most recent
 	}
-	k := fs.hotZipf.SampleRank(fs.rng)
+	k := fs.hotZipf.SampleRank(rng)
 	if k > n {
 		k = 1 + (k-1)%n // young bucket: wrap into the available files
 	}
 	return bucket[k-1] // k-th oldest
-}
-
-// zipfRank samples a rank in [1, n] with P(k) ∝ k^-alpha using the
-// closed-form inverse CDF approximation for alpha < 1:
-// CDF(k) ≈ (k/n)^(1-alpha), so k ≈ n·u^(1/(1-alpha)). For alpha >= 1 it
-// falls back to a harmonic rejection loop. O(1) per draw, which matters:
-// a full FB-2010 trace makes ~10^6 draws against growing buckets.
-func zipfRank(rng *rand.Rand, n int, alpha float64) int {
-	if n == 1 {
-		return 1
-	}
-	if alpha < 1 {
-		u := rng.Float64()
-		k := int(math.Ceil(float64(n) * math.Pow(u, 1/(1-alpha))))
-		if k < 1 {
-			k = 1
-		}
-		if k > n {
-			k = n
-		}
-		return k
-	}
-	// alpha >= 1: inverse-CDF of the continuous analogue with rejection.
-	for i := 0; i < 8; i++ {
-		u := rng.Float64()
-		// CDF(k) ≈ ln(k+1)/ln(n+1) for alpha == 1; good enough for the
-		// recency exponents (1.0-1.1) profiles use.
-		k := int(math.Exp(u * math.Log(float64(n)+1)))
-		if k >= 1 && k <= n {
-			return k
-		}
-	}
-	return 1
 }
 
 // newPath creates a unique hashed-looking HDFS path. The study worked on

@@ -6,14 +6,21 @@
 // popularity with temporal locality (§4), and Figure 10's job-name mixes —
 // so every analysis in internal/analysis runs on realistic input.
 //
-// Generation is deterministic: one seed fixes the whole trace.
+// Generation is deterministic AND parallel: the trace timeline is sharded
+// into one-hour windows, each driven by an independent PCG stream derived
+// from (Seed, window index), sampled concurrently by a bounded worker
+// pool, and merged in submit-time order. Because no window ever observes
+// another window's randomness, one seed fixes the whole trace at any
+// worker count — see DESIGN.md for the full argument.
 package gen
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/dist"
@@ -35,6 +42,12 @@ type Config struct {
 	// rather than truncating time preserves weekly structure while
 	// shrinking the trace (§7's scale-down discussion).
 	RateScale float64
+	// Parallelism is the number of workers sampling trace windows
+	// concurrently; 0 means runtime.GOMAXPROCS(0). The generated trace
+	// is byte-identical at every parallelism level: randomness is
+	// derived per window from (Seed, window index), never from
+	// goroutine schedule.
+	Parallelism int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -56,24 +69,33 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RateScale < 0 {
 		return c, fmt.Errorf("gen: negative rate scale")
 	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("gen: negative parallelism")
+	}
 	return c, nil
 }
 
-// Generate synthesizes a trace per the configuration.
+// Generate synthesizes a trace per the configuration in two phases.
+//
+// Phase 1 (parallel): each one-hour window independently samples its
+// arrival counts, submit offsets, job dimensions, and job names from a
+// window-local PCG stream. Windows share no mutable state, so the pool
+// schedule cannot influence the draws.
+//
+// Phase 2 (sequential): windows are merged in submit-time order and the
+// one trace-global piece of state — the simulated HDFS namespace — is
+// threaded through, so a re-access sees the file population exactly as
+// of its submit time (§4 causality). File-path draws come from the
+// job's own window stream, kept alive across the phases.
 func Generate(cfg Config) (*trace.Trace, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	p := cfg.Profile
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	g := &generator{
-		p:     p,
-		rng:   rng,
-		files: newFileStore(p, rng),
-		namer: newNamer(p, rng),
-	}
 
 	tr := trace.New(trace.Meta{
 		Name:     p.Name,
@@ -83,32 +105,51 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	})
 
 	hours := int(math.Ceil(cfg.Duration.Hours()))
-	arr := newArrivalProcess(p, cfg.RateScale, rng)
+	arr := newArrivalProcess(p, cfg.RateScale)
+	namer := newNamer(p)
 	end := p.TraceStart.Add(cfg.Duration)
-	counts := make([]int, len(p.Clusters))
-	type arrival struct {
-		off     float64
-		cluster int
+
+	windows := make([]*window, hours)
+	workers := cfg.Parallelism
+	if workers > hours {
+		workers = hours
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for h := range idx {
+				windows[h] = sampleWindow(p, arr, namer, cfg.Seed, h, end)
+			}
+		}()
 	}
 	for h := 0; h < hours; h++ {
-		arr.clusterCountsInHour(h, counts)
-		hourStart := p.TraceStart.Add(time.Duration(h) * time.Hour)
-		// Draw submit offsets and sort them so jobs are sampled in submit
-		// order: file-store causality (a re-access sees the file state as
-		// of its submit time) then holds within the hour too.
-		var arrivals []arrival
-		for ci, n := range counts {
-			for i := 0; i < n; i++ {
-				arrivals = append(arrivals, arrival{off: rng.Float64(), cluster: ci})
+		idx <- h
+	}
+	close(idx)
+	wg.Wait()
+
+	files := newFileStore(p)
+	for _, w := range windows {
+		for _, j := range w.jobs {
+			// Input paths: possibly re-access a pre-existing file
+			// (Fig 6); when a job re-reads, it sees the file's actual
+			// size as of its submit time.
+			if p.HasInputPaths {
+				path, size := files.pickInput(w.rng, j.InputBytes)
+				j.InputPath = path
+				if size > 0 {
+					j.InputBytes = size
+				}
 			}
-		}
-		sort.Slice(arrivals, func(i, k int) bool { return arrivals[i].off < arrivals[k].off })
-		for _, a := range arrivals {
-			submit := hourStart.Add(time.Duration(a.off * float64(time.Hour)))
-			if submit.After(end) {
-				continue
+			// When output paths are absent from the trace (FB-2010),
+			// outputs still exist in the real system but are
+			// unobservable; the model simply does not record them.
+			if p.HasOutputPaths {
+				j.OutputPath = files.recordOutput(w.rng, j.OutputBytes)
 			}
-			j := g.sampleJob(submit, a.cluster)
 			tr.Add(j)
 		}
 	}
@@ -119,31 +160,100 @@ func Generate(cfg Config) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// generator holds the per-run sampling state.
-type generator struct {
-	p     *profile.Profile
-	rng   *rand.Rand
-	files *fileStore
-	namer *namer
+// window is one sampled hour of the timeline: its jobs in submit order
+// plus the window's stream, carried into the merge phase for the
+// file-path draws that need the global namespace.
+type window struct {
+	jobs []*trace.Job
+	rng  *rand.Rand
 }
 
-// sampleJob draws one job of the given cluster: dimensions, files, name.
-func (g *generator) sampleJob(submit time.Time, ci int) *trace.Job {
-	p := g.p
+// splitmix64 is the SplitMix64 finalizer. It turns the weakly related
+// inputs (seed, window index) into statistically independent 64-bit
+// values fit to seed one PCG stream per window.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// windowRNG derives window h's private stream from the run seed. Streams
+// for different (seed, h) pairs are independent by construction, which
+// is the whole determinism story: a window's draws depend on nothing
+// but its identity.
+func windowRNG(seed int64, h int) *rand.Rand {
+	s := splitmix64(uint64(seed))
+	hi := splitmix64(s ^ splitmix64(uint64(h)<<1|1))
+	lo := splitmix64(hi ^ 0xda942042e4dd58b5)
+	return rand.New(rand.NewPCG(hi, lo))
+}
+
+// sampleWindow produces hour h: arrival counts, sorted submit offsets,
+// and fully sampled job dimensions and names, all from the window's own
+// stream.
+func sampleWindow(p *profile.Profile, arr *arrivalProcess, namer *namer, seed int64, h int, end time.Time) *window {
+	rng := windowRNG(seed, h)
+	counts := make([]int, len(p.Clusters))
+	arr.clusterCountsInHour(rng, h, counts)
+
+	hourStart := p.TraceStart.Add(time.Duration(h) * time.Hour)
+	type arrival struct {
+		off     float64
+		cluster int
+	}
+	var arrivals []arrival
+	for ci, n := range counts {
+		for i := 0; i < n; i++ {
+			arrivals = append(arrivals, arrival{off: rng.Float64(), cluster: ci})
+		}
+	}
+	// Sample jobs in submit order so that within-window draw order — and
+	// with it the merge phase's file-store causality — is well defined.
+	sort.Slice(arrivals, func(i, k int) bool {
+		if arrivals[i].off != arrivals[k].off {
+			return arrivals[i].off < arrivals[k].off
+		}
+		return arrivals[i].cluster < arrivals[k].cluster
+	})
+
+	w := &window{rng: rng}
+	for i, a := range arrivals {
+		submit := hourStart.Add(time.Duration(a.off * float64(time.Hour)))
+		if submit.After(end) {
+			continue
+		}
+		// (window, index) is unique across the trace and independent of
+		// the worker schedule; jobsPerWindowCap bounds the index term.
+		uniq := int64(h)*jobsPerWindowCap + int64(i)
+		w.jobs = append(w.jobs, sampleJob(p, rng, namer, submit, a.cluster, uniq))
+	}
+	return w
+}
+
+// jobsPerWindowCap spaces the per-window uniq id ranges. No sampled
+// hour approaches a million arrivals (FB-2010's heaviest burst hours
+// run ~10^5), so (window, index) packs into one int64 without
+// collisions.
+const jobsPerWindowCap = 1_000_000
+
+// sampleJob draws one job of the given cluster: dimensions and name.
+// File paths are assigned later, in the sequential merge phase.
+func sampleJob(p *profile.Profile, rng *rand.Rand, namer *namer, submit time.Time, ci int, uniq int64) *trace.Job {
 	c := p.Clusters[ci]
 
 	// Shared multiplicative factor correlates byte and time dimensions
 	// within a job, which in turn produces the strong hourly bytes ↔
 	// task-time correlation of Figure 9.
-	shared := math.Exp(p.SizeSigma * 0.75 * g.rng.NormFloat64())
-	byteJitter := p.SizeSigma * 0.66
-	timeJitter := p.TimeSigma * 0.66
+	shared := math.Exp(p.SizeSigma * 0.75 * rng.NormFloat64())
+	byteJitter := dist.LogNormal{Sigma: p.SizeSigma * 0.66}
+	timeJitter := dist.LogNormal{Sigma: p.TimeSigma * 0.66}
 
 	sampleBytes := func(centroid units.Bytes) units.Bytes {
 		if centroid <= 0 {
 			return 0
 		}
-		v := float64(centroid) * shared * math.Exp(byteJitter*g.rng.NormFloat64())
+		v := float64(centroid) * shared * byteJitter.Sample(rng)
 		if v < 1 {
 			v = 1
 		}
@@ -155,7 +265,7 @@ func (g *generator) sampleJob(submit time.Time, ci int) *trace.Job {
 		}
 		// Task-time scales sublinearly with the shared data factor:
 		// doubling input does not quite double compute on real clusters.
-		v := float64(centroid) * math.Pow(shared, 0.8) * math.Exp(timeJitter*g.rng.NormFloat64())
+		v := float64(centroid) * math.Pow(shared, 0.8) * timeJitter.Sample(rng)
 		if v < 1 {
 			v = 1
 		}
@@ -172,9 +282,21 @@ func (g *generator) sampleJob(submit time.Time, ci int) *trace.Job {
 	}
 	// Duration jitters around the centroid with the time sigma, milder
 	// shared coupling.
-	durSec := c.Duration.Seconds() * math.Pow(shared, 0.4) * math.Exp(timeJitter*g.rng.NormFloat64())
+	durSec := c.Duration.Seconds() * math.Pow(shared, 0.4) * timeJitter.Sample(rng)
 	if durSec < 1 {
 		durSec = 1
+	}
+	// Physical floor: task-seconds accrue on real slots, so a job's
+	// average parallelism (task-time over makespan) cannot exceed the
+	// cluster's slot count. Without this floor, an independently jittered
+	// duration can imply a job running at several times the whole
+	// cluster's parallelism, something no genuine history log contains.
+	// (Aggregate capacity across overlapping jobs is deliberately NOT
+	// enforced: the generator is an open-loop sampler of submission
+	// behaviour; queueing backpressure is internal/cluster's replay job.)
+	maxParallelism := float64(p.Machines * p.SlotsPerMachine)
+	if minDur := float64(j.TotalTaskTime()) / maxParallelism; durSec < minDur {
+		durSec = minDur
 	}
 	j.Duration = time.Duration(durSec * float64(time.Second))
 
@@ -183,24 +305,8 @@ func (g *generator) sampleJob(submit time.Time, ci int) *trace.Job {
 		j.ReduceTasks = reduceTaskCount(j.ShuffleBytes, j.ReduceTime)
 	}
 
-	// File paths: input possibly re-accesses a pre-existing file (Fig 6);
-	// when it does, the job reads that file's actual size.
-	if g.p.HasInputPaths {
-		path, size := g.files.pickInput(submit, j.InputBytes)
-		j.InputPath = path
-		if size > 0 {
-			j.InputBytes = size
-		}
-	}
-	// When output paths are absent from the trace (FB-2010), outputs still
-	// exist in the real system but are unobservable; the model simply does
-	// not record them.
-	if g.p.HasOutputPaths {
-		j.OutputPath = g.files.recordOutput(submit, j.OutputBytes)
-	}
-
-	if g.p.HasNames {
-		j.Name = g.namer.name(ci, isSmallCluster(ci))
+	if p.HasNames {
+		j.Name = namer.name(rng, ci, isSmallCluster(ci), uniq)
 	}
 	return j
 }
@@ -249,15 +355,20 @@ func reduceTaskCount(shuffle units.Bytes, reduceTime units.TaskSeconds) int {
 // series (Figure 9: jobs-bytes 0.21, jobs-task-time 0.14) while bytes and
 // task-time stay strongly coupled (0.62) — both are carried by the same
 // heavy jobs.
+//
+// The process itself is immutable after construction: every draw comes
+// from the rng handed in per call, so windows can sample their hours
+// concurrently.
 type arrivalProcess struct {
 	p *profile.Profile
 	// clusterRates[i] is the mean arrivals/hour of cluster i.
 	clusterRates []float64
-	rng          *rand.Rand
 	spikes       dist.Pareto
+	smallNoise   dist.LogNormal
+	heavyNoise   dist.LogNormal
 }
 
-func newArrivalProcess(p *profile.Profile, rateScale float64, rng *rand.Rand) *arrivalProcess {
+func newArrivalProcess(p *profile.Profile, rateScale float64) *arrivalProcess {
 	hours := p.TraceLength.Hours()
 	rates := make([]float64, len(p.Clusters))
 	for i, c := range p.Clusters {
@@ -266,14 +377,27 @@ func newArrivalProcess(p *profile.Profile, rateScale float64, rng *rand.Rand) *a
 	return &arrivalProcess{
 		p:            p,
 		clusterRates: rates,
-		rng:          rng,
 		spikes:       dist.Pareto{Xm: 1.5, Alpha: p.SpikeAlpha},
+		smallNoise:   dist.MeanOneLogNormal(p.NoiseSigma),
+		heavyNoise:   dist.MeanOneLogNormal(p.NoiseSigma * 0.8),
 	}
 }
 
+// maxSpikeMultiplier truncates the Pareto burst multiplier. Figure 8's
+// measured peak-to-median ratios top out at 260:1; an unbounded Pareto
+// tail occasionally throws a single hour thousands of times over median
+// rate, which no studied cluster exhibits — submission pipelines and
+// client counts are finite.
+const maxSpikeMultiplier = 120
+
+// sampleSpike draws one truncated burst multiplier.
+func (a *arrivalProcess) sampleSpike(rng *rand.Rand) float64 {
+	return math.Min(a.spikes.Sample(rng), maxSpikeMultiplier)
+}
+
 // clusterCountsInHour fills counts[i] with the number of cluster-i jobs
-// submitted in hour h since trace start.
-func (a *arrivalProcess) clusterCountsInHour(h int, counts []int) {
+// submitted in hour h since trace start, drawing from rng.
+func (a *arrivalProcess) clusterCountsInHour(rng *rand.Rand, h int, counts []int) {
 	p := a.p
 	hourOfDay := float64(h % 24)
 	// Weekend dip: days 5 and 6 of each week (traces start on a Monday).
@@ -287,12 +411,11 @@ func (a *arrivalProcess) clusterCountsInHour(h int, counts []int) {
 	if weekend {
 		smallWeekly = 0.7
 	}
-	smallNoise := math.Exp(p.NoiseSigma*a.rng.NormFloat64() - p.NoiseSigma*p.NoiseSigma/2)
-	smallRate := a.clusterRates[0] * smallDiurnal * smallWeekly * smallNoise
-	if a.rng.Float64() < p.SpikeProb {
-		smallRate *= a.spikes.Sample(a.rng)
+	smallRate := a.clusterRates[0] * smallDiurnal * smallWeekly * a.smallNoise.Sample(rng)
+	if rng.Float64() < p.SpikeProb {
+		smallRate *= a.sampleSpike(rng)
 	}
-	counts[0] = dist.Poisson(a.rng, smallRate)
+	counts[0] = dist.Poisson(rng, smallRate)
 
 	// Batch stream: recurring pipelines lean toward night hours, run on
 	// weekends too, and burst on their own schedule. One shared noise draw
@@ -303,13 +426,12 @@ func (a *arrivalProcess) clusterCountsInHour(h int, counts []int) {
 	if weekend {
 		heavyWeekly = 0.9
 	}
-	heavySigma := p.NoiseSigma * 0.8
-	heavyNoise := math.Exp(heavySigma*a.rng.NormFloat64() - heavySigma*heavySigma/2)
-	if a.rng.Float64() < p.SpikeProb {
-		heavyNoise *= a.spikes.Sample(a.rng)
+	heavyNoise := a.heavyNoise.Sample(rng)
+	if rng.Float64() < p.SpikeProb {
+		heavyNoise *= a.sampleSpike(rng)
 	}
 	for i := 1; i < len(a.clusterRates); i++ {
 		rate := a.clusterRates[i] * heavyDiurnal * heavyWeekly * heavyNoise
-		counts[i] = dist.Poisson(a.rng, rate)
+		counts[i] = dist.Poisson(rng, rate)
 	}
 }

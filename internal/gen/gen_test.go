@@ -2,7 +2,6 @@ package gen
 
 import (
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -266,40 +265,14 @@ func TestMapTaskCountHelpers(t *testing.T) {
 	}
 }
 
-func TestZipfRankBounds(t *testing.T) {
-	tr := genTest(t, "CC-d", 24*time.Hour, 31) // exercises zipfRank internally
-	_ = tr
-	rng := rand.New(rand.NewSource(55))
-	for _, alpha := range []float64{0.5, 5.0 / 6.0, 1.0, 1.1} {
-		for _, n := range []int{1, 2, 10, 1000} {
-			for i := 0; i < 200; i++ {
-				k := zipfRank(rng, n, alpha)
-				if k < 1 || k > n {
-					t.Fatalf("zipfRank(n=%d, alpha=%v) = %d out of bounds", n, alpha, k)
-				}
-			}
-		}
-	}
-}
-
-func TestZipfRankSkew(t *testing.T) {
-	rng := rand.New(rand.NewSource(56))
-	n := 1000
-	counts := make([]int, n+1)
-	for i := 0; i < 100000; i++ {
-		counts[zipfRank(rng, n, 5.0/6.0)]++
-	}
-	if counts[1] < counts[n/2] {
-		t.Error("rank 1 should be more popular than middle ranks")
-	}
-	// Roughly: P(k<=10)/P(total) ≈ (10/1000)^(1/6) ≈ 0.46
-	headCount := 0
-	for k := 1; k <= 10; k++ {
-		headCount += counts[k]
-	}
-	frac := float64(headCount) / 100000
-	if frac < 0.3 || frac > 0.6 {
-		t.Errorf("head mass = %v, want ~0.46", frac)
+// The Zipf rank samplers the file store draws from are covered by
+// property tests in internal/dist (bounds, skew, exponent recovery);
+// this test keeps the generator-side path warm on a path-bearing
+// workload.
+func TestZipfSamplersExercised(t *testing.T) {
+	tr := genTest(t, "CC-d", 24*time.Hour, 31) // exercises rank sampling internally
+	if tr.Len() == 0 {
+		t.Fatal("empty CC-d trace")
 	}
 }
 

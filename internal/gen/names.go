@@ -2,7 +2,7 @@ package gen
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"repro/internal/dist"
 	"repro/internal/profile"
@@ -13,47 +13,67 @@ import (
 // launches carry workflow ids, and native MapReduce jobs follow informal
 // human conventions. Only the first word matters to the Figure 10
 // analysis, but realistic suffixes exercise the first-word extraction.
+//
+// The namer is immutable after construction and draws exclusively from
+// the rng handed in per call, so concurrent windows can name their jobs
+// without coordination. Word selection uses alias tables — O(1) per draw
+// instead of the former linear scan over the weight vector.
 type namer struct {
-	p   *profile.Profile
-	rng *rand.Rand
-	// smallWeights and largeWeights are the name mixture conditioned on
-	// job size class; LargeBias shifts data-centric words onto big jobs.
-	smallWeights []float64
-	largeWeights []float64
-	seq          int64
+	p *profile.Profile
+	// small and large are the name mixtures conditioned on job size
+	// class; LargeBias shifts data-centric words onto big jobs.
+	small *dist.WeightedChoice
+	large *dist.WeightedChoice
 }
 
-func newNamer(p *profile.Profile, rng *rand.Rand) *namer {
-	n := &namer{p: p, rng: rng}
-	n.smallWeights = make([]float64, len(p.Names))
-	n.largeWeights = make([]float64, len(p.Names))
+func newNamer(p *profile.Profile) *namer {
+	n := &namer{p: p}
+	if len(p.Names) == 0 {
+		return n
+	}
+	smallWeights := make([]float64, len(p.Names))
+	largeWeights := make([]float64, len(p.Names))
 	for i, e := range p.Names {
-		n.smallWeights[i] = e.Weight
-		n.largeWeights[i] = e.Weight * e.LargeBias
+		smallWeights[i] = e.Weight
+		largeWeights[i] = e.Weight * e.LargeBias
+	}
+	var err error
+	if n.small, err = dist.NewWeightedChoice(smallWeights); err != nil {
+		// Profiles are validated before generation; a degenerate name
+		// table here is a programming error.
+		panic(err)
+	}
+	if n.large, err = dist.NewWeightedChoice(largeWeights); err != nil {
+		// All-zero large biases degrade gracefully to the small mixture.
+		n.large = n.small
 	}
 	return n
 }
 
-// name generates a job name for a job in cluster ci.
-func (n *namer) name(ci int, small bool) string {
+// name generates a job name for a job in cluster ci, drawing from rng.
+// uniq is a trace-unique value (derived from the job's window and
+// within-window index, so it is stable across parallelism levels) used
+// where real frameworks embed a unique job id: Hive/native names repeat
+// across recurring pipeline runs in genuine logs — that repetition is
+// what Figure 10 groups by — but Pig's job_ counter never collides.
+func (n *namer) name(rng *rand.Rand, ci int, small bool, uniq int64) string {
 	if len(n.p.Names) == 0 {
 		return ""
 	}
-	weights := n.largeWeights
+	table := n.large
 	if small {
-		weights = n.smallWeights
+		table = n.small
 	}
-	e := n.p.Names[dist.WeightedChoice(n.rng, weights)]
-	n.seq++
+	e := n.p.Names[table.Sample(rng)]
 	switch e.Framework {
 	case profile.FrameworkHive:
 		// Hive generates names like "INSERT OVERWRITE TABLE x(Stage-1)".
-		return fmt.Sprintf("%s overwrite table t_%04d(Stage-%d)", e.Word, n.rng.Intn(3000), 1+n.rng.Intn(4))
+		return fmt.Sprintf("%s overwrite table t_%04d(Stage-%d)", e.Word, rng.IntN(3000), 1+rng.IntN(4))
 	case profile.FrameworkPig:
-		return fmt.Sprintf("%s:job_%06d-%d", e.Word, n.seq, n.rng.Intn(10))
+		return fmt.Sprintf("%s:job_%09d-%d", e.Word, uniq, rng.IntN(10))
 	case profile.FrameworkOozie:
-		return fmt.Sprintf("%s:launcher:T=map-reduce:W=wf-%05d", e.Word, n.rng.Intn(100000))
+		return fmt.Sprintf("%s:launcher:T=map-reduce:W=wf-%05d", e.Word, rng.IntN(100000))
 	default:
-		return fmt.Sprintf("%s_%04d_%02d", e.Word, n.rng.Intn(10000), n.rng.Intn(100))
+		return fmt.Sprintf("%s_%04d_%02d", e.Word, rng.IntN(10000), rng.IntN(100))
 	}
 }

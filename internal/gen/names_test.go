@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// firstWord extracts the Figure 10 grouping key from a generated name.
+func firstWord(name string) string {
+	return strings.ToLower(strings.FieldsFunc(name, func(r rune) bool {
+		return r == ' ' || r == ':' || r == '_'
+	})[0])
+}
+
+// TestNamerChiSquared: the small-job name mixture must reproduce the
+// profile's Figure 10 weights. Chi-squared goodness of fit over the
+// first-word categories; df = len(words)-1, bound at the p=0.001
+// critical value with headroom.
+func TestNamerChiSquared(t *testing.T) {
+	for _, wl := range []string{"CC-a", "CC-b", "FB-2009"} {
+		p, err := profile.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.HasNames {
+			t.Fatalf("%s should carry names", wl)
+		}
+		// Expected first-word shares; duplicate words across entries
+		// aggregate.
+		expected := map[string]float64{}
+		var total float64
+		for _, e := range p.Names {
+			expected[e.Word] += e.Weight
+			total += e.Weight
+		}
+
+		n := newNamer(p)
+		rng := rand.New(rand.NewPCG(77, 88))
+		const draws = 100000
+		counts := map[string]int{}
+		for i := 0; i < draws; i++ {
+			w := firstWord(n.name(rng, 0, true, int64(i)))
+			if _, ok := expected[w]; !ok {
+				t.Fatalf("%s: generated name word %q not in the profile table", wl, w)
+			}
+			counts[w]++
+		}
+
+		var chi2 float64
+		for w, share := range expected {
+			exp := draws * share / total
+			d := float64(counts[w]) - exp
+			chi2 += d * d / exp
+		}
+		// Critical values at p=0.001 for df 7 are ~24.3; allow headroom
+		// for the aggregated-word tables.
+		if chi2 > 30 {
+			t.Errorf("%s: chi-squared = %.1f over df=%d, name mixture drifted from profile weights (counts %v)",
+				wl, chi2, len(expected)-1, counts)
+		}
+	}
+}
+
+// TestNamerLargeBias: the large-job mixture must shift mass toward
+// high-LargeBias words and away from LargeBias < 1 words, the mechanism
+// behind Figure 10's bytes-weighted panel.
+func TestNamerLargeBias(t *testing.T) {
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNamer(p)
+	rng := rand.New(rand.NewPCG(5, 6))
+	const draws = 50000
+	smallCounts := map[string]int{}
+	largeCounts := map[string]int{}
+	for i := 0; i < draws; i++ {
+		smallCounts[firstWord(n.name(rng, 0, true, int64(i)))]++
+		largeCounts[firstWord(n.name(rng, 1, false, int64(i)))]++
+	}
+	// CC-b: "insert" has LargeBias 5, "select" 0.3.
+	if largeCounts["insert"] <= smallCounts["insert"] {
+		t.Errorf("insert (LargeBias 5): large %d should exceed small %d",
+			largeCounts["insert"], smallCounts["insert"])
+	}
+	if largeCounts["select"] >= smallCounts["select"] {
+		t.Errorf("select (LargeBias 0.3): large %d should trail small %d",
+			largeCounts["select"], smallCounts["select"])
+	}
+}
+
+// TestNamerFrameworkStyles: each framework's generated suffix style must
+// survive first-word extraction (the property the Figure 10 analysis
+// depends on).
+func TestNamerFrameworkStyles(t *testing.T) {
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNamer(p)
+	rng := rand.New(rand.NewPCG(9, 10))
+	styles := map[profile.Framework]bool{}
+	byWord := map[string]profile.Framework{}
+	for _, e := range p.Names {
+		byWord[e.Word] = e.Framework
+	}
+	for i := 0; i < 5000; i++ {
+		name := n.name(rng, 0, true, int64(i))
+		fw, ok := byWord[firstWord(name)]
+		if !ok {
+			t.Fatalf("unknown first word in %q", name)
+		}
+		styles[fw] = true
+	}
+	for _, fw := range []profile.Framework{profile.FrameworkHive, profile.FrameworkPig, profile.FrameworkOozie, profile.FrameworkNative} {
+		if !styles[fw] {
+			t.Errorf("no %s-style names generated", fw)
+		}
+	}
+}
+
+// TestNamerNoNames: a profile without a name table yields empty names.
+func TestNamerNoNames(t *testing.T) {
+	p, err := profile.ByName("FB-2010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNamer(p)
+	rng := rand.New(rand.NewPCG(1, 2))
+	if got := n.name(rng, 0, true, 0); got != "" {
+		t.Errorf("FB-2010 name = %q, want empty", got)
+	}
+}
+
+// TestPigNamesUnique: Pig names embed a job counter, which is unique in
+// real Hadoop logs — generated traces must not collide either (Hive and
+// native names, by contrast, legitimately repeat across recurring
+// pipeline runs; that repetition is what Figure 10 groups).
+func TestPigNamesUnique(t *testing.T) {
+	tr := genTest(t, "CC-b", 96*time.Hour, 19)
+	seen := map[string]int64{}
+	for _, j := range tr.Jobs {
+		if !strings.HasPrefix(j.Name, "piglatin:") {
+			continue
+		}
+		if prev, ok := seen[j.Name]; ok {
+			t.Fatalf("jobs %d and %d share Pig name %q", prev, j.ID, j.Name)
+		}
+		seen[j.Name] = j.ID
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d Pig names generated; want a meaningful sample", len(seen))
+	}
+}

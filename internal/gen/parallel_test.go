@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// jsonlBytes serializes a trace through the lossless native codec — the
+// strictest equality the system offers: every field of every job, in
+// order.
+func jsonlBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelismByteIdentical is the cross-parallelism golden test the
+// sharded generator's determinism contract hangs on: the same seed must
+// produce the byte-identical JSONL trace at Parallelism 1, 2, and
+// GOMAXPROCS. CC-b exercises every stateful path — names, input paths
+// with re-access, and output paths with overwrites.
+func TestParallelismByteIdentical(t *testing.T) {
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(par int) []byte {
+		tr, err := Generate(Config{Profile: p, Seed: 9, Duration: 48 * time.Hour, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jsonlBytes(t, tr)
+	}
+	golden := gen(1)
+	if len(golden) == 0 {
+		t.Fatal("empty golden trace")
+	}
+	levels := []int{2, 3, runtime.GOMAXPROCS(0), 16}
+	for _, par := range levels {
+		if got := gen(par); !bytes.Equal(got, golden) {
+			t.Errorf("Parallelism=%d trace differs from Parallelism=1 (len %d vs %d)",
+				par, len(got), len(golden))
+		}
+	}
+}
+
+// TestParallelismByteIdenticalAllWorkloads sweeps the remaining
+// workloads at a shorter window: field availability differs per profile
+// (FB-2009 has no paths, FB-2010 no names), so each exercises a
+// different subset of the merge phase.
+func TestParallelismByteIdenticalAllWorkloads(t *testing.T) {
+	for _, name := range profile.Names() {
+		p, err := profile.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var golden []byte
+		for _, par := range []int{1, 4} {
+			tr, err := Generate(Config{Profile: p, Seed: 31, Duration: 12 * time.Hour, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := jsonlBytes(t, tr)
+			if par == 1 {
+				golden = b
+				continue
+			}
+			if !bytes.Equal(b, golden) {
+				t.Errorf("%s: Parallelism=%d trace differs from serial", name, par)
+			}
+		}
+	}
+}
+
+// TestParallelismConfig: 0 defaults to GOMAXPROCS, negatives are
+// rejected, and a worker count far above the window count still works.
+func TestParallelismConfig(t *testing.T) {
+	p, err := profile.ByName("CC-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(Config{Profile: p, Seed: 1, Duration: 2 * time.Hour, Parallelism: -1}); err == nil {
+		t.Error("negative parallelism should be rejected")
+	}
+	tr, err := Generate(Config{Profile: p, Seed: 1, Duration: 2 * time.Hour, Parallelism: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Error("oversubscribed generation produced an empty trace")
+	}
+	if _, err := Generate(Config{Profile: p, Seed: 1, Duration: 2 * time.Hour}); err != nil {
+		t.Errorf("default parallelism failed: %v", err)
+	}
+}
+
+// TestConcurrentGenerate runs several full generations simultaneously —
+// under -race this proves the generator shares no unsynchronized state
+// across either its internal workers or concurrent callers.
+func TestConcurrentGenerate(t *testing.T) {
+	p, err := profile.ByName("CC-e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := Generate(Config{Profile: p, Seed: 7, Duration: 24 * time.Hour, Parallelism: 4})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, tr); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("concurrent caller %d produced a different trace", i)
+		}
+	}
+}

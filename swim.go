@@ -97,6 +97,12 @@ type GenerateOptions struct {
 	Duration time.Duration
 	// RateScale scales the arrival rate (zero: 1.0).
 	RateScale float64
+	// Parallelism is the number of workers generating trace windows
+	// concurrently (zero: runtime.GOMAXPROCS(0)). The output is
+	// byte-identical at every setting — randomness derives from
+	// (Seed, window index), never from goroutine schedule — so this is
+	// purely a wall-clock knob.
+	Parallelism int
 }
 
 // Generate synthesizes a workload trace from a calibrated profile. The
@@ -119,10 +125,11 @@ func Generate(opts GenerateOptions) (*Trace, error) {
 		seed = 1
 	}
 	return gen.Generate(gen.Config{
-		Profile:   p,
-		Seed:      seed,
-		Duration:  opts.Duration,
-		RateScale: opts.RateScale,
+		Profile:     p,
+		Seed:        seed,
+		Duration:    opts.Duration,
+		RateScale:   opts.RateScale,
+		Parallelism: opts.Parallelism,
 	})
 }
 
