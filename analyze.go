@@ -51,6 +51,28 @@ func Analyze(t *Trace, opts AnalyzeOptions) (*Report, error) {
 	return core.Analyze(t, opts)
 }
 
+// AnalyzeSource runs the single-pass streaming analysis over a job
+// stream: the Table-1 summary, Figure 1 data sizes, the Figures 7–9
+// hourly series, and the Figure 10 name breakdown, in memory independent
+// of trace length (see core.AnalyzeSource for the exact contract and the
+// Materialize/SketchDataSizes options).
+func AnalyzeSource(src Source, opts AnalyzeOptions) (*Report, error) {
+	return core.AnalyzeSource(src, opts)
+}
+
+// AnalyzeFrom streams a trace file through AnalyzeSource without loading
+// it into memory — the companion to GenerateTo for paper-length traces.
+// CSV files need meta supplied; it is ignored for JSONL. With
+// opts.Materialize the trace is collected and fully analyzed instead.
+func AnalyzeFrom(path string, meta Meta, opts AnalyzeOptions) (*Report, error) {
+	src, err := OpenTrace(path, meta)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return core.AnalyzeSource(src, opts)
+}
+
 // RunStudy generates and analyzes every requested workload, reproducing
 // the paper's cross-industry comparison; Aggregate() on the result yields
 // the summary-section numbers (median spans, correlation averages,

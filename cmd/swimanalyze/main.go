@@ -5,6 +5,12 @@
 //
 //	swimanalyze -in cc-b.jsonl
 //
+// Stream a paper-length trace without loading it into memory (skips the
+// analyses that need the whole trace at once — Table 2 k-means and the
+// path-based Figures 2–6):
+//
+//	swimanalyze -in fb-2009.jsonl -stream
+//
 // Or generate-and-analyze in one step:
 //
 //	swimanalyze -workload FB-2009 -duration 336h -seed 1
@@ -12,7 +18,8 @@ package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,49 +27,80 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("swimanalyze: ")
-
-	var (
-		in       = flag.String("in", "", "trace file to analyze (.jsonl or .csv)")
-		workload = flag.String("workload", "", "generate this workload instead of reading a file: "+strings.Join(swim.Workloads(), ", "))
-		seed     = flag.Int64("seed", 1, "generator seed when -workload is used")
-		duration = flag.Duration("duration", 0, "generated duration when -workload is used")
-		topNames = flag.Int("top-names", 8, "number of job-name first words to list (Figure 10)")
-		noTable2 = flag.Bool("skip-clustering", false, "skip the Table 2 k-means analysis")
-		csvDir   = flag.String("csv-dir", "", "also export per-figure CSV data files into this directory")
-	)
-	flag.Parse()
-
-	var tr *swim.Trace
-	var err error
-	switch {
-	case *in != "":
-		tr, err = swim.LoadTrace(*in, swim.Meta{Name: *in})
-	case *workload != "":
-		tr, err = swim.Generate(swim.GenerateOptions{Workload: *workload, Seed: *seed, Duration: *duration})
-	default:
-		flag.Usage()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "swimanalyze: %v\n", err)
 		os.Exit(2)
 	}
-	if err != nil {
-		log.Fatal(err)
+}
+
+// run is the testable body: parses args, loads or generates a trace,
+// analyzes, and renders to stdout; errors go to the caller instead of
+// os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swimanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "trace file to analyze (.jsonl or .csv)")
+		workload = fs.String("workload", "", "generate this workload instead of reading a file: "+strings.Join(swim.Workloads(), ", "))
+		seed     = fs.Int64("seed", 1, "generator seed when -workload is used")
+		duration = fs.Duration("duration", 0, "generated duration when -workload is used")
+		topNames = fs.Int("top-names", 8, "number of job-name first words to list (Figure 10)")
+		noTable2 = fs.Bool("skip-clustering", false, "skip the Table 2 k-means analysis")
+		stream   = fs.Bool("stream", false, "single-pass streaming analysis of -in (.jsonl only: CSV carries no trace-length metadata); memory independent of trace length; skips Table 2 and the path-based Figures 2-6")
+		sketch   = fs.Bool("sketch", false, "with -stream: use fixed-memory quantile sketches for Figure 1 (<2% relative quantile error) so memory is independent of job count too")
+		csvDir   = fs.String("csv-dir", "", "also export per-figure CSV data files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stream && *in == "" {
+		return fmt.Errorf("-stream requires -in (streaming reads from a trace file)")
+	}
+	if *stream && strings.HasSuffix(*in, ".csv") {
+		return fmt.Errorf("-stream needs a .jsonl trace: CSV files carry no trace-length metadata, which the hourly binning requires (analyze the CSV without -stream instead)")
+	}
+	if *sketch && !*stream {
+		return fmt.Errorf("-sketch requires -stream")
 	}
 
-	rep, err := swim.Analyze(tr, swim.AnalyzeOptions{
-		TopNames:       *topNames,
-		SkipClustering: *noTable2,
-	})
-	if err != nil {
-		log.Fatal(err)
+	opts := swim.AnalyzeOptions{
+		TopNames:        *topNames,
+		SkipClustering:  *noTable2,
+		SketchDataSizes: *sketch,
 	}
-	if err := rep.Render(os.Stdout); err != nil {
-		log.Fatal(err)
+	var rep *swim.Report
+	var err error
+	switch {
+	case *stream:
+		rep, err = swim.AnalyzeFrom(*in, swim.Meta{Name: *in}, opts)
+	case *in != "":
+		var tr *swim.Trace
+		if tr, err = swim.LoadTrace(*in, swim.Meta{Name: *in}); err == nil {
+			rep, err = swim.Analyze(tr, opts)
+		}
+	case *workload != "":
+		var tr *swim.Trace
+		if tr, err = swim.Generate(swim.GenerateOptions{Workload: *workload, Seed: *seed, Duration: *duration}); err == nil {
+			rep, err = swim.Analyze(tr, opts)
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -in or -workload")
+	}
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(stdout); err != nil {
+		return err
 	}
 	if *csvDir != "" {
 		if err := rep.ExportCSV(*csvDir); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("exported per-figure CSVs to %s", *csvDir)
+		fmt.Fprintf(stdout, "exported per-figure CSVs to %s\n", *csvDir)
 	}
+	return nil
 }

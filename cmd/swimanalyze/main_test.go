@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	swim "repro"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-in or -workload") {
+		t.Errorf("no input should error, got %v", err)
+	}
+	if err := run([]string{"-stream"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-stream requires -in") {
+		t.Errorf("-stream without -in should error, got %v", err)
+	}
+	if err := run([]string{"-in", "x.jsonl", "-sketch"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-sketch requires -stream") {
+		t.Errorf("-sketch without -stream should error, got %v", err)
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errb); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// TestRunEndToEnd: generate a tiny trace with swimgen's library path,
+// then analyze it materialized, streamed, and sketched; all three must
+// succeed and agree on the headline sections they share.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cc-b.jsonl")
+	if _, err := swim.GenerateTo(path, swim.GenerateOptions{Workload: "CC-b", Seed: 2, Duration: 26 * 3600 * 1e9}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mat, str, sk, errb bytes.Buffer
+	if err := run([]string{"-in", path, "-skip-clustering"}, &mat, &errb); err != nil {
+		t.Fatalf("materialized: %v (stderr: %s)", err, errb.String())
+	}
+	if err := run([]string{"-in", path, "-stream"}, &str, &errb); err != nil {
+		t.Fatalf("streamed: %v (stderr: %s)", err, errb.String())
+	}
+	if err := run([]string{"-in", path, "-stream", "-sketch"}, &sk, &errb); err != nil {
+		t.Fatalf("sketched: %v (stderr: %s)", err, errb.String())
+	}
+	for name, buf := range map[string]*bytes.Buffer{"materialized": &mat, "streamed": &str, "sketched": &sk} {
+		s := buf.String()
+		for _, want := range []string{"==== Workload", "-- Figure 1", "-- Figure 7", "-- Figure 8"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s output missing %q", name, want)
+			}
+		}
+	}
+	// Streaming skips the materialization-only analyses.
+	if strings.Contains(str.String(), "-- Table 2") {
+		t.Error("streamed output should not contain Table 2")
+	}
+	// The shared header line (jobs, bytes moved) must agree exactly.
+	matHead := strings.SplitN(mat.String(), "\n", 3)
+	strHead := strings.SplitN(str.String(), "\n", 3)
+	if matHead[1] != strHead[1] {
+		t.Errorf("summary lines differ:\n%s\n%s", matHead[1], strHead[1])
+	}
+}
+
+func TestRunGenerateAndAnalyze(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "CC-a", "-duration", "25h", "-skip-clustering"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "==== Workload CC-a") {
+		t.Errorf("missing workload header: %.80q", out.String())
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "figs")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "CC-a", "-duration", "25h", "-skip-clustering", "-csv-dir", csvDir}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "exported per-figure CSVs") {
+		t.Error("missing export confirmation")
+	}
+}
+
+func TestRunStreamRejectsCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-in", "t.csv", "-stream"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), ".jsonl") {
+		t.Errorf("streaming a CSV should error clearly, got %v", err)
+	}
+}

@@ -6,13 +6,16 @@
 //	swimgen -workload CC-b -duration 168h -seed 1 -out cc-b.jsonl
 //
 // The output format is chosen by extension: .jsonl (lossless, native) or
-// .csv (flat job table).
+// .csv (flat job table). With -stream the trace is written as it is
+// generated — memory stays bounded regardless of trace length, so full
+// Table-1 durations (six months of FB-2009) are practical; the output
+// bytes are identical either way.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,38 +24,62 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("swimgen: ")
-
-	var (
-		workload = flag.String("workload", "CC-b", "workload to synthesize: "+strings.Join(swim.Workloads(), ", "))
-		seed     = flag.Int64("seed", 1, "generator seed (deterministic output at any -parallelism)")
-		duration = flag.Duration("duration", 0, "trace duration (0 = the workload's full Table-1 length)")
-		scale    = flag.Float64("scale", 1.0, "arrival-rate scale factor")
-		par      = flag.Int("parallelism", 0, "generation workers (0 = all cores); output is identical at any setting")
-		out      = flag.String("out", "", "output file (.jsonl or .csv); required")
-	)
-	flag.Parse()
-
-	if *out == "" {
-		flag.Usage()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "swimgen: %v\n", err)
 		os.Exit(2)
 	}
-	start := time.Now()
-	tr, err := swim.Generate(swim.GenerateOptions{
+}
+
+// run is the testable body: parses args, generates, writes, and reports
+// to stdout; errors go to the caller instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swimgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workload = fs.String("workload", "CC-b", "workload to synthesize: "+strings.Join(swim.Workloads(), ", "))
+		seed     = fs.Int64("seed", 1, "generator seed (deterministic output at any -parallelism)")
+		duration = fs.Duration("duration", 0, "trace duration (0 = the workload's full Table-1 length)")
+		scale    = fs.Float64("scale", 1.0, "arrival-rate scale factor")
+		par      = fs.Int("parallelism", 0, "generation workers (0 = all cores); output is identical at any setting")
+		stream   = fs.Bool("stream", false, "stream jobs to disk during generation (bounded memory; identical output)")
+		out      = fs.String("out", "", "output file (.jsonl or .csv); required")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -out")
+	}
+	opts := swim.GenerateOptions{
 		Workload:    *workload,
 		Seed:        *seed,
 		Duration:    *duration,
 		RateScale:   *scale,
 		Parallelism: *par,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	if err := swim.SaveTrace(*out, tr); err != nil {
-		log.Fatal(err)
+	start := time.Now()
+	var sum swim.Summary
+	if *stream {
+		var err error
+		sum, err = swim.GenerateTo(*out, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		tr, err := swim.Generate(opts)
+		if err != nil {
+			return err
+		}
+		if err := swim.SaveTrace(*out, tr); err != nil {
+			return err
+		}
+		sum = tr.Summarize()
 	}
-	sum := tr.Summarize()
-	fmt.Printf("wrote %s: %d jobs, %s moved, %s span, generated in %v\n",
+	fmt.Fprintf(stdout, "wrote %s: %d jobs, %s moved, %s span, generated in %v\n",
 		*out, sum.Jobs, sum.BytesMoved, sum.Length, time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -3,6 +3,12 @@
 // workload trace — data access patterns (§4, Figures 1–6), temporal
 // patterns (§5, Figures 7–9), and computation patterns (§6, Figure 10 and
 // Table 2).
+//
+// Figures 1, 7–9, and 10 are also available as incremental builders
+// (DataSizeBuilder, TimeSeriesBuilder, NamesBuilder) so core.AnalyzeSource
+// can compute them in one pass over a streamed trace; the whole-trace
+// functions are thin wrappers over the builders, which is what guarantees
+// streaming and materialized results agree.
 package analysis
 
 import (
@@ -12,34 +18,83 @@ import (
 	"repro/internal/trace"
 )
 
-// DataSizes is the Figure 1 analysis for one workload: empirical CDFs of
-// per-job input, shuffle, and output bytes.
+// DataSizes is the Figure 1 analysis for one workload: empirical
+// distributions of per-job input, shuffle, and output bytes. The
+// distributions are exact CDFs in materialized mode and fixed-memory
+// quantile sketches in bounded-memory streaming mode.
 type DataSizes struct {
 	Workload string
-	Input    *stats.CDF
-	Shuffle  *stats.CDF
-	Output   *stats.CDF
+	Input    stats.Distribution
+	Shuffle  stats.Distribution
+	Output   stats.Distribution
 }
 
-// DataSizeCDFs computes Figure 1's distributions for a trace.
-func DataSizeCDFs(t *trace.Trace) (*DataSizes, error) {
-	if t.Len() == 0 {
+// DataSizeBuilder accumulates Figure 1 incrementally. In exact mode it
+// collects the three per-job values (24 B per job, far below retaining
+// Job records); in sketch mode it feeds fixed-memory quantile sketches,
+// making memory independent of job count at ≤ half-bin relative quantile
+// error (stats.DefaultBinsPerDecade).
+type DataSizeBuilder struct {
+	workload     string
+	sketch       bool
+	in, sh, out  []float64
+	hin, hsh, ho *stats.QuantileSketch
+	n            int
+}
+
+// NewDataSizeBuilder starts a Figure 1 accumulation. sketch selects the
+// fixed-memory mode.
+func NewDataSizeBuilder(workload string, sketch bool) *DataSizeBuilder {
+	b := &DataSizeBuilder{workload: workload, sketch: sketch}
+	if sketch {
+		b.hin = stats.NewQuantileSketch(0)
+		b.hsh = stats.NewQuantileSketch(0)
+		b.ho = stats.NewQuantileSketch(0)
+	}
+	return b
+}
+
+// Observe folds one job in.
+func (b *DataSizeBuilder) Observe(j *trace.Job) {
+	b.n++
+	if b.sketch {
+		b.hin.Observe(float64(j.InputBytes))
+		b.hsh.Observe(float64(j.ShuffleBytes))
+		b.ho.Observe(float64(j.OutputBytes))
+		return
+	}
+	b.in = append(b.in, float64(j.InputBytes))
+	b.sh = append(b.sh, float64(j.ShuffleBytes))
+	b.out = append(b.out, float64(j.OutputBytes))
+}
+
+// Result returns the Figure 1 distributions; it errors on an empty
+// stream, like DataSizeCDFs on an empty trace.
+func (b *DataSizeBuilder) Result() (*DataSizes, error) {
+	if b.n == 0 {
 		return nil, errors.New("analysis: empty trace")
 	}
-	in := make([]float64, 0, t.Len())
-	sh := make([]float64, 0, t.Len())
-	out := make([]float64, 0, t.Len())
-	for _, j := range t.Jobs {
-		in = append(in, float64(j.InputBytes))
-		sh = append(sh, float64(j.ShuffleBytes))
-		out = append(out, float64(j.OutputBytes))
+	if b.sketch {
+		return &DataSizes{Workload: b.workload, Input: b.hin, Shuffle: b.hsh, Output: b.ho}, nil
 	}
 	return &DataSizes{
-		Workload: t.Meta.Name,
-		Input:    stats.NewCDF(in),
-		Shuffle:  stats.NewCDF(sh),
-		Output:   stats.NewCDF(out),
+		Workload: b.workload,
+		Input:    stats.NewCDF(b.in),
+		Shuffle:  stats.NewCDF(b.sh),
+		Output:   stats.NewCDF(b.out),
 	}, nil
+}
+
+// DataSizeCDFs computes Figure 1's exact distributions for a trace.
+func DataSizeCDFs(t *trace.Trace) (*DataSizes, error) {
+	b := NewDataSizeBuilder(t.Meta.Name, false)
+	b.in = make([]float64, 0, t.Len())
+	b.sh = make([]float64, 0, t.Len())
+	b.out = make([]float64, 0, t.Len())
+	for _, j := range t.Jobs {
+		b.Observe(j)
+	}
+	return b.Result()
 }
 
 // MedianSpanAcrossWorkloads reports, for a set of per-workload Figure 1

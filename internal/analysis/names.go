@@ -50,64 +50,84 @@ func FirstWord(name string) string {
 	return b.String()
 }
 
-// JobNames computes Figure 10: first words of job names weighted by job
-// count, by total I/O bytes, and by task-time. topN groups are kept; the
-// remainder is aggregated into an "[others]" group, as the figure does.
-func JobNames(t *trace.Trace, topN int) (*NameAnalysis, error) {
-	if !t.HasNames() {
+// nameAgg is one first-word bucket's running totals.
+type nameAgg struct {
+	jobs     float64
+	bytes    float64
+	taskTime float64
+}
+
+// NamesBuilder accumulates Figure 10 incrementally. Memory is bounded by
+// the distinct first-word vocabulary (a handful per workload, §6.1), not
+// by job count, so the analysis streams. JobNames delegates to it.
+type NamesBuilder struct {
+	workload                   string
+	groups                     map[string]*nameAgg
+	totJobs, totBytes, totTask float64
+	named                      bool
+}
+
+// NewNamesBuilder starts a Figure 10 accumulation.
+func NewNamesBuilder(workload string) *NamesBuilder {
+	return &NamesBuilder{workload: workload, groups: make(map[string]*nameAgg)}
+}
+
+// Observe folds one job in. Unnamed jobs count under "[unnamed]", as
+// before; whether the trace carries names at all is decided at Result.
+func (b *NamesBuilder) Observe(j *trace.Job) {
+	if j.Name != "" {
+		b.named = true
+	}
+	w := FirstWord(j.Name)
+	if w == "" {
+		w = "[unnamed]"
+	}
+	g := b.groups[w]
+	if g == nil {
+		g = &nameAgg{}
+		b.groups[w] = g
+	}
+	g.jobs++
+	g.bytes += float64(j.TotalBytes())
+	g.taskTime += float64(j.TotalTaskTime())
+	b.totJobs++
+	b.totBytes += float64(j.TotalBytes())
+	b.totTask += float64(j.TotalTaskTime())
+}
+
+// Result returns the Figure 10 analysis, erroring when the stream
+// carried no job names (mirroring JobNames on a nameless trace).
+func (b *NamesBuilder) Result(topN int) (*NameAnalysis, error) {
+	if !b.named {
 		return nil, errors.New("analysis: trace carries no job names")
+	}
+	if b.totJobs == 0 {
+		return nil, errors.New("analysis: no named jobs")
 	}
 	if topN < 1 {
 		topN = 1
 	}
-	type agg struct {
-		jobs     float64
-		bytes    float64
-		taskTime float64
-	}
-	groups := make(map[string]*agg)
-	var totJobs, totBytes, totTask float64
-	for _, j := range t.Jobs {
-		w := FirstWord(j.Name)
-		if w == "" {
-			w = "[unnamed]"
-		}
-		g := groups[w]
-		if g == nil {
-			g = &agg{}
-			groups[w] = g
-		}
-		g.jobs++
-		g.bytes += float64(j.TotalBytes())
-		g.taskTime += float64(j.TotalTaskTime())
-		totJobs++
-		totBytes += float64(j.TotalBytes())
-		totTask += float64(j.TotalTaskTime())
-	}
-	if totJobs == 0 {
-		return nil, errors.New("analysis: no named jobs")
-	}
-	words := make([]string, 0, len(groups))
-	for w := range groups {
+	words := make([]string, 0, len(b.groups))
+	for w := range b.groups {
 		words = append(words, w)
 	}
 	sort.Slice(words, func(i, k int) bool {
-		gi, gk := groups[words[i]], groups[words[k]]
+		gi, gk := b.groups[words[i]], b.groups[words[k]]
 		if gi.jobs != gk.jobs {
 			return gi.jobs > gk.jobs
 		}
 		return words[i] < words[k]
 	})
-	res := &NameAnalysis{Workload: t.Meta.Name, DistinctWords: len(groups)}
+	res := &NameAnalysis{Workload: b.workload, DistinctWords: len(b.groups)}
 	var restJobs, restBytes, restTask float64
 	for i, w := range words {
-		g := groups[w]
+		g := b.groups[w]
 		if i < topN {
 			res.Groups = append(res.Groups, NameGroup{
 				Word:             w,
-				JobsFraction:     g.jobs / totJobs,
-				BytesFraction:    safeDiv(g.bytes, totBytes),
-				TaskTimeFraction: safeDiv(g.taskTime, totTask),
+				JobsFraction:     g.jobs / b.totJobs,
+				BytesFraction:    safeDiv(g.bytes, b.totBytes),
+				TaskTimeFraction: safeDiv(g.taskTime, b.totTask),
 			})
 			continue
 		}
@@ -118,12 +138,26 @@ func JobNames(t *trace.Trace, topN int) (*NameAnalysis, error) {
 	if restJobs > 0 {
 		res.Groups = append(res.Groups, NameGroup{
 			Word:             "[others]",
-			JobsFraction:     restJobs / totJobs,
-			BytesFraction:    safeDiv(restBytes, totBytes),
-			TaskTimeFraction: safeDiv(restTask, totTask),
+			JobsFraction:     restJobs / b.totJobs,
+			BytesFraction:    safeDiv(restBytes, b.totBytes),
+			TaskTimeFraction: safeDiv(restTask, b.totTask),
 		})
 	}
 	return res, nil
+}
+
+// JobNames computes Figure 10: first words of job names weighted by job
+// count, by total I/O bytes, and by task-time. topN groups are kept; the
+// remainder is aggregated into an "[others]" group, as the figure does.
+func JobNames(t *trace.Trace, topN int) (*NameAnalysis, error) {
+	if !t.HasNames() {
+		return nil, errors.New("analysis: trace carries no job names")
+	}
+	b := NewNamesBuilder(t.Meta.Name)
+	for _, j := range t.Jobs {
+		b.Observe(j)
+	}
+	return b.Result(topN)
 }
 
 // TopKJobsFraction returns the combined job share of the k most frequent

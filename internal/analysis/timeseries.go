@@ -33,6 +33,57 @@ type TimeSeries struct {
 	TaskSecondsSpread []float64
 }
 
+// TimeSeriesBuilder accumulates the hourly series incrementally, in
+// memory proportional to the trace length in hours — never the job count
+// — so core.AnalyzeSource can build Figures 7–9 in one streaming pass.
+// BinHourly delegates to it, which is what keeps streaming and
+// materialized series identical.
+type TimeSeriesBuilder struct {
+	ts    *TimeSeries
+	hours int
+}
+
+// NewTimeSeriesBuilder starts an hourly binning for a trace of the given
+// length starting at start. Lengths under two hours are rejected, as in
+// BinHourly.
+func NewTimeSeriesBuilder(workload string, start time.Time, length time.Duration) (*TimeSeriesBuilder, error) {
+	hours := int(length.Hours()) + 1
+	if hours < 2 {
+		return nil, errors.New("analysis: trace too short for hourly binning")
+	}
+	return &TimeSeriesBuilder{
+		ts: &TimeSeries{
+			Workload:          workload,
+			Start:             start,
+			Jobs:              make([]float64, hours),
+			Bytes:             make([]float64, hours),
+			TaskSeconds:       make([]float64, hours),
+			TaskSecondsSpread: make([]float64, hours),
+		},
+		hours: hours,
+	}, nil
+}
+
+// Observe folds one job into the series. Jobs submitted before the
+// series start are dropped; jobs past the horizon clamp into the final
+// bin, exactly as BinHourly always did.
+func (b *TimeSeriesBuilder) Observe(j *trace.Job) {
+	h := int(j.SubmitTime.Sub(b.ts.Start).Hours())
+	if h < 0 {
+		return
+	}
+	if h >= b.hours {
+		h = b.hours - 1
+	}
+	b.ts.Jobs[h]++
+	b.ts.Bytes[h] += float64(j.TotalBytes())
+	b.ts.TaskSeconds[h] += float64(j.TotalTaskTime())
+	spreadTaskTime(b.ts.TaskSecondsSpread, b.ts.Start, j)
+}
+
+// Series returns the accumulated hourly view.
+func (b *TimeSeriesBuilder) Series() *TimeSeries { return b.ts }
+
 // BinHourly builds the hourly series for a trace. The number of bins is
 // ceil(trace length); traces shorter than two hours are rejected.
 func BinHourly(t *trace.Trace) (*TimeSeries, error) {
@@ -44,32 +95,14 @@ func BinHourly(t *trace.Trace) (*TimeSeries, error) {
 		start, end := t.Span()
 		length = end.Sub(start)
 	}
-	hours := int(length.Hours()) + 1
-	if hours < 2 {
-		return nil, errors.New("analysis: trace too short for hourly binning")
-	}
-	ts := &TimeSeries{
-		Workload:          t.Meta.Name,
-		Start:             t.Meta.Start,
-		Jobs:              make([]float64, hours),
-		Bytes:             make([]float64, hours),
-		TaskSeconds:       make([]float64, hours),
-		TaskSecondsSpread: make([]float64, hours),
+	b, err := NewTimeSeriesBuilder(t.Meta.Name, t.Meta.Start, length)
+	if err != nil {
+		return nil, err
 	}
 	for _, j := range t.Jobs {
-		h := int(j.SubmitTime.Sub(t.Meta.Start).Hours())
-		if h < 0 {
-			continue
-		}
-		if h >= hours {
-			h = hours - 1
-		}
-		ts.Jobs[h]++
-		ts.Bytes[h] += float64(j.TotalBytes())
-		ts.TaskSeconds[h] += float64(j.TotalTaskTime())
-		spreadTaskTime(ts.TaskSecondsSpread, t.Meta.Start, j)
+		b.Observe(j)
 	}
-	return ts, nil
+	return b.Series(), nil
 }
 
 // spreadTaskTime distributes a job's task-time uniformly over the hourly

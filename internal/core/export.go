@@ -32,7 +32,7 @@ func (r *Report) ExportCSV(dir string) error {
 	}
 	if r.DataSizes != nil {
 		tb := report.NewTable("dimension", "bytes", "fraction_of_jobs")
-		addCDF := func(name string, c *stats.CDF) {
+		addCDF := func(name string, c stats.Distribution) {
 			for _, p := range c.LogPoints(10) {
 				tb.AddRow(name, formatF(p.X), formatF(p.Y))
 			}

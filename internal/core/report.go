@@ -58,6 +58,21 @@ type AnalyzeOptions struct {
 	Cluster analysis.ClusterConfig
 	// SkipClustering drops the Table 2 analysis (it is the slowest step).
 	SkipClustering bool
+	// Materialize applies to AnalyzeSource only: collect the streamed
+	// jobs into memory and run the full materialized Analyze, so the
+	// path-based analyses (Figures 2–6) and Table-2 clustering — which
+	// need random access over the whole trace — are included. When
+	// false, AnalyzeSource runs in a single pass with memory independent
+	// of trace length (see AnalyzeSource for what that report contains).
+	Materialize bool
+	// SketchDataSizes applies to the streaming AnalyzeSource path only:
+	// compute the Figure 1 distributions with fixed-memory quantile
+	// sketches (≤ half-bin relative error, stats.DefaultBinsPerDecade)
+	// instead of exact per-job value collection. With it, streaming
+	// analysis memory is fully independent of job count; without it,
+	// Figure 1 retains 24 bytes per job and matches the materialized
+	// analysis exactly.
+	SketchDataSizes bool
 }
 
 // Analyze runs the full measurement methodology of the paper over a trace

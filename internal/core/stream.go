@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+)
+
+// AnalyzeSource runs the measurement methodology over a streamed trace in
+// a single pass. It computes every analysis that does not need random
+// access over the whole job set:
+//
+//   - the Table-1 summary,
+//   - Figure 1 data-size distributions (exact by default; fixed-memory
+//     sketches with opts.SketchDataSizes),
+//   - the Figures 7–9 hourly series with burstiness and correlations,
+//   - the Figure 10 job-name breakdown.
+//
+// Memory is O(trace hours + name vocabulary), independent of job count
+// (plus 24 B/job for exact Figure 1 unless opts.SketchDataSizes). The
+// analyses that genuinely need the whole trace in memory — Table-2
+// k-means and the path-based Figures 2–6 — are left nil; set
+// opts.Materialize to collect the stream and run the full Analyze
+// instead.
+//
+// Because the per-analysis builders are the same code the materialized
+// Analyze runs, a streaming report's sections are identical to the
+// corresponding sections of Analyze on the collected trace.
+func AnalyzeSource(src trace.Source, opts AnalyzeOptions) (*Report, error) {
+	if opts.Materialize {
+		t, err := trace.Collect(src)
+		if err != nil {
+			return nil, err
+		}
+		return Analyze(t, opts)
+	}
+	if opts.TopNames == 0 {
+		opts.TopNames = 8
+	}
+	meta := src.Meta()
+	if meta.Length <= 0 {
+		return nil, fmt.Errorf("core: streaming analysis needs metadata with a positive trace length (set Materialize for span-derived traces)")
+	}
+	sum := trace.NewSummaryAccumulator(meta)
+	dsb := analysis.NewDataSizeBuilder(meta.Name, opts.SketchDataSizes)
+	tsb, err := analysis.NewTimeSeriesBuilder(meta.Name, meta.Start, meta.Length)
+	if err != nil {
+		return nil, err
+	}
+	nb := analysis.NewNamesBuilder(meta.Name)
+	n := 0
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		n++
+		sum.Observe(j)
+		dsb.Observe(j)
+		tsb.Observe(j)
+		nb.Observe(j)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: cannot analyze an empty trace")
+	}
+	rep := &Report{Summary: sum.Summary()}
+	ds, err := dsb.Result()
+	if err != nil {
+		return nil, err
+	}
+	rep.DataSizes = ds
+	series := tsb.Series()
+	rep.Series = series
+	if b, err := series.BurstinessOf(); err == nil {
+		rep.PeakToMedian = b.PeakToMedian
+	}
+	if c, err := series.Correlate(); err == nil {
+		rep.Correlations = c
+	}
+	if na, err := nb.Result(opts.TopNames); err == nil {
+		rep.Names = na
+	}
+	return rep, nil
+}

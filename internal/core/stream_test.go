@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// generateToFile streams a generated FB-2009 variant to a JSONL file and
+// returns the job count.
+func generateToFile(tb testing.TB, path string, duration time.Duration, rateScale float64) int {
+	tb.Helper()
+	p, err := profile.ByName("FB-2009")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	sink := trace.NewJSONLWriter(f)
+	sum, err := gen.GenerateTo(gen.Config{Profile: p, Seed: 1, Duration: duration, RateScale: rateScale}, sink)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return sum.Jobs
+}
+
+// meteredSource samples the live heap (after a forced GC) every interval
+// jobs, recording the maximum observed.
+type meteredSource struct {
+	trace.Source
+	interval int
+	n        int
+	maxLive  uint64
+}
+
+func (m *meteredSource) Next() (*trace.Job, error) {
+	j, err := m.Source.Next()
+	if err == nil {
+		m.n++
+		if m.n%m.interval == 0 {
+			if live := liveHeap(); live > m.maxLive {
+				m.maxLive = live
+			}
+		}
+	}
+	return j, err
+}
+
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// TestStreamAnalyzeBoundedHeap is the tentpole's memory proof:
+// generate → save → stream-analyze a multi-month FB-2009 trace, and show
+// that the live heap during streaming analysis does not scale with the
+// number of jobs — an 8× heavier trace (same two-month length, 8× the
+// arrival rate) must analyze within the same memory envelope.
+func TestStreamAnalyzeBoundedHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-month generation in -short mode")
+	}
+	dir := t.TempDir()
+	const duration = 61 * 24 * time.Hour // two months
+	analyzeMaxLive := func(rateScale float64) (jobs int, growth int64) {
+		path := filepath.Join(dir, fmt.Sprintf("fb2009_%v.jsonl", rateScale))
+		jobs = generateToFile(t, path, duration, rateScale)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		src, err := trace.NewJSONLReader(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := liveHeap()
+		m := &meteredSource{Source: src, interval: 4096, maxLive: base}
+		rep, err := AnalyzeSource(m, AnalyzeOptions{SketchDataSizes: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Summary.Jobs != jobs {
+			t.Fatalf("streamed %d jobs, generated %d", rep.Summary.Jobs, jobs)
+		}
+		if rep.Series == nil || rep.DataSizes == nil || rep.Names == nil {
+			t.Fatal("streaming report missing sections")
+		}
+		return jobs, int64(m.maxLive) - int64(base)
+	}
+
+	smallJobs, smallGrowth := analyzeMaxLive(0.03)
+	bigJobs, bigGrowth := analyzeMaxLive(0.24)
+	t.Logf("streaming analyze: %d jobs -> +%d KiB live, %d jobs -> +%d KiB live",
+		smallJobs, smallGrowth/1024, bigJobs, bigGrowth/1024)
+	if bigJobs < 6*smallJobs {
+		t.Fatalf("rate scaling did not scale jobs: %d vs %d", smallJobs, bigJobs)
+	}
+	// The 8× trace may not need more than the small trace plus slack for
+	// GC timing noise. 8 MiB of slack is far below the ~40 MiB the big
+	// trace's jobs would occupy if anything retained them.
+	const slack = 8 << 20
+	if bigGrowth > smallGrowth+slack {
+		t.Errorf("live heap grew with job count: +%d KiB at %d jobs vs +%d KiB at %d jobs",
+			bigGrowth/1024, bigJobs, smallGrowth/1024, smallJobs)
+	}
+}
+
+// BenchmarkStreamAnalyze measures the end-to-end streaming analysis
+// against loading + materialized analysis of the same file. CI publishes
+// these numbers for trend tracking.
+func BenchmarkStreamAnalyze(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "fb2009_2w.jsonl")
+	generateToFile(b, path, 14*24*time.Hour, 1)
+	st, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(st.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := trace.NewJSONLReader(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := AnalyzeSource(src, AnalyzeOptions{SketchDataSizes: true}); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.SetBytes(st.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := trace.NewJSONLReader(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := trace.Collect(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Analyze(tr, AnalyzeOptions{SkipClustering: true}); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+}
+
+// TestAnalyzeSourceErrors covers the streaming-mode error paths.
+func TestAnalyzeSourceErrors(t *testing.T) {
+	// Empty stream.
+	empty := trace.NewSliceSource(trace.New(trace.Meta{Name: "e", Length: 3 * time.Hour}))
+	if _, err := AnalyzeSource(empty, AnalyzeOptions{}); err == nil {
+		t.Error("empty stream should error")
+	}
+	// Missing length metadata.
+	tr := trace.New(trace.Meta{Name: "nolen"})
+	if _, err := AnalyzeSource(trace.NewSliceSource(tr), AnalyzeOptions{}); err == nil {
+		t.Error("zero-length metadata should error in streaming mode")
+	}
+	// Source error mid-stream propagates.
+	if _, err := AnalyzeSource(&errSource{}, AnalyzeOptions{}); err == nil || err.Error() != "stream broke" {
+		t.Errorf("err = %v, want stream broke", err)
+	}
+}
+
+type errSource struct{ n int }
+
+func (e *errSource) Meta() trace.Meta {
+	return trace.Meta{Name: "err", Length: 3 * time.Hour, Start: time.Unix(0, 0).UTC()}
+}
+
+func (e *errSource) Next() (*trace.Job, error) {
+	e.n++
+	if e.n > 2 {
+		return nil, fmt.Errorf("stream broke")
+	}
+	return &trace.Job{ID: int64(e.n), SubmitTime: time.Unix(int64(e.n), 0).UTC()}, nil
+}

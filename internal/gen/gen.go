@@ -20,7 +20,6 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/dist"
@@ -78,61 +77,96 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Generate synthesizes a trace per the configuration in two phases.
+// Generate synthesizes a trace in memory. It is GenerateTo into a
+// collecting sink; see GenerateTo for the phase structure.
+func Generate(cfg Config) (*trace.Trace, error) {
+	var cs trace.CollectSink
+	if _, err := GenerateTo(cfg, &cs); err != nil {
+		return nil, err
+	}
+	return cs.Trace(), nil
+}
+
+// GenerateTo synthesizes a trace per the configuration, streaming jobs
+// into sink in submit order, and returns the Table-1 summary of what it
+// wrote. Two phases run as a bounded pipeline:
 //
 // Phase 1 (parallel): each one-hour window independently samples its
 // arrival counts, submit offsets, job dimensions, and job names from a
 // window-local PCG stream. Windows share no mutable state, so the pool
-// schedule cannot influence the draws.
+// schedule cannot influence the draws. At most ~2× Parallelism sampled
+// windows exist at once — the generator's memory is bounded by the
+// window prefetch depth, never by trace length.
 //
-// Phase 2 (sequential): windows are merged in submit-time order and the
+// Phase 2 (sequential): windows are consumed in timeline order and the
 // one trace-global piece of state — the simulated HDFS namespace — is
 // threaded through, so a re-access sees the file population exactly as
 // of its submit time (§4 causality). File-path draws come from the
-// job's own window stream, kept alive across the phases.
-func Generate(cfg Config) (*trace.Trace, error) {
+// job's own window stream, kept alive across the phases. Within a
+// window, jobs are already in submit order, and windows partition the
+// timeline hour by hour, so the concatenation the sink receives is the
+// sorted trace with sequential IDs — byte-identical to Generate +
+// WriteJSONL at every parallelism level.
+func GenerateTo(cfg Config, sink trace.Sink) (trace.Summary, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return trace.Summary{}, err
 	}
 	p := cfg.Profile
-
-	tr := trace.New(trace.Meta{
+	meta := trace.Meta{
 		Name:     p.Name,
 		Machines: p.Machines,
 		Start:    p.TraceStart,
 		Length:   cfg.Duration,
-	})
+	}
+	if err := sink.Begin(meta); err != nil {
+		return trace.Summary{}, err
+	}
 
 	hours := int(math.Ceil(cfg.Duration.Hours()))
 	arr := newArrivalProcess(p, cfg.RateScale)
 	namer := newNamer(p)
 	end := p.TraceStart.Add(cfg.Duration)
-
-	windows := make([]*window, hours)
 	workers := cfg.Parallelism
 	if workers > hours {
 		workers = hours
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for h := range idx {
-				windows[h] = sampleWindow(p, arr, namer, cfg.Seed, h, end)
+
+	// Bounded out-of-order sampling, in-order consumption: the producer
+	// hands the consumer one single-slot channel per window, in timeline
+	// order; `pending`'s capacity is the prefetch window and `sem`
+	// bounds concurrent samplers. `stop` aborts the pipeline if the sink
+	// fails mid-trace.
+	pending := make(chan chan *window, 2*workers)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		sem := make(chan struct{}, workers)
+		for h := 0; h < hours; h++ {
+			ch := make(chan *window, 1)
+			select {
+			case pending <- ch:
+			case <-stop:
+				return
 			}
-		}()
-	}
-	for h := 0; h < hours; h++ {
-		idx <- h
-	}
-	close(idx)
-	wg.Wait()
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			go func(h int, ch chan *window) {
+				ch <- sampleWindow(p, arr, namer, cfg.Seed, h, end)
+				<-sem
+			}(h, ch)
+		}
+		close(pending)
+	}()
 
 	files := newFileStore(p)
-	for _, w := range windows {
+	acc := trace.NewSummaryAccumulator(meta)
+	var id int64
+	for ch := range pending {
+		w := <-ch
 		for _, j := range w.jobs {
 			// Input paths: possibly re-access a pre-existing file
 			// (Fig 6); when a job re-reads, it sees the file's actual
@@ -150,14 +184,15 @@ func Generate(cfg Config) (*trace.Trace, error) {
 			if p.HasOutputPaths {
 				j.OutputPath = files.recordOutput(w.rng, j.OutputBytes)
 			}
-			tr.Add(j)
+			id++
+			j.ID = id
+			acc.Observe(j)
+			if err := sink.Write(j); err != nil {
+				return trace.Summary{}, err
+			}
 		}
 	}
-	tr.Sort()
-	for i, j := range tr.Jobs {
-		j.ID = int64(i + 1)
-	}
-	return tr, nil
+	return acc.Summary(), nil
 }
 
 // window is one sampled hour of the timeline: its jobs in submit order

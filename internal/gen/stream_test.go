@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// TestGenerateToMatchesGenerate: streaming generation into a JSONL sink
+// must produce the byte-identical file that materialized generation plus
+// WriteJSONL produces — same jobs, same order, same IDs — at several
+// parallelism levels. This is the contract that lets cmd/swimgen switch
+// to the constant-memory path without changing any output.
+func TestGenerateToMatchesGenerate(t *testing.T) {
+	for _, workload := range []string{"CC-b", "FB-2009"} {
+		p, err := profile.ByName(workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Profile: p, Seed: 5, Duration: 30 * time.Hour}
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct bytes.Buffer
+		if err := trace.WriteJSONL(&direct, tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 3, 8} {
+			cfg.Parallelism = par
+			var streamed bytes.Buffer
+			sink := trace.NewJSONLWriter(&streamed)
+			sum, err := GenerateTo(cfg, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(direct.Bytes(), streamed.Bytes()) {
+				t.Errorf("%s P=%d: GenerateTo JSONL differs from Generate+WriteJSONL (%d vs %d bytes)",
+					workload, par, streamed.Len(), direct.Len())
+			}
+			if want := tr.Summarize(); sum != want {
+				t.Errorf("%s P=%d: GenerateTo summary %+v != %+v", workload, par, sum, want)
+			}
+		}
+	}
+}
+
+// TestGenerateToSinkError: a failing sink aborts generation promptly with
+// the sink's error, and the producer pipeline shuts down (covered by the
+// race detector and goroutine exit via stop).
+func TestGenerateToSinkError(t *testing.T) {
+	p, err := profile.ByName("CC-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &failingSink{failAt: 10}
+	_, err = GenerateTo(Config{Profile: p, Seed: 1, Duration: 24 * time.Hour}, sink)
+	if err == nil || err.Error() != "sink full" {
+		t.Fatalf("err = %v, want sink full", err)
+	}
+}
+
+type failingSink struct {
+	n      int
+	failAt int
+}
+
+func (s *failingSink) Begin(trace.Meta) error { return nil }
+
+func (s *failingSink) Write(*trace.Job) error {
+	s.n++
+	if s.n >= s.failAt {
+		return errSinkFull
+	}
+	return nil
+}
+
+var errSinkFull = errSentinel("sink full")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

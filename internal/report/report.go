@@ -134,9 +134,9 @@ func Sparkline(series []float64) string {
 	return b.String()
 }
 
-// CDFChart renders an empirical CDF as rows of "x-value  bar  p", sampled
-// at the given probabilities.
-func CDFChart(w io.Writer, c *stats.CDF, label string, format func(float64) string) error {
+// CDFChart renders an empirical distribution (exact CDF or streaming
+// sketch) as rows of "x-value  bar  p", sampled at fixed probabilities.
+func CDFChart(w io.Writer, c stats.Distribution, label string, format func(float64) string) error {
 	if c.Len() == 0 {
 		_, err := fmt.Fprintf(w, "%s: (empty)\n", label)
 		return err

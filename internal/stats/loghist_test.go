@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQuantileSketchEmpty(t *testing.T) {
+	h := NewQuantileSketch(0)
+	if h.Len() != 0 || h.Min() != 0 || h.Max() != 0 || h.Median() != 0 {
+		t.Error("empty sketch should report zeros")
+	}
+	if h.P(10) != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty sketch P/Quantile should be 0")
+	}
+	if pts := h.LogPoints(10); pts != nil {
+		t.Error("empty sketch LogPoints should be nil")
+	}
+}
+
+// TestQuantileSketchQuantileAccuracy: against an exact CDF over lognormal
+// data (the shape of per-job byte sizes), sketch quantiles must land
+// within the documented relative error of the exact ones.
+func TestQuantileSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	n := 200000
+	vals := make([]float64, n)
+	h := NewQuantileSketch(0)
+	for i := range vals {
+		v := math.Round(math.Exp(12 + 3*rng.NormFloat64())) // ~e^12 median, heavy spread
+		vals[i] = v
+		h.Observe(v)
+	}
+	c := NewCDF(vals)
+	if h.Len() != c.Len() {
+		t.Fatalf("Len %d != %d", h.Len(), c.Len())
+	}
+	if h.Min() != c.Min() || h.Max() != c.Max() {
+		t.Errorf("min/max not exact: %v/%v vs %v/%v", h.Min(), h.Max(), c.Min(), c.Max())
+	}
+	// Bin width is 10^(1/binsPerDecade); midpoint rule gives half that,
+	// plus sampling noise at the tails. Allow 2 bin widths.
+	tol := math.Pow(10, 2.0/float64(DefaultBinsPerDecade)) // ≈ 3.7% relative
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		exact, approx := c.Quantile(q), h.Quantile(q)
+		if approx < exact/tol || approx > exact*tol {
+			t.Errorf("q=%.2f: sketch %.4g vs exact %.4g (beyond ×%.4f)", q, approx, exact, tol)
+		}
+	}
+	// P at decade boundaries must agree closely (absolute error).
+	for _, x := range []float64{1e3, 1e5, 1e7} {
+		if d := math.Abs(c.P(x) - h.P(x)); d > 0.01 {
+			t.Errorf("P(%g): |%.4f - %.4f| = %.4f > 0.01", x, c.P(x), h.P(x), d)
+		}
+	}
+}
+
+func TestQuantileSketchUnderflowAndClamp(t *testing.T) {
+	h := NewQuantileSketch(64)
+	for i := 0; i < 90; i++ {
+		h.Observe(0) // zero data sizes (map-only shuffle bytes)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6)
+	}
+	if h.Min() != 0 || h.Max() != 1e6 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Median(); m != 0 {
+		t.Errorf("median of 90%% zeros = %v, want 0", m)
+	}
+	if q := h.Quantile(0.99); q != 1e6 {
+		t.Errorf("q99 = %v, want clamped to max 1e6", q)
+	}
+	if p := h.P(0.5); math.Abs(p-0.9) > 1e-9 {
+		t.Errorf("P(0.5) = %v, want 0.9", p)
+	}
+}
+
+func TestQuantileSketchSingleValue(t *testing.T) {
+	h := NewQuantileSketch(0)
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42 (clamped)", q, v)
+		}
+	}
+	if p := h.P(41); p != 0 {
+		t.Errorf("P(41) = %v, want 0", p)
+	}
+	if p := h.P(42); p != 1 {
+		t.Errorf("P(42) = %v, want 1", p)
+	}
+	if pts := h.LogPoints(10); len(pts) == 0 {
+		t.Error("LogPoints empty for single value")
+	}
+}

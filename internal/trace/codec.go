@@ -1,9 +1,7 @@
 package trace
 
 import (
-	"bufio"
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,9 +14,14 @@ import (
 // logs reduced to per-job summary rows. We support two codecs:
 //
 //   - JSONL: one JSON object per line, with a leading meta line. Lossless
-//     and self-describing; the native format of cmd/swimgen.
+//     and self-describing; the native format of cmd/swimgen. The per-job
+//     hot path is the hand-rolled codec in jsonl.go.
 //   - CSV: a flat table with a fixed header, interoperable with the SWIM
 //     repository's trace format and spreadsheet tooling.
+//
+// Both codecs stream: JSONLWriter/CSVWriter are Sinks and
+// JSONLReader/CSVReader are Sources, so whole-trace materialization is a
+// convenience (WriteJSONL/ReadJSONL and friends), not a requirement.
 
 // jsonlHeader is the first line of a JSONL trace file.
 type jsonlHeader struct {
@@ -34,65 +37,26 @@ const jsonlFormat = "swim-trace-v1"
 // WriteJSONL serializes the trace as a meta header line followed by one
 // JSON job record per line.
 func WriteJSONL(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	enc := json.NewEncoder(bw)
-	hdr := jsonlHeader{
-		Format:   jsonlFormat,
-		Name:     t.Meta.Name,
-		Machines: t.Meta.Machines,
-		Start:    t.Meta.Start.UnixMilli(),
-		LengthMS: t.Meta.Length.Milliseconds(),
-	}
-	if err := enc.Encode(hdr); err != nil {
-		return fmt.Errorf("trace: writing header: %w", err)
+	jw := NewJSONLWriter(w)
+	if err := jw.Begin(t.Meta); err != nil {
+		return err
 	}
 	for _, j := range t.Jobs {
-		if err := enc.Encode(j); err != nil {
-			return fmt.Errorf("trace: writing job %d: %w", j.ID, err)
+		if err := jw.Write(j); err != nil {
+			return err
 		}
 	}
-	return bw.Flush()
+	return jw.Close()
 }
 
-// ReadJSONL parses a trace written by WriteJSONL.
+// ReadJSONL parses a trace written by WriteJSONL into memory. For
+// constant-memory access to large traces, use NewJSONLReader directly.
 func ReadJSONL(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("trace: reading header: %w", err)
-		}
-		return nil, fmt.Errorf("trace: empty input")
+	jr, err := NewJSONLReader(r)
+	if err != nil {
+		return nil, err
 	}
-	var hdr jsonlHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("trace: parsing header: %w", err)
-	}
-	if hdr.Format != jsonlFormat {
-		return nil, fmt.Errorf("trace: unknown format %q", hdr.Format)
-	}
-	t := New(Meta{
-		Name:     hdr.Name,
-		Machines: hdr.Machines,
-		Start:    time.UnixMilli(hdr.Start).UTC(),
-		Length:   time.Duration(hdr.LengthMS) * time.Millisecond,
-	})
-	line := 1
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var j Job
-		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		t.Jobs = append(t.Jobs, &j)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: scanning: %w", err)
-	}
-	return t, nil
+	return Collect(jr)
 }
 
 // csvHeader is the fixed column set of the CSV codec.
@@ -103,41 +67,93 @@ var csvHeader = []string{
 	"map_tasks", "reduce_tasks", "input_path", "output_path",
 }
 
+// CSVWriter is a streaming Sink writing the flat CSV job table. The
+// metadata passed to Begin is not representable in CSV and is dropped;
+// pair with a JSONL file or supply Meta at read time. Close must be
+// called after the last Write.
+type CSVWriter struct {
+	cw    *csv.Writer
+	row   []string
+	began bool
+}
+
+// NewCSVWriter wraps w in a CSV trace writer.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+// Begin writes the column header.
+func (w *CSVWriter) Begin(Meta) error {
+	if w.began {
+		return fmt.Errorf("trace: CSVWriter.Begin called twice")
+	}
+	w.began = true
+	if err := w.cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	return nil
+}
+
+// Write appends one job row.
+func (w *CSVWriter) Write(j *Job) error {
+	if !w.began {
+		return fmt.Errorf("trace: CSVWriter.Write before Begin")
+	}
+	row := w.row
+	row[0] = strconv.FormatInt(j.ID, 10)
+	row[1] = j.Name
+	row[2] = strconv.FormatInt(j.SubmitTime.UnixMilli(), 10)
+	row[3] = strconv.FormatInt(j.Duration.Milliseconds(), 10)
+	row[4] = strconv.FormatInt(int64(j.InputBytes), 10)
+	row[5] = strconv.FormatInt(int64(j.ShuffleBytes), 10)
+	row[6] = strconv.FormatInt(int64(j.OutputBytes), 10)
+	row[7] = strconv.FormatFloat(float64(j.MapTime), 'f', -1, 64)
+	row[8] = strconv.FormatFloat(float64(j.ReduceTime), 'f', -1, 64)
+	row[9] = strconv.Itoa(j.MapTasks)
+	row[10] = strconv.Itoa(j.ReduceTasks)
+	row[11] = j.InputPath
+	row[12] = j.OutputPath
+	if err := w.cw.Write(row); err != nil {
+		return fmt.Errorf("trace: writing job %d: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Close flushes buffered rows.
+func (w *CSVWriter) Close() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
 // WriteCSV serializes the job table (metadata is not representable in CSV;
 // pair with a JSONL file or supply Meta at read time).
 func WriteCSV(w io.Writer, t *Trace) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return fmt.Errorf("trace: writing csv header: %w", err)
+	cw := NewCSVWriter(w)
+	if err := cw.Begin(t.Meta); err != nil {
+		return err
 	}
-	row := make([]string, len(csvHeader))
 	for _, j := range t.Jobs {
-		row[0] = strconv.FormatInt(j.ID, 10)
-		row[1] = j.Name
-		row[2] = strconv.FormatInt(j.SubmitTime.UnixMilli(), 10)
-		row[3] = strconv.FormatInt(j.Duration.Milliseconds(), 10)
-		row[4] = strconv.FormatInt(int64(j.InputBytes), 10)
-		row[5] = strconv.FormatInt(int64(j.ShuffleBytes), 10)
-		row[6] = strconv.FormatInt(int64(j.OutputBytes), 10)
-		row[7] = strconv.FormatFloat(float64(j.MapTime), 'f', -1, 64)
-		row[8] = strconv.FormatFloat(float64(j.ReduceTime), 'f', -1, 64)
-		row[9] = strconv.Itoa(j.MapTasks)
-		row[10] = strconv.Itoa(j.ReduceTasks)
-		row[11] = j.InputPath
-		row[12] = j.OutputPath
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("trace: writing job %d: %w", j.ID, err)
+		if err := cw.Write(j); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return cw.Close()
 }
 
-// ReadCSV parses a job table written by WriteCSV, attaching the supplied
-// metadata.
-func ReadCSV(r io.Reader, meta Meta) (*Trace, error) {
+// CSVReader is a streaming Source reading the flat CSV job table, with
+// caller-supplied metadata.
+type CSVReader struct {
+	cr   *csv.Reader
+	meta Meta
+	line int
+}
+
+// NewCSVReader validates the column header and returns a Source
+// positioned at the first row.
+func NewCSVReader(r io.Reader, meta Meta) (*CSVReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
 	hdr, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading csv header: %w", err)
@@ -147,22 +163,37 @@ func ReadCSV(r io.Reader, meta Meta) (*Trace, error) {
 			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, hdr[i], col)
 		}
 	}
-	t := New(meta)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		j, err := parseCSVRow(rec)
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		t.Jobs = append(t.Jobs, j)
+	return &CSVReader{cr: cr, meta: meta, line: 1}, nil
+}
+
+// Meta returns the metadata supplied at open time.
+func (r *CSVReader) Meta() Meta { return r.meta }
+
+// Next parses the next row or returns io.EOF.
+func (r *CSVReader) Next() (*Job, error) {
+	rec, err := r.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
 	}
-	return t, nil
+	r.line++
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv line %d: %w", r.line, err)
+	}
+	j, err := parseCSVRow(rec)
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv line %d: %w", r.line, err)
+	}
+	return j, nil
+}
+
+// ReadCSV parses a job table written by WriteCSV into memory, attaching
+// the supplied metadata. For constant-memory access, use NewCSVReader.
+func ReadCSV(r io.Reader, meta Meta) (*Trace, error) {
+	cr, err := NewCSVReader(r, meta)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(cr)
 }
 
 func parseCSVRow(rec []string) (*Job, error) {

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// benchTrace builds a deterministic, generator-shaped trace without
+// importing internal/gen (which would cycle): mostly small jobs with
+// name/path strings, a heavy tail of large ones.
+func benchTrace(n int) *Trace {
+	tr := New(Meta{Name: "bench", Machines: 600, Start: t0, Length: 24 * time.Hour})
+	words := []string{"ad", "insert", "select", "from", "etl", "queryresult"}
+	for i := 0; i < n; i++ {
+		scale := int64(1 + i%7)
+		j := &Job{
+			ID:           int64(i + 1),
+			Name:         fmt.Sprintf("%s_%04x_stage", words[i%len(words)], i),
+			SubmitTime:   t0.Add(time.Duration(i) * 77 * time.Millisecond),
+			Duration:     time.Duration(30+i%900) * time.Second,
+			InputBytes:   units.Bytes(21_000 * scale * scale * scale),
+			ShuffleBytes: units.Bytes(1_000 * scale * scale),
+			OutputBytes:  units.Bytes(871_000 * scale),
+			MapTime:      units.TaskSeconds(float64(20*scale) + 0.25*float64(i%4)),
+			ReduceTime:   units.TaskSeconds(float64(5*scale) + 0.5*float64(i%2)),
+			MapTasks:     1 + i%30,
+			ReduceTasks:  i % 3,
+		}
+		if i%4 != 0 {
+			j.InputPath = fmt.Sprintf("/data/warehouse/part-%05d", i%997)
+			j.OutputPath = fmt.Sprintf("/tmp/out/job-%d", i)
+		}
+		tr.Add(j)
+	}
+	return tr
+}
+
+const benchJobs = 20000
+
+// BenchmarkCodecEncode measures the hand-rolled JSONL encoder;
+// BenchmarkCodecEncodeStd is the encoding/json baseline it replaced. The
+// streaming tentpole requires ≥3x combined throughput over the baseline.
+func BenchmarkCodecEncode(b *testing.B) {
+	tr := benchTrace(benchJobs)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteJSONL(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecEncodeStd(b *testing.B) {
+	tr := benchTrace(benchJobs)
+	var buf bytes.Buffer
+	if err := writeJSONLStd(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeJSONLStd(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecode measures the field-scanning JSONL decoder against
+// the encoding/json baseline, materialization included in both.
+func BenchmarkCodecDecode(b *testing.B) {
+	tr := benchTrace(benchJobs)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadJSONL(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeStd(b *testing.B) {
+	tr := benchTrace(benchJobs)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := readJSONLStd(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecodeStream measures the pure streaming path: no
+// materialization, jobs visited and dropped.
+func BenchmarkCodecDecodeStream(b *testing.B) {
+	tr := benchTrace(benchJobs)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := NewJSONLReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			j, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = j
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzSeedJSONL returns valid JSONL corpora: canonical encoder output,
+// fallback-shaped lines, and edge-case values.
+func fuzzSeedJSONL(t interface{ Fatal(...any) }) [][]byte {
+	var seeds [][]byte
+	add := func(tr *Trace) {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	tr := New(Meta{Name: "seed", Machines: 4, Start: time.Date(2009, 5, 4, 0, 0, 0, 0, time.UTC), Length: 2 * time.Hour})
+	for i := int64(1); i <= 5; i++ {
+		j := mkJob(i, time.Duration(i)*time.Minute)
+		if i%2 == 0 {
+			j.Name, j.InputPath, j.OutputPath = "", "", ""
+		}
+		tr.Add(j)
+	}
+	add(tr)
+	add(New(Meta{Name: "empty", Machines: 1, Start: time.Unix(0, 0).UTC(), Length: time.Hour}))
+	hdr := `{"format":"swim-trace-v1","name":"x","machines":1,"start_unix":0,"length_ms":1000}`
+	seeds = append(seeds,
+		[]byte(hdr+"\n"),
+		[]byte(hdr+"\n{\"id\":1,\"future_field\":true,\"submit_time\":\"2011-03-01T00:00:00Z\"}\n"),
+		[]byte(hdr+"\n{ \"id\": 2 , \"name\": \"esc\\u0041ped\" }\n"),
+		[]byte(hdr+"\n\n\n"),
+		[]byte("not json\n"),
+		[]byte(`{"format":"other"}`+"\n"),
+		[]byte(hdr+"\n{\"id\":9999999999999999999999}\n"),
+		[]byte(hdr+"\n{\"map_time\":1e999}\n"),
+	)
+	return seeds
+}
+
+// FuzzReadJSONL: arbitrary input must either fail with an error or parse;
+// it must never panic. Parsed traces must re-encode deterministically:
+// encode∘decode reaches a byte-stable fixed point after one application
+// (the first encode may normalize, e.g. invalid UTF-8 and escapes).
+func FuzzReadJSONL(f *testing.F) {
+	for _, s := range fuzzSeedJSONL(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var once bytes.Buffer
+		if err := WriteJSONL(&once, tr); err != nil {
+			// Decoded values can be unencodable (e.g. a year ≥ 10000 is
+			// unreachable, but a NaN never is); an error is acceptable,
+			// a panic is not.
+			return
+		}
+		back, err := ReadJSONL(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading our own encoding failed: %v\nencoded: %q", err, once.Bytes())
+		}
+		var twice bytes.Buffer
+		if err := WriteJSONL(&twice, back); err != nil {
+			t.Fatalf("re-encoding our own decoding failed: %v", err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("encode∘decode is not byte-stable:\n first: %q\nsecond: %q", once.Bytes(), twice.Bytes())
+		}
+		// The fast path and the reference decoder must agree on our own
+		// canonical encoding.
+		ref, err := readJSONLStd(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			// The reference decoder still has the 4 MiB line cap; only a
+			// line-length failure is excusable.
+			if !strings.Contains(err.Error(), "token too long") {
+				t.Fatalf("reference decoder rejected canonical encoding: %v", err)
+			}
+			return
+		}
+		if len(ref.Jobs) != len(back.Jobs) {
+			t.Fatalf("fast path decoded %d jobs, reference %d", len(back.Jobs), len(ref.Jobs))
+		}
+	})
+}
+
+// FuzzReadCSV: same contract for the CSV codec.
+func FuzzReadCSV(f *testing.F) {
+	meta := Meta{Name: "fuzz", Machines: 2, Start: time.Unix(0, 0).UTC(), Length: time.Hour}
+	tr := New(meta)
+	for i := int64(1); i <= 3; i++ {
+		tr.Add(mkJob(i, time.Duration(i)*time.Minute))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	hdr := strings.Join(csvHeader, ",") + "\n"
+	f.Add([]byte(hdr))
+	f.Add([]byte(hdr + "1,n,0,0,0,0,0,0,0,0,0,,\n"))
+	f.Add([]byte(hdr + "x,n,0,0,0,0,0,0,0,0,0,,\n"))
+	f.Add([]byte(hdr + "1,\"quoted,name\",0,0,0,0,0,1.5,2.5,0,0,/a,/b\n"))
+	f.Add([]byte("a,b\n1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data), meta)
+		if err != nil {
+			return
+		}
+		var once bytes.Buffer
+		if err := WriteCSV(&once, tr); err != nil {
+			return
+		}
+		back, err := ReadCSV(bytes.NewReader(once.Bytes()), meta)
+		if err != nil {
+			t.Fatalf("re-reading our own CSV failed: %v\nencoded: %q", err, once.Bytes())
+		}
+		var twice bytes.Buffer
+		if err := WriteCSV(&twice, back); err != nil {
+			t.Fatalf("re-encoding our own CSV failed: %v", err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("CSV encode∘decode is not byte-stable:\n first: %q\nsecond: %q", once.Bytes(), twice.Bytes())
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	tr := sampleTrace()
+	src := NewSliceSource(tr)
+	if src.Meta() != tr.Meta {
+		t.Fatalf("meta = %+v, want %+v", src.Meta(), tr.Meta)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+	// Exhausted source keeps returning io.EOF.
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("Next after exhaustion = %v, want io.EOF", err)
+	}
+}
+
+func TestCopyJSONLSink(t *testing.T) {
+	tr := sampleTrace()
+	var direct, streamed bytes.Buffer
+	if err := WriteJSONL(&direct, tr); err != nil {
+		t.Fatal(err)
+	}
+	sink := NewJSONLWriter(&streamed)
+	n, err := Copy(sink, NewSliceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != tr.Len() {
+		t.Errorf("copied %d jobs, want %d", n, tr.Len())
+	}
+	if !bytes.Equal(direct.Bytes(), streamed.Bytes()) {
+		t.Error("streamed JSONL differs from materialized WriteJSONL")
+	}
+}
+
+func TestCopyCSVSink(t *testing.T) {
+	tr := sampleTrace()
+	var direct, streamed bytes.Buffer
+	if err := WriteCSV(&direct, tr); err != nil {
+		t.Fatal(err)
+	}
+	sink := NewCSVWriter(&streamed)
+	if _, err := Copy(sink, NewSliceSource(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), streamed.Bytes()) {
+		t.Error("streamed CSV differs from materialized WriteCSV")
+	}
+}
+
+func TestCSVReaderStreams(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVReader(bytes.NewReader(buf.Bytes()), tr.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+}
+
+func TestCollectSink(t *testing.T) {
+	tr := sampleTrace()
+	var cs CollectSink
+	if _, err := Copy(&cs, NewSliceSource(tr)); err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, cs.Trace())
+}
+
+func TestSinkUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	if err := jw.Write(mkJob(1, 0)); err == nil {
+		t.Error("JSONL Write before Begin should error")
+	}
+	if err := jw.Begin(Meta{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Begin(Meta{Name: "x"}); err == nil {
+		t.Error("second JSONL Begin should error")
+	}
+	cw := NewCSVWriter(&buf)
+	if err := cw.Write(mkJob(1, 0)); err == nil {
+		t.Error("CSV Write before Begin should error")
+	}
+	if err := cw.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Begin(Meta{}); err == nil {
+		t.Error("second CSV Begin should error")
+	}
+}
+
+func TestSummaryAccumulatorMatchesSummarize(t *testing.T) {
+	tr := sampleTrace()
+	acc := NewSummaryAccumulator(tr.Meta)
+	for _, j := range tr.Jobs {
+		acc.Observe(j)
+	}
+	if got, want := acc.Summary(), tr.Summarize(); got != want {
+		t.Errorf("accumulated summary %+v != Summarize %+v", got, want)
+	}
+}
+
+func TestSummaryAccumulatorEmpty(t *testing.T) {
+	meta := Meta{Name: "e", Machines: 2, Length: time.Hour}
+	s := NewSummaryAccumulator(meta).Summary()
+	if s.Jobs != 0 || s.BytesMoved != 0 || s.Name != "e" || s.Machines != 2 || s.Length != time.Hour {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

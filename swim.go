@@ -64,6 +64,12 @@ type (
 	ReplayResult = cluster.Result
 	// CacheResult reports one cache policy's hit rates over a trace.
 	CacheResult = cache.Result
+	// Source yields the jobs of a trace one at a time, in submit order —
+	// the streaming read side (see OpenTrace, AnalyzeFrom).
+	Source = trace.Source
+	// Sink receives the jobs of a trace one at a time — the streaming
+	// write side (see GenerateTo).
+	Sink = trace.Sink
 )
 
 // Byte size constants re-exported for convenience.
@@ -105,49 +111,98 @@ type GenerateOptions struct {
 	Parallelism int
 }
 
+// config resolves the options into a generator configuration.
+func (o GenerateOptions) config() (gen.Config, error) {
+	p := o.Profile
+	if p == nil {
+		if o.Workload == "" {
+			return gen.Config{}, fmt.Errorf("swim: GenerateOptions needs Workload or Profile")
+		}
+		var err error
+		p, err = profile.ByName(o.Workload)
+		if err != nil {
+			return gen.Config{}, err
+		}
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return gen.Config{
+		Profile:     p,
+		Seed:        seed,
+		Duration:    o.Duration,
+		RateScale:   o.RateScale,
+		Parallelism: o.Parallelism,
+	}, nil
+}
+
 // Generate synthesizes a workload trace from a calibrated profile. The
 // generated trace reproduces the published statistics of the original
 // proprietary trace (see DESIGN.md for the substitution argument).
 func Generate(opts GenerateOptions) (*Trace, error) {
-	p := opts.Profile
-	if p == nil {
-		if opts.Workload == "" {
-			return nil, fmt.Errorf("swim: GenerateOptions needs Workload or Profile")
-		}
-		var err error
-		p, err = profile.ByName(opts.Workload)
-		if err != nil {
-			return nil, err
-		}
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
 	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
+	return gen.Generate(cfg)
+}
+
+// GenerateTo synthesizes a workload trace and streams it straight to a
+// file (.jsonl or .csv by extension) without materializing it: memory is
+// bounded by the generator's window prefetch, not by trace length, so a
+// full six-month FB-2009 trace generates in tens of megabytes of heap.
+// The written bytes are identical to Generate + SaveTrace. Returns the
+// Table-1 summary of the written trace.
+func GenerateTo(path string, opts GenerateOptions) (Summary, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return Summary{}, err
 	}
-	return gen.Generate(gen.Config{
-		Profile:     p,
-		Seed:        seed,
-		Duration:    opts.Duration,
-		RateScale:   opts.RateScale,
-		Parallelism: opts.Parallelism,
-	})
+	ext := filepath.Ext(path)
+	if ext != ".jsonl" && ext != ".csv" {
+		return Summary{}, fmt.Errorf("swim: unknown trace extension %q (use .jsonl or .csv)", ext)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return Summary{}, fmt.Errorf("swim: %w", err)
+	}
+	defer f.Close()
+	var sink interface {
+		Sink
+		Close() error
+	}
+	if ext == ".jsonl" {
+		sink = trace.NewJSONLWriter(f)
+	} else {
+		sink = trace.NewCSVWriter(f)
+	}
+	sum, err := gen.GenerateTo(cfg, sink)
+	if err == nil {
+		err = sink.Close()
+	}
+	if err != nil {
+		return Summary{}, err
+	}
+	return sum, f.Close()
 }
 
 // SaveTrace writes a trace to path; format by extension: .jsonl (native,
 // lossless) or .csv (flat job table).
 func SaveTrace(path string, t *Trace) error {
+	ext := filepath.Ext(path)
+	if ext != ".jsonl" && ext != ".csv" {
+		return fmt.Errorf("swim: unknown trace extension %q (use .jsonl or .csv)", ext)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("swim: %w", err)
 	}
 	defer f.Close()
-	switch filepath.Ext(path) {
-	case ".jsonl":
+	if ext == ".jsonl" {
 		err = trace.WriteJSONL(f, t)
-	case ".csv":
+	} else {
 		err = trace.WriteCSV(f, t)
-	default:
-		err = fmt.Errorf("swim: unknown trace extension %q (use .jsonl or .csv)", filepath.Ext(path))
 	}
 	if err != nil {
 		return err
@@ -158,19 +213,52 @@ func SaveTrace(path string, t *Trace) error {
 // LoadTrace reads a trace written by SaveTrace. CSV files carry no
 // metadata; meta must be supplied for them and is ignored for JSONL.
 func LoadTrace(path string, meta Meta) (*Trace, error) {
+	src, err := OpenTrace(path, meta)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return trace.Collect(src)
+}
+
+// TraceSource is a streaming trace reader backed by a file; Close when
+// done.
+type TraceSource interface {
+	Source
+	Close() error
+}
+
+// fileSource pairs a Source with the file backing it.
+type fileSource struct {
+	Source
+	f *os.File
+}
+
+func (s *fileSource) Close() error { return s.f.Close() }
+
+// OpenTrace opens a trace file for streaming reads: jobs are decoded one
+// at a time as Next is called, so arbitrarily long traces can be
+// processed in constant memory. CSV files carry no metadata; meta must be
+// supplied for them and is ignored for JSONL.
+func OpenTrace(path string, meta Meta) (TraceSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("swim: %w", err)
 	}
-	defer f.Close()
+	var src Source
 	switch filepath.Ext(path) {
 	case ".jsonl":
-		return trace.ReadJSONL(f)
+		src, err = trace.NewJSONLReader(f)
 	case ".csv":
-		return trace.ReadCSV(f, meta)
+		src, err = trace.NewCSVReader(f, meta)
 	default:
-		return nil, fmt.Errorf("swim: unknown trace extension %q", filepath.Ext(path))
+		err = fmt.Errorf("swim: unknown trace extension %q", filepath.Ext(path))
 	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSource{Source: src, f: f}, nil
 }
 
 // SynthesizeOptions controls SWIM workload synthesis (§7).
