@@ -6,13 +6,15 @@
 //	swimbench                 # default: two-week windows, FB rate-scaled
 //	swimbench -quick          # smaller windows for a fast smoke run
 //	swimbench -seed 7         # different random universe
+//	swimbench -only table1,fig8  # just the named sections
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	swim "repro"
@@ -39,75 +41,150 @@ var paperTable1 = map[string]paperRow{
 	"FB-2010": {1169184, units.Bytes(1.5e18), 9},
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("swimbench: ")
+// sectionNames lists the runnable sections in print order.
+var sectionNames = []string{
+	"table1", "fig1", "fig2", "fig34", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "table2", "scaledown", "cache", "scheduler",
+	"drift", "tiered", "suite", "consolidation",
+}
 
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "swimbench: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable body: parses args, generates and analyzes the
+// requested workloads, and prints the selected sections to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swimbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick = flag.Bool("quick", false, "short windows (2 days) for a fast smoke run")
-		seed  = flag.Int64("seed", 1, "generation seed")
-		par   = flag.Int("parallelism", 0, "trace-generation workers (0 = all cores); traces are identical at any setting")
+		quick  = fs.Bool("quick", false, "short windows (2 days) for a fast smoke run")
+		seed   = fs.Int64("seed", 1, "generation seed")
+		par    = fs.Int("parallelism", 0, "trace-generation workers (0 = all cores); traces are identical at any setting")
+		window = fs.Duration("window", 0, "generation window (0 = 14 days, or 2 days with -quick)")
+		only   = fs.String("only", "", "comma-separated sections to run (default all): "+strings.Join(sectionNames, ", "))
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	dur := 14 * 24 * time.Hour
 	if *quick {
 		dur = 2 * 24 * time.Hour
 	}
+	if *window > 0 {
+		dur = *window
+	}
+
+	selected := map[string]bool{}
+	if *only == "" {
+		for _, name := range sectionNames {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			found := false
+			for _, known := range sectionNames {
+				if name == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown section %q (sections: %s)", name, strings.Join(sectionNames, ", "))
+			}
+			selected[name] = true
+		}
+	}
 
 	start := time.Now()
-	fmt.Printf("swimbench: regenerating the paper's evaluation (window=%v, seed=%d)\n", dur, *seed)
-	fmt.Println("NOTE: measured values come from calibrated synthetic traces over a")
-	fmt.Println("window of the full trace; job/byte counts are compared per-hour.")
-	fmt.Println()
+	fmt.Fprintf(stdout, "swimbench: regenerating the paper's evaluation (window=%v, seed=%d)\n", dur, *seed)
+	fmt.Fprintln(stdout, "NOTE: measured values come from calibrated synthetic traces over a")
+	fmt.Fprintln(stdout, "window of the full trace; job/byte counts are compared per-hour.")
+	fmt.Fprintln(stdout)
 
+	// The figure/table sections read per-workload reports; the ablation
+	// sections consume only the traces. Analyze lazily so e.g.
+	// `-only scheduler` skips the whole analysis pipeline, and skip the
+	// Table-2 clustering (by far the slowest analysis) unless table2 is
+	// selected.
+	needReports := false
+	for name := range selected {
+		if name == "table1" || name == "table2" || strings.HasPrefix(name, "fig") {
+			needReports = true
+			break
+		}
+	}
 	reports := map[string]*swim.Report{}
 	traces := map[string]*swim.Trace{}
 	for _, name := range swim.Workloads() {
 		tr, err := swim.Generate(swim.GenerateOptions{Workload: name, Seed: *seed, Duration: dur, Parallelism: *par})
 		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := swim.Analyze(tr, swim.AnalyzeOptions{})
-		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		traces[name] = tr
-		reports[name] = rep
+		if needReports {
+			rep, err := swim.Analyze(tr, swim.AnalyzeOptions{SkipClustering: !selected["table2"]})
+			if err != nil {
+				return err
+			}
+			reports[name] = rep
+		}
 	}
 
-	table1(reports, dur)
-	figure1(reports)
-	figure2(reports)
-	figures34(reports)
-	figure5(reports)
-	figure6(reports)
-	figure7(reports, traces)
-	figure8(reports)
-	figure9(reports)
-	figure10(reports)
-	table2(reports)
-	swimScaleDown(traces, *seed)
-	cacheAblation(traces)
-	schedulerAblation(traces, *seed)
-	eraDrift(traces)
-	tieredAblation(traces, *seed)
-	workloadSuite(*quick, *seed)
-	consolidation(traces)
+	sections := map[string]func(io.Writer) error{
+		"table1":        func(w io.Writer) error { return table1(w, reports) },
+		"fig1":          func(w io.Writer) error { return figure1(w, reports) },
+		"fig2":          func(w io.Writer) error { return figure2(w, reports) },
+		"fig34":         func(w io.Writer) error { return figures34(w, reports) },
+		"fig5":          func(w io.Writer) error { return figure5(w, reports) },
+		"fig6":          func(w io.Writer) error { return figure6(w, reports) },
+		"fig7":          func(w io.Writer) error { return figure7(w, reports, traces) },
+		"fig8":          func(w io.Writer) error { return figure8(w, reports) },
+		"fig9":          func(w io.Writer) error { return figure9(w, reports) },
+		"fig10":         func(w io.Writer) error { return figure10(w, reports) },
+		"table2":        func(w io.Writer) error { return table2(w, reports) },
+		"scaledown":     func(w io.Writer) error { return swimScaleDown(w, traces, *seed) },
+		"cache":         func(w io.Writer) error { return cacheAblation(w, traces) },
+		"scheduler":     func(w io.Writer) error { return schedulerAblation(w, traces, *seed) },
+		"drift":         func(w io.Writer) error { return eraDrift(w, traces) },
+		"tiered":        func(w io.Writer) error { return tieredAblation(w, traces, *seed) },
+		"suite":         func(w io.Writer) error { return workloadSuite(w, *quick, *seed) },
+		"consolidation": func(w io.Writer) error { return consolidation(w, traces) },
+	}
+	for _, name := range sectionNames {
+		if !selected[name] {
+			continue
+		}
+		if err := sections[name](stdout); err != nil {
+			return fmt.Errorf("section %s: %w", name, err)
+		}
+	}
 
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(stdout, "done in %v\n", time.Since(start).Round(time.Second))
+	return nil
 }
 
 // table1 compares per-hour job and byte rates with Table 1's full-trace
 // numbers (the generated window is shorter than the full collection).
-func table1(reports map[string]*swim.Report, dur time.Duration) {
-	fmt.Println("== Table 1: trace summaries (rates per hour; paper values scaled) ==")
+func table1(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Table 1: trace summaries (rates per hour; paper values scaled) ==")
 	tb := report.NewTable("Workload", "Jobs/hr (paper)", "Jobs/hr (meas)", "Bytes/hr (paper)", "Bytes/hr (meas)")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
 		p, err := swim.WorkloadProfile(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		paper := paperTable1[name]
 		hours := p.TraceLength.Hours()
@@ -119,11 +196,11 @@ func table1(reports map[string]*swim.Report, dur time.Duration) {
 			units.Bytes(float64(rep.Summary.BytesMoved)/measHours).String(),
 		)
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figure1(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 1: per-job data size medians ==")
+func figure1(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 1: per-job data size medians ==")
 	tb := report.NewTable("Workload", "median input", "median shuffle", "median output")
 	var all []*analysis.DataSizes
 	for _, name := range swim.Workloads() {
@@ -134,15 +211,18 @@ func figure1(reports map[string]*swim.Report) {
 			units.Bytes(ds.Shuffle.Median()).String(),
 			units.Bytes(ds.Output.Median()).String())
 	}
-	render(tb)
+	if err := render(w, tb); err != nil {
+		return err
+	}
 	in, sh, out := analysis.MedianSpanAcrossWorkloads(all)
-	fmt.Printf("median spans: input %.1f / shuffle %.1f / output %.1f orders of magnitude\n", in, sh, out)
-	fmt.Println("paper:        input 6 / shuffle 8 / output 4")
-	fmt.Println()
+	fmt.Fprintf(w, "median spans: input %.1f / shuffle %.1f / output %.1f orders of magnitude\n", in, sh, out)
+	fmt.Fprintln(w, "paper:        input 6 / shuffle 8 / output 4")
+	fmt.Fprintln(w)
+	return nil
 }
 
-func figure2(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 2: file access frequency Zipf fits (paper: slope 5/6 = 0.833, straight lines) ==")
+func figure2(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 2: file access frequency Zipf fits (paper: slope 5/6 = 0.833, straight lines) ==")
 	tb := report.NewTable("Workload", "alpha (input)", "R2", "alpha (output)", "R2", "files")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
@@ -161,11 +241,11 @@ func figure2(reports map[string]*swim.Report) {
 			outA, outR,
 			fmt.Sprintf("%d", rep.InputAccess.DistinctFiles))
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figures34(reports map[string]*swim.Report) {
-	fmt.Println("== Figures 3-4: access patterns vs file size (paper: 80-1 .. 80-8 rules; 90% of jobs < a few GB) ==")
+func figures34(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figures 3-4: access patterns vs file size (paper: 80-1 .. 80-8 rules; 90% of jobs < a few GB) ==")
 	tb := report.NewTable("Workload", "80-N input", "80-N output", "p90 accessed input size")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
@@ -182,11 +262,11 @@ func figures34(reports map[string]*swim.Report) {
 			outRule,
 			units.Bytes(rep.InputSizeAccess.JobsCDF.Quantile(0.9)).String())
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figure5(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 5: re-access intervals (paper: 75% within 6 hours) ==")
+func figure5(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 5: re-access intervals (paper: 75% within 6 hours) ==")
 	tb := report.NewTable("Workload", "within 1min", "within 1hr", "within 6hr")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
@@ -200,11 +280,11 @@ func figure5(reports map[string]*swim.Report) {
 			report.Percent(iv.FractionWithin(time.Hour)),
 			report.Percent(iv.FractionWithin(6*time.Hour)))
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figure6(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 6: jobs reading pre-existing data (paper: up to 78% for CC-c/d/e) ==")
+func figure6(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 6: jobs reading pre-existing data (paper: up to 78% for CC-c/d/e) ==")
 	tb := report.NewTable("Workload", "re-access input", "re-access output", "total")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
@@ -221,38 +301,39 @@ func figure6(reports map[string]*swim.Report) {
 			report.Percent(rf.InputReaccess), out,
 			report.Percent(rf.InputReaccess+rf.OutputReaccess))
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figure7(reports map[string]*swim.Report, traces map[string]*swim.Trace) {
-	fmt.Println("== Figure 7: weekly behavior (hourly sparklines, first week) ==")
+func figure7(w io.Writer, reports map[string]*swim.Report, traces map[string]*swim.Trace) error {
+	fmt.Fprintln(w, "== Figure 7: weekly behavior (hourly sparklines, first week) ==")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
 		week := rep.Series
-		if w, err := rep.Series.Week(0); err == nil {
-			week = w
+		if w7, err := rep.Series.Week(0); err == nil {
+			week = w7
 		}
-		fmt.Printf("%-8s jobs  %s\n", name, report.Sparkline(week.Jobs))
-		fmt.Printf("%-8s I/O   %s\n", "", report.Sparkline(week.Bytes))
-		fmt.Printf("%-8s task  %s\n", "", report.Sparkline(week.TaskSeconds))
+		fmt.Fprintf(w, "%-8s jobs  %s\n", name, report.Sparkline(week.Jobs))
+		fmt.Fprintf(w, "%-8s I/O   %s\n", "", report.Sparkline(week.Bytes))
+		fmt.Fprintf(w, "%-8s task  %s\n", "", report.Sparkline(week.TaskSeconds))
 	}
 	// Utilization column via replay of a small workload (full FB replays
 	// are left to swimreplay).
 	tr := traces["CC-e"]
 	res, err := swim.Replay(tr, swim.ReplayOptions{Scheduler: swim.SchedulerFair})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	n := len(res.HourlyOccupancy)
 	if n > 7*24 {
 		n = 7 * 24
 	}
-	fmt.Printf("%-8s util  %s (CC-e replayed, %d slots)\n", "", report.Sparkline(res.HourlyOccupancy[:n]), res.TotalSlots)
-	fmt.Println()
+	fmt.Fprintf(w, "%-8s util  %s (CC-e replayed, %d slots)\n", "", report.Sparkline(res.HourlyOccupancy[:n]), res.TotalSlots)
+	fmt.Fprintln(w)
+	return nil
 }
 
-func figure8(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 8: burstiness (paper: peak-to-median 9:1 .. 260:1; FB 31:1 -> 9:1) ==")
+func figure8(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 8: burstiness (paper: peak-to-median 9:1 .. 260:1; FB 31:1 -> 9:1) ==")
 	tb := report.NewTable("Workload", "peak:median (meas)", "paper")
 	for _, name := range swim.Workloads() {
 		rep := reports[name]
@@ -266,15 +347,15 @@ func figure8(reports map[string]*swim.Report) {
 	for _, offset := range []float64{2, 20} {
 		b, err := stats.Burstiness(stats.SineSeries(14*24, offset))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tb.AddRow(fmt.Sprintf("sine + %.0f", offset), fmt.Sprintf("%.2f:1", b.PeakToMedian), "reference")
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func figure9(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 9: hourly correlations (paper avgs: jobs-bytes 0.21, jobs-task 0.14, bytes-task 0.62) ==")
+func figure9(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 9: hourly correlations (paper avgs: jobs-bytes 0.21, jobs-task 0.14, bytes-task 0.62) ==")
 	tb := report.NewTable("Workload", "jobs-bytes", "jobs-task-s", "bytes-task-s")
 	var sums [3]float64
 	for _, name := range swim.Workloads() {
@@ -292,18 +373,18 @@ func figure9(reports map[string]*swim.Report) {
 		fmt.Sprintf("%.2f", sums[0]/n),
 		fmt.Sprintf("%.2f", sums[1]/n),
 		fmt.Sprintf("%.2f", sums[2]/n))
-	render(tb)
+	return render(w, tb)
 }
 
-func figure10(reports map[string]*swim.Report) {
-	fmt.Println("== Figure 10: job name first words (FB-2009 paper: ad 44%, insert 12% of jobs) ==")
+func figure10(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Figure 10: job name first words (FB-2009 paper: ad 44%, insert 12% of jobs) ==")
 	for _, name := range swim.Workloads() {
 		na := reports[name].Names
 		if na == nil {
-			fmt.Printf("%s: trace carries no job names\n", name)
+			fmt.Fprintf(w, "%s: trace carries no job names\n", name)
 			continue
 		}
-		fmt.Printf("%s (top words by job count):\n", name)
+		fmt.Fprintf(w, "%s (top words by job count):\n", name)
 		tb := report.NewTable("word", "% jobs", "% bytes", "% task-time")
 		for i, g := range na.Groups {
 			if i >= 5 && g.Word != "[others]" {
@@ -312,15 +393,18 @@ func figure10(reports map[string]*swim.Report) {
 			tb.AddRow(g.Word, report.Percent(g.JobsFraction),
 				report.Percent(g.BytesFraction), report.Percent(g.TaskTimeFraction))
 		}
-		render(tb)
+		if err := render(w, tb); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func table2(reports map[string]*swim.Report) {
-	fmt.Println("== Table 2: job types recovered by k-means (paper: small jobs > 90% everywhere) ==")
+func table2(w io.Writer, reports map[string]*swim.Report) error {
+	fmt.Fprintln(w, "== Table 2: job types recovered by k-means (paper: small jobs > 90% everywhere) ==")
 	for _, name := range swim.Workloads() {
 		jc := reports[name].Clusters
-		fmt.Printf("%s (k=%d, small-job fraction %s):\n", name, jc.K, report.Percent(jc.SmallJobFraction))
+		fmt.Fprintf(w, "%s (k=%d, small-job fraction %s):\n", name, jc.K, report.Percent(jc.SmallJobFraction))
 		tb := report.NewTable("# Jobs", "Input", "Shuffle", "Output", "Duration", "Map t-s", "Reduce t-s", "Label")
 		for _, jt := range jc.Types {
 			tb.AddRow(fmt.Sprintf("%d", jt.Count),
@@ -330,12 +414,15 @@ func table2(reports map[string]*swim.Report) {
 				fmt.Sprintf("%.0f", float64(jt.Reduce)),
 				jt.Label)
 		}
-		render(tb)
+		if err := render(w, tb); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func swimScaleDown(traces map[string]*swim.Trace, seed int64) {
-	fmt.Println("== SWIM scale-down (§7): FB-2009 window -> 1/10 cluster, fidelity ==")
+func swimScaleDown(w io.Writer, traces map[string]*swim.Trace, seed int64) error {
+	fmt.Fprintln(w, "== SWIM scale-down (§7): FB-2009 window -> 1/10 cluster, fidelity ==")
 	src := traces["FB-2009"]
 	syn, fid, err := swim.ScaleDownFidelity(src, swim.SynthesizeOptions{
 		TargetLength:   24 * time.Hour,
@@ -344,76 +431,80 @@ func swimScaleDown(traces map[string]*swim.Trace, seed int64) {
 		Seed:           seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("source: %d jobs over %v; synthetic: %d jobs over %v\n",
+	fmt.Fprintf(w, "source: %d jobs over %v; synthetic: %d jobs over %v\n",
 		src.Len(), src.Meta.Length, syn.Len(), syn.Meta.Length)
-	fmt.Printf("fidelity: %v (target: worst excess <= 0, i.e. within sampling noise)\n\n", fid)
+	fmt.Fprintf(w, "fidelity: %v (target: worst excess <= 0, i.e. within sampling noise)\n\n", fid)
+	return nil
 }
 
-func cacheAblation(traces map[string]*swim.Trace) {
-	fmt.Println("== Cache policy ablation (§4 implications), CC-e input stream ==")
+func cacheAblation(w io.Writer, traces map[string]*swim.Trace) error {
+	fmt.Fprintln(w, "== Cache policy ablation (§4 implications), CC-e input stream ==")
 	tr := traces["CC-e"]
 	results, err := swim.CompareCachePolicies(tr, 200*swim.GB, swim.GB)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb := report.NewTable("Policy", "hit rate", "byte hit rate", "peak bytes")
 	for _, r := range results {
 		tb.AddRow(r.Policy, report.Percent(r.HitRate), report.Percent(r.ByteHitRate), r.PeakUsed.String())
 	}
-	render(tb)
+	return render(w, tb)
 }
 
-func schedulerAblation(traces map[string]*swim.Trace, seed int64) {
-	fmt.Println("== Scheduler ablation (§6.2 small jobs vs big jobs), CC-b replay ==")
+func schedulerAblation(w io.Writer, traces map[string]*swim.Trace, seed int64) error {
+	fmt.Fprintln(w, "== Scheduler ablation (§6.2 small jobs vs big jobs), CC-b replay ==")
 	tr := traces["CC-b"]
 	tb := report.NewTable("Scheduler", "median latency", "mean latency", "p99 latency")
 	for _, sched := range []swim.SchedulerKind{swim.SchedulerFIFO, swim.SchedulerFair} {
 		res, err := swim.Replay(tr, swim.ReplayOptions{Scheduler: sched, Seed: seed})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tb.AddRow(res.Scheduler.String(),
 			fmt.Sprintf("%.0fs", res.MedianLatency()),
 			fmt.Sprintf("%.0fs", res.MeanLatency()),
 			fmt.Sprintf("%.0fs", res.P99Latency()))
 	}
-	render(tb)
+	return render(w, tb)
 }
 
 // eraDrift reproduces the §4.1/§6.2 Facebook-evolution comparison: from
 // 2009 to 2010 per-job inputs grew by orders of magnitude, outputs shrank,
 // and job rate quadrupled.
-func eraDrift(traces map[string]*swim.Trace) {
-	fmt.Println("== Workload drift FB-2009 -> FB-2010 (paper: inputs grew, outputs shrank, job types changed) ==")
+func eraDrift(w io.Writer, traces map[string]*swim.Trace) error {
+	fmt.Fprintln(w, "== Workload drift FB-2009 -> FB-2010 (paper: inputs grew, outputs shrank, job types changed) ==")
 	d, err := swim.CompareEras(traces["FB-2009"], traces["FB-2010"])
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb := report.NewTable("dimension", "median shift (orders of magnitude)", "KS distance")
 	tb.AddRow("input", fmt.Sprintf("%+.2f", d.InputMedianShift), fmt.Sprintf("%.2f", d.InputKS))
 	tb.AddRow("shuffle", fmt.Sprintf("%+.2f", d.ShuffleMedianShift), fmt.Sprintf("%.2f", d.ShuffleKS))
 	tb.AddRow("output", fmt.Sprintf("%+.2f", d.OutputMedianShift), fmt.Sprintf("%.2f", d.OutputKS))
-	render(tb)
-	fmt.Printf("job rate ratio: %.1fx (paper: 258 -> 1083 jobs/hr = 4.2x); drift significant: %v\n\n",
+	if err := render(w, tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "job rate ratio: %.1fx (paper: 258 -> 1083 jobs/hr = 4.2x); drift significant: %v\n\n",
 		d.JobRateRatio, d.Significant(0.2))
+	return nil
 }
 
 // tieredAblation evaluates the §6.2 two-tier recommendation against a
 // shared cluster on CC-b.
-func tieredAblation(traces map[string]*swim.Trace, seed int64) {
-	fmt.Println("== Two-tier cluster ablation (§6.2 performance/capacity split), CC-b at 40 nodes ==")
+func tieredAblation(w io.Writer, traces map[string]*swim.Trace, seed int64) error {
+	fmt.Fprintln(w, "== Two-tier cluster ablation (§6.2 performance/capacity split), CC-b at 40 nodes ==")
 	tr := traces["CC-b"]
 	shared, err := swim.Replay(tr, swim.ReplayOptions{Nodes: 40, Scheduler: swim.SchedulerFIFO, Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tiered, err := swim.ReplayTiered(tr, swim.TieredReplayOptions{
 		Nodes: 40, PerformanceShare: 0.25, Seed: seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb := report.NewTable("configuration", "median lat", "p99 lat")
 	tb.AddRow("shared FIFO (all jobs)",
@@ -425,13 +516,13 @@ func tieredAblation(traces map[string]*swim.Trace, seed int64) {
 	tb.AddRow("tiered, large jobs (75% cap tier)",
 		fmt.Sprintf("%.0fs", tiered.Capacity.MedianLatency()),
 		fmt.Sprintf("%.0fs", tiered.Capacity.P99Latency()))
-	render(tb)
+	return render(w, tb)
 }
 
 // workloadSuite runs the §7 benchmark-suite concept across diverse
 // workloads on one 50-node target cluster.
-func workloadSuite(quick bool, seed int64) {
-	fmt.Println("== Workload suite (§7: a benchmark must be a suite, scored on multiple metrics) ==")
+func workloadSuite(w io.Writer, quick bool, seed int64) error {
+	fmt.Fprintln(w, "== Workload suite (§7: a benchmark must be a suite, scored on multiple metrics) ==")
 	workloads := []string{"CC-b", "CC-c", "CC-e", "FB-2009"}
 	window := 7 * 24 * time.Hour
 	if quick {
@@ -446,7 +537,7 @@ func workloadSuite(quick bool, seed int64) {
 		Seed:         seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb := report.NewTable("workload", "jobs", "small p50", "small p99", "large p99", "mean util", "bytes/hr")
 	for _, s := range res.Scores {
@@ -458,13 +549,13 @@ func workloadSuite(quick bool, seed int64) {
 			report.Percent(s.MeanUtilization),
 			s.BytesPerHour.String())
 	}
-	render(tb)
+	return render(w, tb)
 }
 
 // consolidation demonstrates the §5.2 multiplexing effect: merging the
 // bursty CC workloads onto one logical cluster smooths the aggregate.
-func consolidation(traces map[string]*swim.Trace) {
-	fmt.Println("== Consolidation (§5.2: multiplexing decreases burstiness) ==")
+func consolidation(w io.Writer, traces map[string]*swim.Trace) error {
+	fmt.Fprintln(w, "== Consolidation (§5.2: multiplexing decreases burstiness) ==")
 	names := []string{"CC-a", "CC-b", "CC-d", "CC-e"}
 	tb := report.NewTable("workload", "peak:median")
 	var parts []*swim.Trace
@@ -472,26 +563,27 @@ func consolidation(traces map[string]*swim.Trace) {
 		tr := traces[name]
 		p2m, err := swim.PeakToMedian(tr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		tb.AddRow(name, report.Ratio(p2m))
 		parts = append(parts, tr)
 	}
 	merged, err := swim.Consolidate("all-CC", parts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	p2m, err := swim.PeakToMedian(merged)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tb.AddRow("consolidated", report.Ratio(p2m))
-	render(tb)
+	return render(w, tb)
 }
 
-func render(tb *report.Table) {
-	if err := tb.Render(os.Stdout); err != nil {
-		log.Fatal(err)
+func render(w io.Writer, tb *report.Table) error {
+	if err := tb.Render(w); err != nil {
+		return err
 	}
-	fmt.Println()
+	_, err := fmt.Fprintln(w)
+	return err
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-h"}, &out, &errb); err != flag.ErrHelp {
+		t.Errorf("-h should return flag.ErrHelp, got %v", err)
+	}
+	if err := run([]string{"-only", "fig99"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "unknown section") {
+		t.Errorf("unknown section should error, got %v", err)
+	}
+}
+
+// TestRunSelectedSections: a short window with a section subset renders
+// the chosen sections (and only those) against all seven workloads.
+func TestRunSelectedSections(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-window", "25h", "-only", "table1,fig1,fig8"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== Table 1:", "== Figure 1:", "== Figure 8:",
+		"FB-2009", "CC-e", "done in",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+	for _, absent := range []string{"== Table 2:", "== Figure 2:", "== Consolidation"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("stdout contains unselected section %q", absent)
+		}
+	}
+}
+
+// TestRunScaleDownSection exercises an ablation section end to end on a
+// short window.
+func TestRunScaleDownSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generation-heavy, not -short")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-window", "49h", "-only", "scaledown"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "fidelity:") {
+		t.Errorf("stdout missing fidelity: %s", out.String())
+	}
+}

@@ -1,0 +1,145 @@
+// Command swimd serves the study's workload analytics as a long-running
+// HTTP/JSON service: named traces live in a concurrent in-memory store
+// (uploaded as JSONL streams or generated on demand from the calibrated
+// profiles) and every report, synthesis, and replay result is memoized
+// in a fingerprint-keyed, single-flight cache, so concurrent identical
+// requests compute once and repeats are served in microseconds.
+//
+//	swimd -addr :8080 -preload FB-2009,CC-b -preload-duration 168h
+//
+//	curl localhost:8080/healthz
+//	curl -X POST --data-binary @cc-b.jsonl localhost:8080/v1/traces/mine
+//	curl localhost:8080/v1/traces/mine/report | jq .summary
+//	curl localhost:8080/v1/stats | jq .cache
+//
+// See README.md ("Serving the analytics: swimd") for the endpoint tour.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	swim "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "swimd: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable body: it parses args, preloads, listens, and
+// serves until stop is closed or a termination signal arrives. The
+// bound address is sent on ready (if non-nil) once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("swimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		maxTraces  = fs.Int("max-traces", 0, "trace store capacity in traces (0 = default 64)")
+		maxJobs    = fs.Int("max-total-jobs", 0, "trace store capacity in total jobs (0 = default 2M)")
+		cacheSize  = fs.Int("cache-entries", 0, "result cache capacity (0 = default 256)")
+		preload    = fs.String("preload", "", "comma-separated workloads to generate and store at startup: "+strings.Join(swim.Workloads(), ", "))
+		preloadDur = fs.Duration("preload-duration", 48*time.Hour, "duration of preloaded traces")
+		seed       = fs.Int64("seed", 1, "preload generation seed")
+		quiet      = fs.Bool("quiet", false, "disable per-request logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(stderr, "swimd: ", log.LstdFlags)
+	}
+	srv := server.New(server.Config{
+		MaxTraces:    *maxTraces,
+		MaxTotalJobs: *maxJobs,
+		CacheEntries: *cacheSize,
+		Logger:       logger,
+	})
+
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			start := time.Now()
+			tr, err := swim.Generate(swim.GenerateOptions{Workload: name, Seed: *seed, Duration: *preloadDur})
+			if err != nil {
+				return fmt.Errorf("preloading %s: %w", name, err)
+			}
+			info, err := srv.Store().Put(name, tr)
+			if err != nil {
+				return fmt.Errorf("preloading %s: %w", name, err)
+			}
+			fmt.Fprintf(stdout, "preloaded %s: %d jobs over %v, fingerprint %.12s… (%v)\n",
+				name, info.Jobs, *preloadDur, info.Fingerprint, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "swimd: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// Slow-client protection for a long-running service: bound how long
+	// headers may trickle in and how long idle keep-alives are held.
+	// No whole-request ReadTimeout — large trace uploads are legitimate
+	// long requests.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	case <-stopOrNever(stop):
+	}
+	fmt.Fprintln(stdout, "swimd: shutting down")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-done // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// stopOrNever turns a possibly-nil channel into one that never fires
+// when nil, so the select above stays simple.
+func stopOrNever(stop <-chan struct{}) <-chan struct{} {
+	if stop != nil {
+		return stop
+	}
+	return make(chan struct{})
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errb, nil, nil); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-h"}, &out, &errb, nil, nil); err != flag.ErrHelp {
+		t.Errorf("-h should return flag.ErrHelp, got %v", err)
+	}
+	if err := run([]string{"-preload", "nope", "-addr", "127.0.0.1:0"}, &out, &errb, nil, nil); err == nil {
+		t.Error("unknown preload workload should error")
+	}
+	if err := run([]string{"-addr", "not-an-addr:xx:yy"}, &out, &errb, nil, nil); err == nil {
+		t.Error("bad listen address should error")
+	}
+}
+
+// TestRunServesAndShutsDown boots the real binary path on a random
+// port with a preloaded trace, exercises the API over TCP, and shuts
+// down cleanly via the stop channel.
+func TestRunServesAndShutsDown(t *testing.T) {
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{
+			"-addr", "127.0.0.1:0",
+			"-preload", "CC-a",
+			"-preload-duration", "25h",
+			"-quiet",
+		}, &out, &errb, ready, stop)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not come up (stdout: %s, stderr: %s)", out.String(), errb.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	// The preloaded trace serves a report, and the repeat is a hit.
+	for i, want := range []string{"MISS", "HIT"} {
+		resp, err = http.Get(base + "/v1/traces/CC-a/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("report %d: %d %.200s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Cache"); got != want {
+			t.Errorf("report %d: X-Cache=%q want %q", i, got, want)
+		}
+		if i == 0 {
+			var rep struct {
+				Summary struct {
+					Jobs int `json:"jobs"`
+				} `json:"summary"`
+			}
+			if err := json.Unmarshal(body, &rep); err != nil || rep.Summary.Jobs == 0 {
+				t.Errorf("report body: %v %.200s", err, body)
+			}
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if runErr != nil {
+		t.Errorf("run returned %v (stderr: %s)", runErr, errb.String())
+	}
+}

@@ -10,7 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,20 +20,34 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("swimreplay: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "swimreplay: %v\n", err)
+		os.Exit(2)
+	}
+}
 
+// run is the testable body: parses args, loads or generates the trace,
+// replays it, and reports to stdout; errors go to the caller instead of
+// os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swimreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in         = flag.String("in", "", "trace file to replay (.jsonl or .csv)")
-		workload   = flag.String("workload", "", "generate this workload instead of reading a file: "+strings.Join(swim.Workloads(), ", "))
-		seed       = flag.Int64("seed", 1, "generator / straggler seed")
-		duration   = flag.Duration("duration", 0, "generated duration when -workload is used")
-		nodes      = flag.Int("nodes", 0, "cluster nodes (0 = the trace's machine count)")
-		scheduler  = flag.String("scheduler", "fifo", "scheduling discipline: fifo or fair")
-		stragglers = flag.Float64("stragglers", 0, "per-task straggler probability")
-		factor     = flag.Float64("straggler-factor", 5, "straggler slowdown factor")
+		in         = fs.String("in", "", "trace file to replay (.jsonl or .csv)")
+		workload   = fs.String("workload", "", "generate this workload instead of reading a file: "+strings.Join(swim.Workloads(), ", "))
+		seed       = fs.Int64("seed", 1, "generator / straggler seed")
+		duration   = fs.Duration("duration", 0, "generated duration when -workload is used")
+		nodes      = fs.Int("nodes", 0, "cluster nodes (0 = the trace's machine count)")
+		scheduler  = fs.String("scheduler", "fifo", "scheduling discipline: fifo or fair")
+		stragglers = fs.Float64("stragglers", 0, "per-task straggler probability")
+		factor     = fs.Float64("straggler-factor", 5, "straggler slowdown factor")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tr *swim.Trace
 	var err error
@@ -43,11 +57,11 @@ func main() {
 	case *workload != "":
 		tr, err = swim.Generate(swim.GenerateOptions{Workload: *workload, Seed: *seed, Duration: *duration})
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("need -in or -workload")
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	var sched swim.SchedulerKind
@@ -57,7 +71,7 @@ func main() {
 	case "fair":
 		sched = swim.SchedulerFair
 	default:
-		log.Fatalf("unknown scheduler %q (use fifo or fair)", *scheduler)
+		return fmt.Errorf("unknown scheduler %q (use fifo or fair)", *scheduler)
 	}
 
 	start := time.Now()
@@ -69,18 +83,19 @@ func main() {
 		Seed:            *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("replayed %d jobs under %s in %v\n", res.Completed, res.Scheduler,
+	fmt.Fprintf(stdout, "replayed %d jobs under %s in %v\n", res.Completed, res.Scheduler,
 		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("latency: median=%.0fs mean=%.0fs p99=%.0fs\n",
+	fmt.Fprintf(stdout, "latency: median=%.0fs mean=%.0fs p99=%.0fs\n",
 		res.MedianLatency(), res.MeanLatency(), res.P99Latency())
-	fmt.Printf("makespan: %.1fh, cluster capacity %d slots\n",
+	fmt.Fprintf(stdout, "makespan: %.1fh, cluster capacity %d slots\n",
 		res.MakespanSec/3600, res.TotalSlots)
 	n := len(res.HourlyOccupancy)
 	if n > 7*24 {
 		n = 7 * 24
 	}
-	fmt.Printf("occupancy (first %dh): %s\n", n, report.Sparkline(res.HourlyOccupancy[:n]))
+	fmt.Fprintf(stdout, "occupancy (first %dh): %s\n", n, report.Sparkline(res.HourlyOccupancy[:n]))
+	return nil
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	swim "repro"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Error("unknown flag should error")
+	}
+	if err := run([]string{"-h"}, &out, &errb); err != flag.ErrHelp {
+		t.Errorf("-h should return flag.ErrHelp, got %v", err)
+	}
+	if err := run([]string{}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-in or -workload") {
+		t.Errorf("missing input should error, got %v", err)
+	}
+	if err := run([]string{"-workload", "nope"}, &out, &errb); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-workload", "CC-a", "-duration", "24h", "-scheduler", "lifo"}, &out, &errb); err == nil {
+		t.Error("unknown scheduler should error")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errb); err == nil {
+		t.Error("missing input file should error")
+	}
+}
+
+// TestRunReplayGenerated: generate-and-replay reports latencies and
+// occupancy on stdout.
+func TestRunReplayGenerated(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "CC-a", "-duration", "25h", "-scheduler", "fair"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"replayed ", "latency: median=", "makespan:", "occupancy"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stdout missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunReplayFromFile: the -in path round-trips through a trace file
+// written by the façade.
+func TestRunReplayFromFile(t *testing.T) {
+	tr, err := swim.Generate(swim.GenerateOptions{Workload: "CC-a", Seed: 2, Duration: 25 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cc-a.jsonl")
+	if err := swim.SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-in", path, "-nodes", "20"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "replayed ") {
+		t.Errorf("stdout: %s", out.String())
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestReportJSONRoundTrip: the wire form of a full materialized report
+// carries every section the report has, marshals to valid JSON, and the
+// headline numbers survive a decode.
+func TestReportJSONRoundTrip(t *testing.T) {
+	tr := goldenTrace(t)
+	rep, err := Analyze(tr, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("wire form does not round-trip: %v", err)
+	}
+	if got.Summary.Name != rep.Summary.Name || got.Summary.Jobs != rep.Summary.Jobs {
+		t.Errorf("summary drifted: %+v vs %+v", got.Summary, rep.Summary)
+	}
+	if got.Summary.BytesMoved != int64(rep.Summary.BytesMoved) {
+		t.Errorf("bytes moved %d != %d", got.Summary.BytesMoved, rep.Summary.BytesMoved)
+	}
+	if got.DataSizes == nil || got.DataSizes.Input == nil {
+		t.Fatal("data sizes section missing")
+	}
+	if got.DataSizes.Input.Median != rep.DataSizes.Input.Median() {
+		t.Errorf("input median %g != %g", got.DataSizes.Input.Median, rep.DataSizes.Input.Median())
+	}
+	if len(got.DataSizes.Input.Points) == 0 {
+		t.Error("input CDF points missing")
+	}
+	if got.Series == nil || len(got.Series.Jobs) != len(rep.Series.Jobs) {
+		t.Error("hourly series missing or truncated")
+	}
+	if got.PeakToMedian != rep.PeakToMedian {
+		t.Errorf("peak-to-median %g != %g", got.PeakToMedian, rep.PeakToMedian)
+	}
+	if got.Correlations == nil || got.Correlations.BytesTaskSeconds != rep.Correlations.BytesTaskSeconds {
+		t.Error("correlations drifted")
+	}
+	if got.Names == nil || len(got.Names.Groups) == 0 {
+		t.Error("job names section missing")
+	}
+	if got.Clusters == nil || got.Clusters.K != rep.Clusters.K {
+		t.Error("clusters section drifted")
+	}
+	// FB-2009 traces carry no paths: the path sections must be omitted,
+	// not emitted as empty objects.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"input_access", "reaccess_intervals", "input_size_access"} {
+		if _, ok := raw[key]; ok {
+			t.Errorf("%s should be omitted for a pathless trace", key)
+		}
+	}
+}
+
+// TestReportJSONStreaming: the streaming report (sketch mode) exports
+// without the materialized-only sections and with the same summary.
+func TestReportJSONStreaming(t *testing.T) {
+	tr := goldenTrace(t)
+	src := trace.NewSliceSource(tr)
+	rep, err := AnalyzeSource(src, AnalyzeOptions{SketchDataSizes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rep.JSON()
+	if j.Clusters != nil {
+		t.Error("streaming report should not carry clusters")
+	}
+	if j.DataSizes == nil || j.DataSizes.Shuffle.Count != rep.Summary.Jobs {
+		t.Error("sketch distributions missing or wrong count")
+	}
+	if j.Summary.Jobs != tr.Len() {
+		t.Errorf("jobs %d != %d", j.Summary.Jobs, tr.Len())
+	}
+}

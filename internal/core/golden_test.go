@@ -130,6 +130,35 @@ func TestStreamingMatchesMaterializedGolden(t *testing.T) {
 	}
 }
 
+// TestGoldenFingerprint pins the golden trace's content fingerprint —
+// the same identity the serving layer uses for cache keys. It is a
+// cheaper, earlier tripwire than the rendered report: any generator or
+// codec change that alters even one byte of one job fails here first,
+// and an intentional change updates both goldens together with -update.
+func TestGoldenFingerprint(t *testing.T) {
+	tr := goldenTrace(t)
+	fp, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "fb2009_day1.fingerprint")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(fp+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got := fp + "\n"; got != string(want) {
+		t.Errorf("golden trace fingerprint drifted:\n got %s want %s", fp, bytes.TrimSpace(want))
+	}
+}
+
 func firstDiff(a, b []byte) int {
 	n := len(a)
 	if len(b) < n {

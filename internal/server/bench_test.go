@@ -1,0 +1,97 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchServer returns a server preloaded with a two-week CC-b trace —
+// thousands of jobs, a realistic interactive-analytics target.
+func benchServer(tb testing.TB) (*Server, *httptest.Server) {
+	tb.Helper()
+	s := New(Config{})
+	tr := genTrace(tb, "CC-b", 1, 14*24*time.Hour)
+	if _, err := s.store.Put("bench", tr); err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(tb testing.TB, url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("GET %s -> %d", url, resp.StatusCode)
+	}
+}
+
+// BenchmarkServeReport measures the serving layer's headline number:
+// the cost of a report request cold (full streaming analysis) versus
+// warm (result-cache hit). The cold/warm ratio is the value of the
+// ReStore-style result cache; the acceptance bar is >= 10x.
+func BenchmarkServeReport(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s, ts := benchServer(b)
+		url := ts.URL + "/v1/traces/bench/report"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+			b.StopTimer()
+			s.cache.Purge() // evict between iterations
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		_, ts := benchServer(b)
+		url := ts.URL + "/v1/traces/bench/report"
+		get(b, url) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+		}
+	})
+}
+
+// TestServeReportCacheSpeedup enforces the acceptance criterion in the
+// regular test suite: a cached report request must be at least 10x
+// faster than the cold request that computed it. The margin in practice
+// is two to three orders of magnitude, so the 10x bar stays far from
+// scheduler noise; the warm side takes the best of several probes to
+// shield against GC pauses.
+func TestServeReportCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test is not -short")
+	}
+	s, ts := benchServer(t)
+	url := ts.URL + "/v1/traces/bench/report"
+
+	start := time.Now()
+	get(t, url)
+	cold := time.Since(start)
+
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < 10; i++ {
+		start = time.Now()
+		get(t, url)
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+	if cs := s.Cache().Stats(); cs.Misses != 1 {
+		t.Fatalf("expected exactly one analysis, cache ran %d", cs.Misses)
+	}
+	if cold < 10*warm {
+		t.Errorf("cached report not >=10x faster: cold=%v warm(best)=%v (%.1fx)",
+			cold, warm, float64(cold)/float64(warm))
+	}
+	t.Logf("cold=%v warm=%v speedup=%.0fx", cold, warm, float64(cold)/float64(warm))
+}

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewResultCache(4)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("v"), nil }
+
+	v, cached, err := c.Do("k", compute)
+	if err != nil || cached || string(v) != "v" {
+		t.Fatalf("first Do: v=%q cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.Do("k", compute)
+	if err != nil || !cached || string(v) != "v" {
+		t.Fatalf("second Do: v=%q cached=%v err=%v", v, cached, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCacheSingleFlight: N concurrent requests for the same cold key
+// run exactly one computation; everyone gets its result.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewResultCache(4)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("k", func() ([]byte, error) {
+				computes.Add(1)
+				<-gate // hold the flight open until all goroutines have queued
+				return []byte("once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the requests pile up, then release the one in-flight compute.
+	for c.Stats().Coalesced < n-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("%d concurrent identical requests triggered %d computations, want exactly 1", n, got)
+	}
+	for i, v := range results {
+		if string(v) != "once" {
+			t.Fatalf("result %d = %q", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCacheErrorsNotCached: a failed computation propagates its error to
+// coalesced waiters but leaves no entry, so the next request retries.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewResultCache(4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("failed entry cached: %+v", st)
+	}
+	v, cached, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Errorf("retry after failure: v=%q cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestCachePanicDoesNotWedgeKey: a compute that panics must not leave
+// the key permanently in-flight — concurrent waiters get an error, and
+// the next request retries and succeeds.
+func TestCachePanicDoesNotWedgeKey(t *testing.T) {
+	c := NewResultCache(4)
+	gate := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	panicked := make(chan struct{})
+	go func() {
+		defer func() {
+			recover() // stand-in for the HTTP middleware
+			close(panicked)
+		}()
+		c.Do("k", func() ([]byte, error) {
+			close(gate)
+			panic("kaboom")
+		})
+	}()
+	<-gate
+	go func() {
+		_, _, err := c.Do("k", func() ([]byte, error) { return []byte("other"), nil })
+		waiterDone <- err
+	}()
+	<-panicked
+	select {
+	case err := <-waiterDone:
+		// The waiter either coalesced onto the panicking flight (error)
+		// or arrived after removal and computed fresh (nil) — both are
+		// fine; what it must never do is hang.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged on a panicked computation")
+	}
+	v, _, err := c.Do("k", func() ([]byte, error) { return []byte("retry"), nil })
+	if err != nil {
+		t.Fatalf("key not retryable after panic: %v", err)
+	}
+	if s := string(v); s != "retry" && s != "other" {
+		t.Errorf("unexpected value %q", s)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewResultCache(2)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// k0 was the LRU victim; k2 must still be resident.
+	_, cached, _ := c.Do("k2", func() ([]byte, error) { return []byte("recompute"), nil })
+	if !cached {
+		t.Error("most recent entry was evicted")
+	}
+	_, cached, _ = c.Do("k0", func() ([]byte, error) { return []byte("recompute"), nil })
+	if cached {
+		t.Error("evicted entry still served")
+	}
+}
+
+// TestCacheConcurrentMixedKeys hammers the cache with overlapping keys
+// to give -race something to chew on.
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewResultCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				v, _, err := c.Do(key, func() ([]byte, error) { return []byte(key), nil })
+				if err != nil || string(v) != key {
+					t.Errorf("key %s: v=%q err=%v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

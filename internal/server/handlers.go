@@ -1,0 +1,487 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps an error to its HTTP status and writes the payload.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrStoreFull):
+		status = http.StatusInsufficientStorage
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, errUnprocessable):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// errBadRequest / errUnprocessable are sentinel wrappers for status
+// mapping: bad input syntax vs a trace the requested computation cannot
+// run on (e.g. too short for hourly binning).
+var (
+	errBadRequest    = errors.New("bad request")
+	errUnprocessable = errors.New("unprocessable")
+)
+
+func badReq(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// queryBool parses a boolean query parameter ("1", "true", "yes").
+func queryBool(r *http.Request, key string) bool {
+	switch r.URL.Query().Get(key) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, badReq("parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// queryInt64 parses an int64 query parameter with a default.
+func queryInt64(r *http.Request, key string, def int64) (int64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, badReq("parameter %s=%q is not an integer", key, s)
+	}
+	return v, nil
+}
+
+// queryFloat parses a float query parameter with a default.
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, badReq("parameter %s=%q is not a number", key, s)
+	}
+	return v, nil
+}
+
+// queryDuration parses a duration query parameter with a default.
+func queryDuration(r *http.Request, key string, def time.Duration) (time.Duration, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, badReq("parameter %s=%q is not a duration", key, s)
+	}
+	return v, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Store    StoreStats   `json:"store"`
+	Cache    CacheStats   `json:"cache"`
+	Requests RequestStats `json:"requests"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Store:    s.store.Stats(),
+		Cache:    s.cache.Stats(),
+		Requests: s.mw.stats(),
+	})
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]TraceInfo{"traces": s.store.List()})
+}
+
+// handleIngest streams a JSONL trace upload into the store: jobs are
+// decoded one line at a time straight off the request body, so the only
+// full-size allocation is the stored trace itself, and oversized uploads
+// are rejected mid-stream.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Cap the raw bytes too: the line reader is deliberately uncapped
+	// per line, so without this a newline-free body would be buffered
+	// whole before the job-count budget could apply.
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	src, err := trace.NewJSONLReader(body)
+	if err != nil {
+		writeErr(w, badReq("decoding upload: %v", err))
+		return
+	}
+	info, err := s.store.Ingest(name, src)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			err = fmt.Errorf("%w: upload exceeds the %d-byte limit", ErrStoreFull, tooLarge.Limit)
+		case !errors.Is(err, ErrStoreFull):
+			err = badReq("%v", err)
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
+	_, info, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Delete(r.PathValue("name")) {
+		writeErr(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("name")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// serveCached runs compute through the single-flight result cache and
+// writes the bytes with an X-Cache marker.
+func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() ([]byte, error)) {
+	body, cached, err := s.cache.Do(key, compute)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleReport serves the study's analytics for one stored trace:
+// Table 1, Figure 1, Figures 7-9, and Figure 10 in the default one-pass
+// streaming mode; every figure and table the trace permits (including
+// the Table-2 clustering) with full=1. sketch=1 bounds Figure 1's memory
+// with quantile sketches; top=N widens the Figure 10 word list.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	t, info, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	full := queryBool(r, "full")
+	sketch := queryBool(r, "sketch")
+	top, err := queryInt(r, "top", 8)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	key := fmt.Sprintf("%s|report|full=%t|sketch=%t|top=%d", info.Fingerprint, full, sketch, top)
+	s.serveCached(w, key, func() ([]byte, error) {
+		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch}
+		var rep *core.Report
+		var err error
+		if full {
+			rep, err = core.Analyze(t, opts)
+		} else {
+			rep, err = core.AnalyzeSource(trace.NewSliceSource(t), opts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
+		}
+		return json.Marshal(rep.JSON())
+	})
+}
+
+// FidelityJSON is the wire form of a synthesis fidelity score.
+type FidelityJSON struct {
+	InputKS         float64 `json:"input_ks"`
+	ShuffleKS       float64 `json:"shuffle_ks"`
+	OutputKS        float64 `json:"output_ks"`
+	TaskTimeKS      float64 `json:"task_time_ks"`
+	WorstExcess     float64 `json:"worst_excess"`
+	PeakToMedianRel float64 `json:"peak_to_median_rel"`
+}
+
+// SynthResponse is the GET /v1/traces/{name}/synth payload. The
+// synthetic summary reuses core's Table-1 wire row.
+type SynthResponse struct {
+	Source    TraceInfo        `json:"source"`
+	Synthetic core.SummaryJSON `json:"synthetic"`
+	Fidelity  FidelityJSON     `json:"fidelity"`
+	StoredAs  *TraceInfo       `json:"stored_as,omitempty"`
+}
+
+// handleSynth wraps the SWIM synthesizer: sample the stored trace down
+// to length (and optionally rescale from source_machines to
+// target_machines), score fidelity against the source, and — with
+// store=<newname> — keep the synthetic trace for further queries.
+func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
+	t, info, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	length, err := queryDuration(r, "length", 24*time.Hour)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	window, err := queryDuration(r, "window", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	srcMachines, err := queryInt(r, "source_machines", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	dstMachines, err := queryInt(r, "target_machines", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	seed, err := queryInt64(r, "seed", 1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	storeAs := r.URL.Query().Get("store")
+
+	compute := func() ([]byte, error) {
+		cfg := synth.Config{
+			TargetLength:   length,
+			WindowLength:   window,
+			SourceMachines: srcMachines,
+			TargetMachines: dstMachines,
+			Seed:           seed,
+		}
+		syn, err := synth.Synthesize(t, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
+		}
+		fid, err := synth.Compare(t, syn)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
+		}
+		sum := syn.Summarize()
+		resp := SynthResponse{
+			Source: info,
+			Synthetic: core.SummaryJSON{
+				Name:       sum.Name,
+				Machines:   sum.Machines,
+				Jobs:       sum.Jobs,
+				LengthMS:   sum.Length.Milliseconds(),
+				BytesMoved: int64(sum.BytesMoved),
+			},
+			Fidelity: FidelityJSON{
+				InputKS:         fid.Input.KS,
+				ShuffleKS:       fid.Shuffle.KS,
+				OutputKS:        fid.Output.KS,
+				TaskTimeKS:      fid.TaskTime.KS,
+				WorstExcess:     fid.WorstExcess(),
+				PeakToMedianRel: fid.PeakToMedianRel,
+			},
+		}
+		if storeAs != "" {
+			stored, err := s.store.Put(storeAs, syn)
+			if err != nil {
+				return nil, err
+			}
+			resp.StoredAs = &stored
+		}
+		return json.Marshal(resp)
+	}
+
+	if storeAs != "" {
+		// Storing is a side effect; run it uncached so a repeat request
+		// re-stores (e.g. after a delete) instead of replaying a memo.
+		body, err := compute()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "BYPASS")
+		_, _ = w.Write(body)
+		return
+	}
+	key := fmt.Sprintf("%s|synth|len=%s|win=%s|sm=%d|tm=%d|seed=%d",
+		info.Fingerprint, length, window, srcMachines, dstMachines, seed)
+	s.serveCached(w, key, compute)
+}
+
+// ReplayResponse is the GET /v1/traces/{name}/replay payload.
+type ReplayResponse struct {
+	Source           TraceInfo `json:"source"`
+	Scheduler        string    `json:"scheduler"`
+	Completed        int       `json:"completed"`
+	TotalSlots       int       `json:"total_slots"`
+	MakespanSec      float64   `json:"makespan_sec"`
+	MedianLatencySec float64   `json:"median_latency_sec"`
+	MeanLatencySec   float64   `json:"mean_latency_sec"`
+	P99LatencySec    float64   `json:"p99_latency_sec"`
+	HourlyOccupancy  []float64 `json:"hourly_occupancy"`
+}
+
+// handleReplay wraps the discrete-event cluster simulator: replay the
+// stored trace on a simulated cluster and report latency quantiles and
+// the hourly slot-occupancy series.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	t, info, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	nodes, err := queryInt(r, "nodes", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	mapSlots, err := queryInt(r, "map_slots", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	reduceSlots, err := queryInt(r, "reduce_slots", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	stragglers, err := queryFloat(r, "stragglers", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Factor defaults to the swimreplay CLI's 5x so ?stragglers= works
+	// on its own (the simulator rejects prob>0 with factor<1).
+	factor, err := queryFloat(r, "straggler_factor", 5)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	seed, err := queryInt64(r, "seed", 1)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var sched cluster.SchedulerKind
+	switch r.URL.Query().Get("scheduler") {
+	case "", "fifo":
+		sched = cluster.FIFO
+	case "fair":
+		sched = cluster.Fair
+	default:
+		writeErr(w, badReq("unknown scheduler %q (use fifo or fair)", r.URL.Query().Get("scheduler")))
+		return
+	}
+	if nodes == 0 {
+		nodes = t.Meta.Machines
+	}
+
+	key := fmt.Sprintf("%s|replay|n=%d|ms=%d|rs=%d|sched=%d|sp=%g|sf=%g|seed=%d",
+		info.Fingerprint, nodes, mapSlots, reduceSlots, sched, stragglers, factor, seed)
+	s.serveCached(w, key, func() ([]byte, error) {
+		res, err := cluster.Run(t, cluster.Config{
+			Nodes:              nodes,
+			MapSlotsPerNode:    mapSlots,
+			ReduceSlotsPerNode: reduceSlots,
+			Scheduler:          sched,
+			StragglerProb:      stragglers,
+			StragglerFactor:    factor,
+			Seed:               seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
+		}
+		return json.Marshal(ReplayResponse{
+			Source:           info,
+			Scheduler:        res.Scheduler.String(),
+			Completed:        res.Completed,
+			TotalSlots:       res.TotalSlots,
+			MakespanSec:      res.MakespanSec,
+			MedianLatencySec: res.MedianLatency(),
+			MeanLatencySec:   res.MeanLatency(),
+			P99LatencySec:    res.P99Latency(),
+			HourlyOccupancy:  res.HourlyOccupancy,
+		})
+	})
+}
+
+// handleGenerate starts an async calibrated-workload generation job.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, badReq("decoding request: %v", err))
+		return
+	}
+	if req.Workload == "" {
+		writeErr(w, badReq("missing workload"))
+		return
+	}
+	st, err := s.jobs.start(s.store, req)
+	if err != nil {
+		writeErr(w, badReq("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]JobStatus{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

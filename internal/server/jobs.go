@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// Async generation: POST /v1/generate starts a trace synthesis in the
+// background and returns a job handle immediately; clients poll
+// GET /v1/jobs/{id} for progress (jobs written so far) and the final
+// stored TraceInfo. Synthesis of paper-length traces takes seconds to
+// minutes, far beyond what a request/response cycle should hold open.
+
+// GenRequest is the POST /v1/generate body.
+type GenRequest struct {
+	// Name to store the trace under (default: the workload name).
+	Name string `json:"name"`
+	// Workload is one of the seven calibrated profiles. Required.
+	Workload string `json:"workload"`
+	// Seed fixes all randomness (default 1).
+	Seed int64 `json:"seed"`
+	// Duration truncates the trace, e.g. "48h" (default: the profile's
+	// full Table-1 length).
+	Duration string `json:"duration"`
+	// RateScale scales the arrival rate (default 1.0).
+	RateScale float64 `json:"rate_scale"`
+	// Parallelism is the generation worker count (default all cores).
+	Parallelism int `json:"parallelism"`
+}
+
+// JobStatus is the wire form of one generation job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       string     `json:"state"` // "running", "done", "failed"
+	Trace       string     `json:"trace"`
+	Workload    string     `json:"workload"`
+	JobsWritten int64      `json:"jobs_written"`
+	Error       string     `json:"error,omitempty"`
+	Result      *TraceInfo `json:"result,omitempty"`
+}
+
+// genJob is one background generation.
+type genJob struct {
+	id        string
+	seq       int
+	traceName string
+	workload  string
+	written   atomic.Int64
+	done      chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	result *TraceInfo
+}
+
+// terminal reports whether the job has finished (done or failed).
+func (j *genJob) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (j *genJob) status() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       "running",
+		Trace:       j.traceName,
+		Workload:    j.workload,
+		JobsWritten: j.written.Load(),
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		if j.err != nil {
+			st.State = "failed"
+			st.Error = j.err.Error()
+		} else {
+			st.State = "done"
+			st.Result = j.result
+		}
+		j.mu.Unlock()
+	default:
+	}
+	return st
+}
+
+// progressSink collects generated jobs while counting them (so pollers
+// see generation advance) and enforces the store's remaining job budget
+// mid-stream: generating a trace the store could never accept must not
+// balloon the heap first. GenerateTo aborts its pipeline as soon as the
+// sink errors.
+type progressSink struct {
+	collect trace.CollectSink
+	written *atomic.Int64
+	budget  int
+}
+
+func (p *progressSink) Begin(meta trace.Meta) error { return p.collect.Begin(meta) }
+
+func (p *progressSink) Write(j *trace.Job) error {
+	if int(p.written.Load()) >= p.budget {
+		return fmt.Errorf("%w: generation exceeds the remaining %d-job budget", ErrStoreFull, p.budget)
+	}
+	if err := p.collect.Write(j); err != nil {
+		return err
+	}
+	p.written.Add(1)
+	return nil
+}
+
+// maxJobHistory bounds how many terminal (done/failed) jobs the
+// registry retains: the server is long-running and everything else in
+// it is memory-bounded, so finished job records must age out too.
+// Running jobs are never evicted — they are active work.
+const maxJobHistory = 64
+
+// jobRegistry tracks generation jobs by ID.
+type jobRegistry struct {
+	mu  sync.Mutex
+	m   map[string]*genJob
+	seq int
+}
+
+func newJobRegistry() *jobRegistry {
+	return &jobRegistry{m: make(map[string]*genJob)}
+}
+
+// evictLocked drops the oldest terminal jobs beyond maxJobHistory.
+func (r *jobRegistry) evictLocked() {
+	terminal := make([]*genJob, 0, len(r.m))
+	for _, j := range r.m {
+		if j.terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	if len(terminal) <= maxJobHistory {
+		return
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	for _, j := range terminal[:len(terminal)-maxJobHistory] {
+		delete(r.m, j.id)
+	}
+}
+
+// start validates req and launches the generation goroutine, returning
+// the job's initial status.
+func (r *jobRegistry) start(store *Store, req GenRequest) (JobStatus, error) {
+	p, err := profile.ByName(req.Workload)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var dur time.Duration
+	if req.Duration != "" {
+		dur, err = time.ParseDuration(req.Duration)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("server: bad duration %q: %w", req.Duration, err)
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	name := req.Name
+	if name == "" {
+		name = req.Workload
+	}
+	cfg := gen.Config{
+		Profile:     p,
+		Seed:        seed,
+		Duration:    dur,
+		RateScale:   req.RateScale,
+		Parallelism: req.Parallelism,
+	}
+
+	r.mu.Lock()
+	r.seq++
+	j := &genJob{
+		id:        fmt.Sprintf("gen-%d", r.seq),
+		seq:       r.seq,
+		traceName: name,
+		workload:  req.Workload,
+		done:      make(chan struct{}),
+	}
+	r.m[j.id] = j
+	r.evictLocked()
+	r.mu.Unlock()
+
+	budget := store.RemainingBudget(name)
+	go func() {
+		defer close(j.done)
+		sink := &progressSink{written: &j.written, budget: budget}
+		_, err := gen.GenerateTo(cfg, sink)
+		if err == nil {
+			var info TraceInfo
+			info, err = store.Put(j.traceName, sink.collect.Trace())
+			if err == nil {
+				j.mu.Lock()
+				j.result = &info
+				j.mu.Unlock()
+			}
+		}
+		if err != nil {
+			j.mu.Lock()
+			j.err = err
+			j.mu.Unlock()
+		}
+	}()
+	return j.status(), nil
+}
+
+// get returns the status of job id.
+func (r *jobRegistry) get(id string) (JobStatus, bool) {
+	r.mu.Lock()
+	j, ok := r.m[id]
+	r.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// list returns every job's status, newest first.
+func (r *jobRegistry) list() []JobStatus {
+	r.mu.Lock()
+	jobs := make([]*genJob, 0, len(r.m))
+	for _, j := range r.m {
+		jobs = append(jobs, j)
+	}
+	r.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	// Newest first: IDs are "gen-<seq>", so longer IDs are newer and
+	// equal-length IDs order lexically.
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i].ID, out[k].ID
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a > b
+	})
+	return out
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestJobRegistryEvictsTerminalHistory: finished jobs age out beyond
+// maxJobHistory so a long-running server's registry stays bounded.
+func TestJobRegistryEvictsTerminalHistory(t *testing.T) {
+	r := newJobRegistry()
+	// Insert 2x the history cap of already-terminal jobs directly.
+	for i := 0; i < 2*maxJobHistory; i++ {
+		r.mu.Lock()
+		r.seq++
+		j := &genJob{id: fmt.Sprintf("gen-%d", r.seq), seq: r.seq, done: make(chan struct{})}
+		close(j.done)
+		r.m[j.id] = j
+		r.evictLocked()
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	n := len(r.m)
+	r.mu.Unlock()
+	if n != maxJobHistory {
+		t.Errorf("registry holds %d terminal jobs, want %d", n, maxJobHistory)
+	}
+	// The survivors are the newest; the oldest are gone.
+	if _, ok := r.get("gen-1"); ok {
+		t.Error("oldest job not evicted")
+	}
+	if _, ok := r.get(fmt.Sprintf("gen-%d", 2*maxJobHistory)); !ok {
+		t.Error("newest job evicted")
+	}
+	// Running jobs are never evicted, even over the cap.
+	r.mu.Lock()
+	for i := 0; i < maxJobHistory+8; i++ {
+		r.seq++
+		j := &genJob{id: fmt.Sprintf("gen-%d", r.seq), seq: r.seq, done: make(chan struct{})}
+		r.m[j.id] = j
+	}
+	r.evictLocked()
+	running := 0
+	for _, j := range r.m {
+		if !j.terminal() {
+			running++
+		}
+	}
+	r.mu.Unlock()
+	if running != maxJobHistory+8 {
+		t.Errorf("running jobs evicted: %d left of %d", running, maxJobHistory+8)
+	}
+}
+
+// TestJobStatusTransitions covers the status view directly.
+func TestJobStatusTransitions(t *testing.T) {
+	j := &genJob{id: "gen-1", traceName: "t", workload: "CC-a", done: make(chan struct{})}
+	if st := j.status(); st.State != "running" {
+		t.Errorf("state %q", st.State)
+	}
+	j.written.Add(7)
+	j.mu.Lock()
+	j.err = fmt.Errorf("boom")
+	j.mu.Unlock()
+	close(j.done)
+	st := j.status()
+	if st.State != "failed" || st.Error == "" || st.JobsWritten != 7 {
+		t.Errorf("status %+v", st)
+	}
+}

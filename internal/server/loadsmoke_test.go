@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestLoadSmoke64Clients is the serving-layer load smoke: 64 concurrent
+// clients fire identical report requests (plus a sprinkling of other
+// endpoints) at a live server. It asserts
+//
+//   - every response is 2xx,
+//   - the cache-hit counter is positive,
+//   - single-flight held: the 64 identical report requests triggered
+//     exactly one analysis (1 miss; everyone else hit or coalesced).
+//
+// CI runs it under -race, which also makes it the end-to-end data-race
+// check over store + cache + handlers under real HTTP concurrency.
+func TestLoadSmoke64Clients(t *testing.T) {
+	s, ts := newTestServer(t)
+	ingestTrace(t, ts, "hot", genTrace(t, "CC-b", 1, 49*time.Hour))
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Everyone asks for the same cold report...
+			resp, err := http.Get(ts.URL + "/v1/traces/hot/report")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				errs <- fmt.Errorf("client %d: report -> %d", i, resp.StatusCode)
+				return
+			}
+			// ...and a second request spread across the read-only API.
+			extra := []string{"/healthz", "/v1/stats", "/v1/traces", "/v1/traces/hot"}[i%4]
+			resp, err = http.Get(ts.URL + extra)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				errs <- fmt.Errorf("client %d: %s -> %d", i, extra, resp.StatusCode)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cs := s.Cache().Stats()
+	if cs.Misses != 1 {
+		t.Errorf("%d identical concurrent report requests ran %d analyses, want exactly 1 (single-flight)", clients, cs.Misses)
+	}
+	if cs.Hits+cs.Coalesced != clients-1 {
+		t.Errorf("hits=%d coalesced=%d, want them to cover the other %d requests", cs.Hits, cs.Coalesced, clients-1)
+	}
+	if cs.Hits+cs.Coalesced == 0 {
+		t.Error("cache-hit counter is zero after a 64-client burst")
+	}
+	ms := s.mw.stats()
+	if ms.Status4xx != 0 || ms.Status5xx != 0 {
+		t.Errorf("non-2xx during load smoke: %+v", ms)
+	}
+}
+
+// TestLoadSmokeMixedWorkload drives ingest, report, synth, and replay
+// concurrently against separate trace names — the "many small
+// latency-sensitive queries over shared data" shape of the paper —
+// asserting nothing errors under -race.
+func TestLoadSmokeMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed load smoke is not -short")
+	}
+	_, ts := newTestServer(t)
+	base := genTrace(t, "CC-a", 1, 25*time.Hour)
+	ingestTrace(t, ts, "shared", base)
+
+	// Pre-encode the writer lane's uploads: t.Fatal is not legal off the
+	// test goroutine, so workers post raw bytes and report over errs.
+	uploads := make(map[int][]byte)
+	for g := 0; g < 16; g += 4 {
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, genTrace(t, "CC-a", int64(g+2), 25*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		uploads[g] = buf.Bytes()
+	}
+
+	paths := []string{
+		"/v1/traces/shared/report",
+		"/v1/traces/shared/report?sketch=1",
+		"/v1/traces/shared/replay?scheduler=fair",
+		"/v1/traces/shared/synth?length=12h",
+		"/v1/stats",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if g%4 == 0 && i == 4 {
+					// One writer lane re-ingests mid-stream.
+					resp, err := http.Post(ts.URL+"/v1/traces/shared", "application/jsonl", bytes.NewReader(uploads[g]))
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusCreated {
+						errs <- fmt.Errorf("re-ingest -> %d", resp.StatusCode)
+						return
+					}
+					continue
+				}
+				p := paths[(g+i)%len(paths)]
+				resp, err := http.Get(ts.URL + p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					errs <- fmt.Errorf("%s -> %d", p, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

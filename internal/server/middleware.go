@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// middleware wraps every handler with panic recovery, status accounting,
+// and optional request logging. A panic in a handler must not take down
+// a server holding other clients' traces: it becomes a 500 on that
+// request and a logged stack.
+type middleware struct {
+	logger    *log.Logger
+	requests  atomic.Uint64
+	status2xx atomic.Uint64
+	status4xx atomic.Uint64
+	status5xx atomic.Uint64
+}
+
+// statusWriter records the status code written by the handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (m *middleware) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if m.logger != nil {
+					m.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				if sw.status == 0 {
+					writeJSON(sw, http.StatusInternalServerError, errorBody{Error: fmt.Sprintf("internal: %v", rec)})
+				}
+			}
+			switch {
+			case sw.status >= 500:
+				m.status5xx.Add(1)
+			case sw.status >= 400:
+				m.status4xx.Add(1)
+			default:
+				m.status2xx.Add(1)
+			}
+			if m.logger != nil {
+				m.logger.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// RequestStats is the middleware's lifetime counters.
+type RequestStats struct {
+	Requests  uint64 `json:"requests"`
+	Status2xx uint64 `json:"status_2xx"`
+	Status4xx uint64 `json:"status_4xx"`
+	Status5xx uint64 `json:"status_5xx"`
+}
+
+func (m *middleware) stats() RequestStats {
+	return RequestStats{
+		Requests:  m.requests.Load(),
+		Status2xx: m.status2xx.Load(),
+		Status4xx: m.status4xx.Load(),
+		Status5xx: m.status5xx.Load(),
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"log"
+	"net/http"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// MaxTraces / MaxTotalJobs bound the trace store (zero: defaults).
+	MaxTraces    int
+	MaxTotalJobs int
+	// CacheEntries bounds the result cache (zero: default).
+	CacheEntries int
+	// MaxUploadBytes caps one ingest request's body (zero: default
+	// 1 GiB). The job-count budget bounds decoded jobs; this bounds the
+	// raw bytes a single newline-free request could make the line
+	// reader buffer.
+	MaxUploadBytes int64
+	// Logger receives one line per request; nil disables request logging.
+	Logger *log.Logger
+}
+
+// DefaultMaxUploadBytes bounds ingest bodies when the configuration
+// leaves it zero: comfortably above a full-budget trace (~250 B/job at
+// the default 2M-job budget) while capping what one request can buffer.
+const DefaultMaxUploadBytes = 1 << 30
+
+// Server owns the trace store, the result cache, and the generation job
+// registry, and exposes them over HTTP/JSON:
+//
+//	GET    /healthz                     liveness
+//	GET    /v1/stats                    store + cache + request counters
+//	GET    /v1/traces                   list stored traces
+//	POST   /v1/traces/{name}            streaming JSONL ingest
+//	GET    /v1/traces/{name}            one trace's identity
+//	DELETE /v1/traces/{name}            drop a trace
+//	GET    /v1/traces/{name}/report     the study's figures/tables (cached)
+//	GET    /v1/traces/{name}/synth      SWIM synthesis + fidelity (cached)
+//	GET    /v1/traces/{name}/replay     simulated replay metrics (cached)
+//	POST   /v1/generate                 async calibrated-workload generation
+//	GET    /v1/jobs                     list generation jobs
+//	GET    /v1/jobs/{id}                one generation job's progress
+type Server struct {
+	store     *Store
+	cache     *ResultCache
+	jobs      *jobRegistry
+	mux       *http.ServeMux
+	mw        *middleware
+	maxUpload int64
+}
+
+// New assembles a server.
+func New(cfg Config) *Server {
+	maxUpload := cfg.MaxUploadBytes
+	if maxUpload <= 0 {
+		maxUpload = DefaultMaxUploadBytes
+	}
+	s := &Server{
+		store:     NewStore(cfg.MaxTraces, cfg.MaxTotalJobs),
+		cache:     NewResultCache(cfg.CacheEntries),
+		jobs:      newJobRegistry(),
+		mux:       http.NewServeMux(),
+		mw:        &middleware{logger: cfg.Logger},
+		maxUpload: maxUpload,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	s.mux.HandleFunc("POST /v1/traces/{name}", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/traces/{name}", s.handleTraceInfo)
+	s.mux.HandleFunc("DELETE /v1/traces/{name}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/traces/{name}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/traces/{name}/synth", s.handleSynth)
+	s.mux.HandleFunc("GET /v1/traces/{name}/replay", s.handleReplay)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return s
+}
+
+// Handler returns the server's HTTP handler with middleware applied.
+func (s *Server) Handler() http.Handler {
+	return s.mw.wrap(s.mux)
+}
+
+// Store exposes the trace store (for preloading at startup and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Server) Cache() *ResultCache { return s.cache }

@@ -1,0 +1,256 @@
+// Package server is the serving layer: a long-running HTTP/JSON service
+// that owns named workload traces in a concurrent in-memory store and
+// answers the study's analytics interactively — the "interactive
+// analytical processing" usage mode the paper argues MapReduce clusters
+// evolved into, applied to the analysis pipeline itself. Reports,
+// synthesis, and replay results are memoized in a single-flight result
+// cache keyed by content fingerprint, the ReStore-style discipline of
+// persisting prior results instead of recomputing per request.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// ErrStoreFull is returned when an ingest would exceed the store's
+// configured memory bounds (trace count or total job count).
+var ErrStoreFull = errors.New("server: trace store full")
+
+// ErrNotFound is returned for operations on unknown trace names.
+var ErrNotFound = errors.New("server: no such trace")
+
+// TraceInfo is the stored identity of one trace: the name it is served
+// under, its content fingerprint, and its Table-1 summary.
+type TraceInfo struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Workload    string `json:"workload"`
+	Machines    int    `json:"machines,omitempty"`
+	LengthMS    int64  `json:"length_ms"`
+	Jobs        int    `json:"jobs"`
+	BytesMoved  int64  `json:"bytes_moved"`
+}
+
+// entry pairs an immutable trace snapshot with its identity. The *Trace
+// (and every Job it points to) is never mutated after insertion, which
+// is what makes lock-free reads of a snapshot safe: Put swaps whole
+// entries under the write lock, so a reader holding a snapshot keeps
+// analyzing exactly the version it resolved, untouched by concurrent
+// re-ingests of the same name.
+type entry struct {
+	t    *trace.Trace
+	info TraceInfo
+}
+
+// Store is the concurrent in-memory trace store. Memory is bounded by
+// two knobs: the number of named traces and the total job count across
+// them; ingests that would exceed either are rejected with ErrStoreFull
+// rather than silently evicting data a client may be querying.
+type Store struct {
+	mu           sync.RWMutex
+	entries      map[string]*entry
+	totalJobs    int
+	maxTraces    int
+	maxTotalJobs int
+
+	ingests  uint64
+	rejected uint64
+}
+
+// DefaultMaxTraces and DefaultMaxTotalJobs bound the store when the
+// configuration leaves them zero. 2M jobs ≈ the two Facebook traces
+// together; at ~200 B/job that is a few hundred MB of heap.
+const (
+	DefaultMaxTraces    = 64
+	DefaultMaxTotalJobs = 2_000_000
+)
+
+// NewStore creates a store with the given bounds (zero: defaults).
+func NewStore(maxTraces, maxTotalJobs int) *Store {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxTotalJobs <= 0 {
+		maxTotalJobs = DefaultMaxTotalJobs
+	}
+	return &Store{
+		entries:      make(map[string]*entry),
+		maxTraces:    maxTraces,
+		maxTotalJobs: maxTotalJobs,
+	}
+}
+
+// normalize sorts the trace, derives missing metadata from the job span
+// (uploads may carry a zero Start/Length header), and validates every
+// record. The trace must not be shared with any other writer.
+func normalize(name string, t *trace.Trace) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("server: trace %q is empty", name)
+	}
+	t.Sort()
+	if t.Meta.Name == "" {
+		t.Meta.Name = name
+	}
+	start, end := t.Span()
+	if t.Meta.Start.IsZero() {
+		t.Meta.Start = start
+	}
+	if t.Meta.Length <= 0 {
+		t.Meta.Length = end.Sub(t.Meta.Start)
+	}
+	return t.Validate()
+}
+
+// Put inserts (or replaces) the trace under name. The caller hands over
+// ownership: the store normalizes the trace in place, fingerprints it,
+// and from then on treats it as immutable. Returns the stored identity.
+func (s *Store) Put(name string, t *trace.Trace) (TraceInfo, error) {
+	if name == "" {
+		return TraceInfo{}, fmt.Errorf("server: empty trace name")
+	}
+	if err := normalize(name, t); err != nil {
+		return TraceInfo{}, err
+	}
+	fp, err := t.Fingerprint()
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	sum := t.Summarize()
+	info := TraceInfo{
+		Name:        name,
+		Fingerprint: fp,
+		Workload:    t.Meta.Name,
+		Machines:    t.Meta.Machines,
+		LengthMS:    t.Meta.Length.Milliseconds(),
+		Jobs:        sum.Jobs,
+		BytesMoved:  int64(sum.BytesMoved),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldJobs := 0
+	old, replacing := s.entries[name]
+	if replacing {
+		oldJobs = old.info.Jobs
+	}
+	if !replacing && len(s.entries) >= s.maxTraces {
+		s.rejected++
+		return TraceInfo{}, fmt.Errorf("%w: %d traces (max %d)", ErrStoreFull, len(s.entries), s.maxTraces)
+	}
+	if newTotal := s.totalJobs - oldJobs + t.Len(); newTotal > s.maxTotalJobs {
+		s.rejected++
+		return TraceInfo{}, fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
+	}
+	s.entries[name] = &entry{t: t, info: info}
+	s.totalJobs += t.Len() - oldJobs
+	s.ingests++
+	return info, nil
+}
+
+// Ingest drains a job stream into the store under name. The stream is
+// bounded as it is read: an upload that would not fit the *remaining*
+// job budget (counting the trace it would replace as freed) is rejected
+// mid-stream, before it can balloon the heap. The budget is sampled at
+// ingest start, so concurrent uploads may each buffer up to the same
+// remainder; Put re-checks the bound authoritatively under the lock.
+func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
+	budget := s.RemainingBudget(name)
+	t := trace.New(src.Meta())
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return TraceInfo{}, err
+		}
+		if t.Len() >= budget {
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			return TraceInfo{}, fmt.Errorf("%w: upload exceeds the remaining %d-job budget", ErrStoreFull, budget)
+		}
+		t.Add(j)
+	}
+	return s.Put(name, t)
+}
+
+// RemainingBudget reports how many more jobs the store could accept
+// under name right now, counting the trace that name currently holds as
+// freed (a Put replaces it). It is a point-in-time sample: writers that
+// buffer against it must still expect Put's authoritative re-check.
+func (s *Store) RemainingBudget(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	budget := s.maxTotalJobs - s.totalJobs
+	if e, ok := s.entries[name]; ok {
+		budget += e.info.Jobs
+	}
+	return budget
+}
+
+// Get resolves name to its current immutable snapshot. The returned
+// trace must not be mutated.
+func (s *Store) Get(name string) (*trace.Trace, TraceInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, TraceInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.t, e.info, nil
+}
+
+// Delete removes name; it reports whether the trace existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if ok {
+		s.totalJobs -= e.info.Jobs
+		delete(s.entries, name)
+	}
+	return ok
+}
+
+// List returns the identities of every stored trace, sorted by name.
+func (s *Store) List() []TraceInfo {
+	s.mu.RLock()
+	out := make([]TraceInfo, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// StoreStats is the store's occupancy and lifetime counters.
+type StoreStats struct {
+	Traces       int    `json:"traces"`
+	TotalJobs    int    `json:"total_jobs"`
+	MaxTraces    int    `json:"max_traces"`
+	MaxTotalJobs int    `json:"max_total_jobs"`
+	Ingests      uint64 `json:"ingests"`
+	Rejected     uint64 `json:"rejected"`
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return StoreStats{
+		Traces:       len(s.entries),
+		TotalJobs:    s.totalJobs,
+		MaxTraces:    s.maxTraces,
+		MaxTotalJobs: s.maxTotalJobs,
+		Ingests:      s.ingests,
+		Rejected:     s.rejected,
+	}
+}

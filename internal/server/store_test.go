@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// genTrace generates a small calibrated trace for tests.
+func genTrace(t testing.TB, workload string, seed int64, dur time.Duration) *trace.Trace {
+	t.Helper()
+	p, err := profile.ByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(gen.Config{Profile: p, Seed: seed, Duration: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStorePutGetDeleteList(t *testing.T) {
+	s := NewStore(0, 0)
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	wantFP, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Put("mine", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "mine" || info.Workload != "CC-b" || info.Jobs != tr.Len() {
+		t.Errorf("info %+v", info)
+	}
+	if info.Fingerprint != wantFP {
+		t.Errorf("fingerprint %s != %s", info.Fingerprint, wantFP)
+	}
+	got, gotInfo, err := s.Get("mine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tr || gotInfo != info {
+		t.Error("Get did not return the stored snapshot")
+	}
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if l := s.List(); len(l) != 1 || l[0].Name != "mine" {
+		t.Errorf("list %+v", l)
+	}
+	if !s.Delete("mine") || s.Delete("mine") {
+		t.Error("delete semantics broken")
+	}
+	if st := s.Stats(); st.Traces != 0 || st.TotalJobs != 0 {
+		t.Errorf("stats after delete: %+v", st)
+	}
+}
+
+func TestStoreBounds(t *testing.T) {
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+
+	s := NewStore(1, 0)
+	if _, err := s.Put("a", tr); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing the existing name is allowed at the trace cap...
+	if _, err := s.Put("a", genTrace(t, "CC-b", 2, 25*time.Hour)); err != nil {
+		t.Fatalf("replace at cap: %v", err)
+	}
+	// ...a second name is not.
+	if _, err := s.Put("b", genTrace(t, "CC-b", 3, 25*time.Hour)); !errors.Is(err, ErrStoreFull) {
+		t.Errorf("want ErrStoreFull, got %v", err)
+	}
+
+	small := NewStore(0, tr.Len()/2)
+	if _, err := small.Put("a", tr); !errors.Is(err, ErrStoreFull) {
+		t.Errorf("want ErrStoreFull on job budget, got %v", err)
+	}
+	if small.Stats().Rejected == 0 {
+		t.Error("rejection not counted")
+	}
+}
+
+// TestStoreIngestRejectsMidStream: an upload that exceeds the job budget
+// is cut off while streaming, not after materializing everything.
+func TestStoreIngestRejectsMidStream(t *testing.T) {
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewJSONLReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(0, 10)
+	if _, err := s.Ingest("big", src); !errors.Is(err, ErrStoreFull) {
+		t.Errorf("want ErrStoreFull, got %v", err)
+	}
+}
+
+// TestStoreIngestHonorsRemainingBudget: a near-full store cuts an
+// upload off at the *remaining* budget, not the full cap — the heap
+// never transiently holds more than the store could accept. Replacing
+// an existing name counts that name's jobs as freed.
+func TestStoreIngestHonorsRemainingBudget(t *testing.T) {
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewStore(0, tr.Len()+10)
+	first := trace.New(tr.Meta)
+	first.Jobs = append([]*trace.Job(nil), tr.Jobs...)
+	if _, err := s.Put("first", first); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining budget is ~10 jobs: the same upload must now be rejected
+	// after buffering at most that remainder.
+	src, err := trace.NewJSONLReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("second", src); !errors.Is(err, ErrStoreFull) {
+		t.Errorf("want ErrStoreFull on remaining budget, got %v", err)
+	}
+	// Replacing "first" frees its jobs, so the same upload fits.
+	src2, err := trace.NewJSONLReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("first", src2); err != nil {
+		t.Errorf("replacement within budget rejected: %v", err)
+	}
+}
+
+// TestStoreNormalizesUpload: a trace with no header metadata gets its
+// span derived and its jobs sorted, so analyses can run on it.
+func TestStoreNormalizesUpload(t *testing.T) {
+	start := time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+	tr := trace.New(trace.Meta{})
+	// Out of order on purpose.
+	for i, off := range []time.Duration{3 * time.Hour, 0, 90 * time.Minute} {
+		tr.Add(&trace.Job{
+			ID: int64(i), SubmitTime: start.Add(off), Duration: time.Minute,
+			InputBytes: units.Bytes(100), MapTime: 10, MapTasks: 1,
+		})
+	}
+	s := NewStore(0, 0)
+	info, err := s.Put("raw", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Workload != "raw" {
+		t.Errorf("workload defaulted to %q", info.Workload)
+	}
+	got, _, err := s.Get("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length runs to the last job's finish: 3h submit + 1m duration.
+	if !got.Meta.Start.Equal(start) || got.Meta.Length != 3*time.Hour+time.Minute {
+		t.Errorf("span not derived: start=%v length=%v", got.Meta.Start, got.Meta.Length)
+	}
+	if got.Jobs[0].ID != 1 || got.Jobs[2].ID != 0 {
+		t.Error("jobs not sorted by submit time")
+	}
+	// And the streaming report runs on it.
+	if _, err := core.AnalyzeSource(trace.NewSliceSource(got), core.AnalyzeOptions{}); err != nil {
+		t.Errorf("normalized upload should analyze: %v", err)
+	}
+}
+
+func TestStoreRejectsEmptyAndInvalid(t *testing.T) {
+	s := NewStore(0, 0)
+	if _, err := s.Put("empty", trace.New(trace.Meta{Name: "empty"})); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := trace.New(trace.Meta{Name: "bad"})
+	bad.Add(&trace.Job{ID: 1, SubmitTime: time.Now(), InputBytes: -5})
+	if _, err := s.Put("bad", bad); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if _, err := s.Put("", genTrace(t, "CC-b", 1, 25*time.Hour)); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+// TestStoreSnapshotIsolation is the ingest-while-analyzing race proof:
+// writers continuously replace a trace name while readers resolve the
+// name and run the full streaming analysis on whatever snapshot they
+// got. Under -race this fails on any unsynchronized access; the
+// assertions fail if a reader ever observes a torn mix of two versions
+// (every snapshot's job count and fingerprint must match exactly one of
+// the two versions being written).
+func TestStoreSnapshotIsolation(t *testing.T) {
+	s := NewStore(0, 0)
+	v1 := genTrace(t, "CC-b", 1, 25*time.Hour)
+	v2 := genTrace(t, "CC-b", 2, 49*time.Hour)
+	fp1, err := v1.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := v2.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]int{fp1: v1.Len(), fp2: v2.Len()}
+	if _, err := s.Put("hot", v1); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, rounds = 2, 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Each Put hands over a fresh copy: the store owns what
+				// it is given, and these writers alternate versions.
+				src := v1
+				if (i+wi)%2 == 0 {
+					src = v2
+				}
+				cp := trace.New(src.Meta)
+				cp.Jobs = append([]*trace.Job(nil), src.Jobs...)
+				if _, err := s.Put("hot", cp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				snap, info, err := s.Get("hot")
+				if err != nil {
+					errs <- err
+					return
+				}
+				wantJobs, ok := valid[info.Fingerprint]
+				if !ok {
+					errs <- fmt.Errorf("unknown fingerprint %s", info.Fingerprint)
+					return
+				}
+				if snap.Len() != wantJobs || info.Jobs != wantJobs {
+					errs <- fmt.Errorf("torn read: snapshot has %d jobs, info says %d, version has %d",
+						snap.Len(), info.Jobs, wantJobs)
+					return
+				}
+				rep, err := core.AnalyzeSource(trace.NewSliceSource(snap), core.AnalyzeOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.Summary.Jobs != wantJobs {
+					errs <- fmt.Errorf("analysis saw %d jobs, snapshot version has %d", rep.Summary.Jobs, wantJobs)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

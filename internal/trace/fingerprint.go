@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+)
+
+// Content fingerprints give every trace a stable identity derived from
+// what the trace *says*, not how it happens to be represented: the hash
+// is taken over the canonical JSONL encoding (the exact bytes
+// JSONLWriter emits — header line plus one canonical job line per job),
+// so a trace loaded from a hand-edited file with reordered keys, extra
+// whitespace, or escape sequences fingerprints identically to the same
+// trace freshly generated. Two traces fingerprint equal iff SaveTrace
+// would write byte-identical JSONL files for them.
+//
+// The serving layer keys its result cache on this fingerprint: any job
+// added, dropped, reordered, or edited changes the hash, so a cached
+// analysis can never be served for data that drifted.
+
+// Hasher is a Sink that folds a streamed trace into a content
+// fingerprint. Feed it with Copy (or use the Fingerprint helpers); Sum
+// may be called once the stream is exhausted.
+type Hasher struct {
+	h     hash.Hash
+	buf   []byte
+	began bool
+}
+
+// NewHasher returns a fingerprinting Sink.
+func NewHasher() *Hasher {
+	return &Hasher{h: sha256.New(), buf: make([]byte, 0, 512)}
+}
+
+// Begin folds the metadata header line into the hash.
+func (fh *Hasher) Begin(meta Meta) error {
+	if fh.began {
+		return fmt.Errorf("trace: Hasher.Begin called twice")
+	}
+	fh.began = true
+	hdr := jsonlHeader{
+		Format:   jsonlFormat,
+		Name:     meta.Name,
+		Machines: meta.Machines,
+		Start:    meta.Start.UnixMilli(),
+		LengthMS: meta.Length.Milliseconds(),
+	}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("trace: fingerprinting header: %w", err)
+	}
+	fh.h.Write(b)
+	fh.h.Write([]byte{'\n'})
+	return nil
+}
+
+// Write folds one job's canonical encoding into the hash.
+func (fh *Hasher) Write(j *Job) error {
+	b, err := appendJob(fh.buf[:0], j)
+	if err != nil {
+		return fmt.Errorf("trace: fingerprinting job %d: %w", j.ID, err)
+	}
+	fh.buf = b[:0]
+	fh.h.Write(b)
+	return nil
+}
+
+// Sum returns the fingerprint accumulated so far as a 64-hex-digit
+// string. It does not reset the hasher.
+func (fh *Hasher) Sum() string {
+	return hex.EncodeToString(fh.h.Sum(nil))
+}
+
+// Fingerprint drains src and returns the content fingerprint of the
+// streamed trace. The source is consumed; callers that also need the
+// jobs should tee the stream through a Hasher themselves (see Copy and
+// the multi-sink pattern in internal/server).
+func Fingerprint(src Source) (string, error) {
+	fh := NewHasher()
+	if _, err := Copy(fh, src); err != nil {
+		return "", err
+	}
+	return fh.Sum(), nil
+}
+
+// Fingerprint returns the content fingerprint of the in-memory trace.
+func (t *Trace) Fingerprint() (string, error) {
+	return Fingerprint(NewSliceSource(t))
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func fpTestTrace() *Trace {
+	start := time.Date(2009, 5, 1, 0, 0, 0, 0, time.UTC)
+	t := New(Meta{Name: "fp-test", Machines: 10, Start: start, Length: 4 * time.Hour})
+	for i := 0; i < 5; i++ {
+		t.Add(&Job{
+			ID:           int64(i),
+			Name:         "job-" + string(rune('a'+i)),
+			SubmitTime:   start.Add(time.Duration(i) * 30 * time.Minute),
+			Duration:     90 * time.Second,
+			InputBytes:   units.Bytes(1000 * (i + 1)),
+			ShuffleBytes: units.Bytes(100 * i),
+			OutputBytes:  units.Bytes(10 * (i + 1)),
+			MapTime:      units.TaskSeconds(12.5),
+			ReduceTime:   units.TaskSeconds(float64(i)),
+			MapTasks:     i + 1,
+			ReduceTasks:  i,
+			InputPath:    "/data/in",
+			OutputPath:   "/data/out",
+		})
+	}
+	return t
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	tr := fpTestTrace()
+	a, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("want 64 hex digits, got %d (%s)", len(a), a)
+	}
+	for _, c := range a {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("non-hex digit %q in fingerprint %s", c, a)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: every kind of content change — a field
+// edit, a dropped job, an added job, different metadata — must move the
+// hash. This is the collision behavior the cache relies on: distinct
+// content must not share a key.
+func TestFingerprintSensitivity(t *testing.T) {
+	base, err := fpTestTrace().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"base": base}
+	variants := map[string]func(*Trace){
+		"field edit":    func(tr *Trace) { tr.Jobs[2].InputBytes++ },
+		"name edit":     func(tr *Trace) { tr.Jobs[0].Name = "renamed" },
+		"dropped job":   func(tr *Trace) { tr.Jobs = tr.Jobs[:len(tr.Jobs)-1] },
+		"added job":     func(tr *Trace) { tr.Add(&Job{ID: 99, SubmitTime: tr.Meta.Start.Add(3 * time.Hour)}) },
+		"meta name":     func(tr *Trace) { tr.Meta.Name = "other" },
+		"meta machines": func(tr *Trace) { tr.Meta.Machines++ },
+		"meta length":   func(tr *Trace) { tr.Meta.Length += time.Hour },
+	}
+	for label, mutate := range variants {
+		tr := fpTestTrace()
+		mutate(tr)
+		fp, err := tr.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Errorf("%q collides with %q: %s", label, prev, fp)
+			}
+		}
+		seen[label] = fp
+	}
+}
+
+// TestFingerprintOrdering: the fingerprint covers job order, so two
+// traces with the same job set in different order are distinct content
+// (submit order is semantically meaningful — every streaming analysis
+// depends on it).
+func TestFingerprintOrdering(t *testing.T) {
+	tr := fpTestTrace()
+	// Give two jobs the same submit time so swapping them survives Sort.
+	tr.Jobs[1].SubmitTime = tr.Jobs[2].SubmitTime
+	a, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Jobs[1], tr.Jobs[2] = tr.Jobs[2], tr.Jobs[1]
+	b, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("swapping two jobs did not change the fingerprint")
+	}
+}
+
+// TestFingerprintRepresentationIndependent: a trace read back from a
+// non-canonical JSONL file (reordered keys, whitespace, escapes — the
+// encoding/json fallback path) fingerprints identically to the pristine
+// in-memory trace, because the hash is over the canonical re-encoding.
+func TestFingerprintRepresentationIndependent(t *testing.T) {
+	tr := fpTestTrace()
+	want, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Canonical file round-trip.
+	var canonical bytes.Buffer
+	if err := WriteJSONL(&canonical, tr); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewJSONLReader(bytes.NewReader(canonical.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fingerprint(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("canonical round-trip fingerprint drifted: %s vs %s", got, want)
+	}
+
+	// Non-canonical representation of job 0: reordered keys, spaces, an
+	// escaped name. Splice it over the canonical line and re-read.
+	lines := bytes.SplitAfter(canonical.Bytes(), []byte("\n"))
+	noncanon := `{ "name": "job-a", "id": 0, "submit_time": "2009-05-01T00:00:00Z", "duration": 90000000000, "input_bytes": 1000, "shuffle_bytes": 0, "output_bytes": 10, "map_time": 12.5, "reduce_time": 0, "map_tasks": 1, "reduce_tasks": 0, "input_path": "/data/in", "output_path": "/data/out" }` + "\n"
+	var edited bytes.Buffer
+	edited.Write(lines[0])
+	edited.WriteString(noncanon)
+	for _, l := range lines[2:] {
+		edited.Write(l)
+	}
+	src2, err := NewJSONLReader(bytes.NewReader(edited.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Fingerprint(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Errorf("non-canonical representation changed the fingerprint: %s vs %s", got2, want)
+	}
+}
+
+func TestHasherBeginTwice(t *testing.T) {
+	fh := NewHasher()
+	if err := fh.Begin(Meta{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Begin(Meta{Name: "x"}); err == nil {
+		t.Error("second Begin should error")
+	}
+}

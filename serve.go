@@ -1,0 +1,61 @@
+package swim
+
+import (
+	"log"
+	"net/http"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// The serving façade: the same analytics the batch CLIs produce, exposed
+// as a long-running HTTP/JSON service with an in-memory trace store and
+// a fingerprint-keyed, single-flight result cache (see internal/server
+// and the swimd command).
+
+// ServeOptions sizes the swimd service.
+type ServeOptions struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// MaxTraces / MaxTotalJobs bound the in-memory trace store; ingests
+	// beyond them are rejected, not silently evicted (defaults 64 traces,
+	// 2M total jobs).
+	MaxTraces    int
+	MaxTotalJobs int
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// Logger receives one line per request; nil disables request logs.
+	Logger *log.Logger
+}
+
+// NewServeHandler builds the swimd HTTP handler without binding a
+// socket — the form tests and embedders want. See internal/server for
+// the endpoint inventory.
+func NewServeHandler(opts ServeOptions) http.Handler {
+	return server.New(server.Config{
+		MaxTraces:    opts.MaxTraces,
+		MaxTotalJobs: opts.MaxTotalJobs,
+		CacheEntries: opts.CacheEntries,
+		Logger:       opts.Logger,
+	}).Handler()
+}
+
+// Serve runs the workload-analytics service until the listener fails;
+// it is the programmatic equivalent of the swimd command (which adds
+// flags, preloading, and graceful shutdown).
+func Serve(opts ServeOptions) error {
+	addr := opts.Addr
+	if addr == "" {
+		addr = ":8080"
+	}
+	return http.ListenAndServe(addr, NewServeHandler(opts))
+}
+
+// Fingerprint drains a job stream and returns the trace's stable
+// content fingerprint: a hash over the canonical JSONL encoding, so it
+// is independent of how the trace happens to be represented on disk.
+// For an in-memory Trace, call its Fingerprint method. The swimd result
+// cache keys on this value.
+func Fingerprint(src Source) (string, error) {
+	return trace.Fingerprint(src)
+}

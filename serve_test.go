@@ -1,0 +1,65 @@
+package swim
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestServeFacade drives the façade end to end: generate, upload via
+// the handler, fetch the cached report, and cross-check Fingerprint
+// against the Trace method.
+func TestServeFacade(t *testing.T) {
+	h := NewServeHandler(ServeOptions{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	tr, err := Generate(GenerateOptions{Workload: "CC-e", Seed: 1, Duration: 25 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/traces/cc-e", "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	for i, want := range []string{"MISS", "HIT"} {
+		resp, err := http.Get(ts.URL + "/v1/traces/cc-e/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != want {
+			t.Errorf("report %d: status=%d X-Cache=%q want %q", i, resp.StatusCode, resp.Header.Get("X-Cache"), want)
+		}
+	}
+}
+
+func TestFingerprintFacade(t *testing.T) {
+	tr, err := Generate(GenerateOptions{Workload: "CC-a", Seed: 2, Duration: 25 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMethod, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSource, err := Fingerprint(trace.NewSliceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMethod != viaSource || len(viaMethod) != 64 {
+		t.Errorf("fingerprints disagree: %s vs %s", viaMethod, viaSource)
+	}
+}
