@@ -11,6 +11,11 @@
 //
 //	swimanalyze -in fb-2009.jsonl -stream
 //
+// Or trade memory for wall-clock: analyze the stream in parallel shards
+// merged deterministically (byte-identical report at any shard count):
+//
+//	swimanalyze -in fb-2009.jsonl -stream -shards 0   # one shard per CPU
+//
 // Or generate-and-analyze in one step:
 //
 //	swimanalyze -workload FB-2009 -duration 336h -seed 1
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noTable2 = fs.Bool("skip-clustering", false, "skip the Table 2 k-means analysis")
 		stream   = fs.Bool("stream", false, "single-pass streaming analysis of -in (.jsonl only: CSV carries no trace-length metadata); memory independent of trace length; skips Table 2 and the path-based Figures 2-6")
 		sketch   = fs.Bool("sketch", false, "with -stream: use fixed-memory quantile sketches for Figure 1 (<2% relative quantile error) so memory is independent of job count too")
+		shards   = fs.Int("shards", 1, "with -stream: analyze the trace in this many parallel shards merged deterministically (0 = one per CPU); the report is byte-identical at any shard count, but the jobs are held in memory while the shards run")
 		csvDir   = fs.String("csv-dir", "", "also export per-figure CSV data files into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,15 +71,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *sketch && !*stream {
 		return fmt.Errorf("-sketch requires -stream")
 	}
+	if *shards != 1 && !*stream {
+		return fmt.Errorf("-shards requires -stream (the materialized analysis is not sharded)")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 = one per CPU)")
+	}
 
 	opts := swim.AnalyzeOptions{
 		TopNames:        *topNames,
 		SkipClustering:  *noTable2,
 		SketchDataSizes: *sketch,
+		Shards:          *shards,
 	}
 	var rep *swim.Report
 	var err error
 	switch {
+	case *stream && *shards != 1:
+		// Scatter/gather: same report bytes as the sequential stream,
+		// wall-clock divided across shards.
+		var src swim.TraceSource
+		if src, err = swim.OpenTrace(*in, swim.Meta{Name: *in}); err == nil {
+			rep, err = swim.AnalyzeSourceParallel(src, opts)
+			src.Close()
+		}
 	case *stream:
 		rep, err = swim.AnalyzeFrom(*in, swim.Meta{Name: *in}, opts)
 	case *in != "":

@@ -23,6 +23,12 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-in", "x.jsonl", "-sketch"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-sketch requires -stream") {
 		t.Errorf("-sketch without -stream should error, got %v", err)
 	}
+	if err := run([]string{"-in", "x.jsonl", "-shards", "4"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-shards requires -stream") {
+		t.Errorf("-shards without -stream should error, got %v", err)
+	}
+	if err := run([]string{"-in", "x.jsonl", "-stream", "-shards", "-2"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "-shards must be") {
+		t.Errorf("negative -shards should error, got %v", err)
+	}
 	if err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errb); err == nil {
 		t.Error("missing file should error")
 	}
@@ -47,6 +53,21 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-in", path, "-stream", "-sketch"}, &sk, &errb); err != nil {
 		t.Fatalf("sketched: %v (stderr: %s)", err, errb.String())
+	}
+	// Shard-parallel analysis renders byte-identically to the
+	// sequential stream — the merge contract, observed at the CLI.
+	var sh4, sh0 bytes.Buffer
+	if err := run([]string{"-in", path, "-stream", "-shards", "4"}, &sh4, &errb); err != nil {
+		t.Fatalf("shards=4: %v (stderr: %s)", err, errb.String())
+	}
+	if !bytes.Equal(sh4.Bytes(), str.Bytes()) {
+		t.Error("-shards 4 output differs from sequential -stream output")
+	}
+	if err := run([]string{"-in", path, "-stream", "-shards", "0"}, &sh0, &errb); err != nil {
+		t.Fatalf("shards=0: %v (stderr: %s)", err, errb.String())
+	}
+	if !bytes.Equal(sh0.Bytes(), str.Bytes()) {
+		t.Error("-shards 0 output differs from sequential -stream output")
 	}
 	for name, buf := range map[string]*bytes.Buffer{"materialized": &mat, "streamed": &str, "sketched": &sk} {
 		s := buf.String()

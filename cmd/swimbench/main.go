@@ -10,10 +10,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -45,7 +47,7 @@ var paperTable1 = map[string]paperRow{
 var sectionNames = []string{
 	"table1", "fig1", "fig2", "fig34", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "table2", "scaledown", "cache", "scheduler",
-	"drift", "tiered", "suite", "consolidation",
+	"drift", "tiered", "suite", "consolidation", "parallel",
 }
 
 func main() {
@@ -67,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quick  = fs.Bool("quick", false, "short windows (2 days) for a fast smoke run")
 		seed   = fs.Int64("seed", 1, "generation seed")
 		par    = fs.Int("parallelism", 0, "trace-generation workers (0 = all cores); traces are identical at any setting")
+		shards = fs.Int("shards", 0, "analysis shards for the parallel section (0 = one per CPU); reports are byte-identical at any setting")
 		window = fs.Duration("window", 0, "generation window (0 = 14 days, or 2 days with -quick)")
 		only   = fs.String("only", "", "comma-separated sections to run (default all): "+strings.Join(sectionNames, ", "))
 	)
@@ -161,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"tiered":        func(w io.Writer) error { return tieredAblation(w, traces, *seed) },
 		"suite":         func(w io.Writer) error { return workloadSuite(w, *quick, *seed) },
 		"consolidation": func(w io.Writer) error { return consolidation(w, traces) },
+		"parallel":      func(w io.Writer) error { return parallelAnalysis(w, traces, *shards) },
 	}
 	for _, name := range sectionNames {
 		if !selected[name] {
@@ -578,6 +582,50 @@ func consolidation(w io.Writer, traces map[string]*swim.Trace) error {
 	}
 	tb.AddRow("consolidated", report.Ratio(p2m))
 	return render(w, tb)
+}
+
+// parallelAnalysis measures the shard-parallel streaming analysis
+// against the sequential pass on the largest generated trace, verifying
+// the merge contract (identical report bytes) while timing the
+// scatter/gather speedup.
+func parallelAnalysis(w io.Writer, traces map[string]*swim.Trace, shards int) error {
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "== Parallel analysis (mergeable section builders, K=%d shards) ==\n", shards)
+	tr := traces["FB-2009"]
+	start := time.Now()
+	seq, err := swim.AnalyzeTraceParallel(tr, swim.AnalyzeOptions{Shards: 1})
+	if err != nil {
+		return err
+	}
+	seqDur := time.Since(start)
+	start = time.Now()
+	par, err := swim.AnalyzeTraceParallel(tr, swim.AnalyzeOptions{Shards: shards})
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(start)
+	var a, b bytes.Buffer
+	if err := seq.WriteJSON(&a); err != nil {
+		return err
+	}
+	if err := par.WriteJSON(&b); err != nil {
+		return err
+	}
+	agree := "IDENTICAL"
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		agree = "DIVERGED (merge contract violated!)"
+	}
+	tb := report.NewTable("mode", "wall-clock", "report bytes")
+	tb.AddRow("sequential (K=1)", seqDur.Round(time.Millisecond).String(), fmt.Sprintf("%d", a.Len()))
+	tb.AddRow(fmt.Sprintf("parallel (K=%d)", shards), parDur.Round(time.Millisecond).String(), fmt.Sprintf("%d", b.Len()))
+	if err := render(w, tb); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "agreement: %s; speedup %.2fx on %d CPUs (%d jobs)\n\n",
+		agree, float64(seqDur)/float64(parDur), runtime.GOMAXPROCS(0), tr.Len())
+	return nil
 }
 
 func render(w io.Writer, tb *report.Table) error {

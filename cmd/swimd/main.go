@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		preload    = fs.String("preload", "", "comma-separated workloads to generate and store at startup: "+strings.Join(swim.Workloads(), ", "))
 		preloadDur = fs.Duration("preload-duration", 48*time.Hour, "duration of preloaded traces")
 		seed       = fs.Int64("seed", 1, "preload generation seed")
+		partials   = fs.Bool("partials", true, "keep a frozen partial aggregate per stored trace, built at ingest, so a first cold report merges precomputed sections instead of re-reading jobs (~24 B/job of extra heap; disable to trade cold-report latency for memory)")
 		quiet      = fs.Bool("quiet", false, "disable per-request logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,10 +69,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		logger = log.New(stderr, "swimd: ", log.LstdFlags)
 	}
 	srv := server.New(server.Config{
-		MaxTraces:    *maxTraces,
-		MaxTotalJobs: *maxJobs,
-		CacheEntries: *cacheSize,
-		Logger:       logger,
+		MaxTraces:       *maxTraces,
+		MaxTotalJobs:    *maxJobs,
+		CacheEntries:    *cacheSize,
+		DisablePartials: !*partials,
+		Logger:          logger,
 	})
 
 	if *preload != "" {

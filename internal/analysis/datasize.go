@@ -13,6 +13,7 @@ package analysis
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -66,6 +67,41 @@ func (b *DataSizeBuilder) Observe(j *trace.Job) {
 	b.in = append(b.in, float64(j.InputBytes))
 	b.sh = append(b.sh, float64(j.ShuffleBytes))
 	b.out = append(b.out, float64(j.OutputBytes))
+}
+
+// Merge folds another builder into this one. Both must cover the same
+// workload and have been built in the same mode (exact or sketch). In
+// exact mode the per-shard samples are concatenated in merge order —
+// the CDF sorts, so the result is independent of that order; in sketch
+// mode the fixed-memory sketches merge exactly (stats.QuantileSketch).
+// Either way, shard-built-then-merged Result() matches sequential
+// observation of the same jobs. The argument is not modified, but in
+// exact mode the receiver may alias the argument's sample memory
+// afterwards — treat merged-from builders as frozen.
+func (b *DataSizeBuilder) Merge(o *DataSizeBuilder) error {
+	if b.workload != o.workload {
+		return fmt.Errorf("analysis: cannot merge data-size builders of different workloads (%q vs %q)", b.workload, o.workload)
+	}
+	if b.sketch != o.sketch {
+		return fmt.Errorf("analysis: cannot merge exact and sketch data-size builders")
+	}
+	if b.sketch {
+		if err := b.hin.Merge(o.hin); err != nil {
+			return err
+		}
+		if err := b.hsh.Merge(o.hsh); err != nil {
+			return err
+		}
+		if err := b.ho.Merge(o.ho); err != nil {
+			return err
+		}
+	} else {
+		b.in = append(b.in, o.in...)
+		b.sh = append(b.sh, o.sh...)
+		b.out = append(b.out, o.out...)
+	}
+	b.n += o.n
+	return nil
 }
 
 // Result returns the Figure 1 distributions; it errors on an empty

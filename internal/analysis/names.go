@@ -2,11 +2,14 @@ package analysis
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"unicode"
 
+	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // NameGroup is one first-word bucket of the Figure 10 analysis.
@@ -50,21 +53,29 @@ func FirstWord(name string) string {
 	return b.String()
 }
 
-// nameAgg is one first-word bucket's running totals.
+// nameAgg is one first-word bucket's running totals. Jobs and bytes are
+// integers and task-time is an exact sum, so bucket totals are
+// order-independent and merge without drift.
 type nameAgg struct {
-	jobs     float64
-	bytes    float64
-	taskTime float64
+	jobs     int64
+	bytes    units.Bytes
+	taskTime stats.ExactSum
 }
 
 // NamesBuilder accumulates Figure 10 incrementally. Memory is bounded by
 // the distinct first-word vocabulary (a handful per workload, §6.1), not
 // by job count, so the analysis streams. JobNames delegates to it.
+//
+// The builder is a mergeable partial aggregate: bucket totals are exact
+// sums, so observing a stream in shards and Merge-ing the shard
+// builders yields a Result() identical to sequential observation.
 type NamesBuilder struct {
-	workload                   string
-	groups                     map[string]*nameAgg
-	totJobs, totBytes, totTask float64
-	named                      bool
+	workload string
+	groups   map[string]*nameAgg
+	totJobs  int64
+	totBytes units.Bytes
+	totTask  stats.ExactSum
+	named    bool
 }
 
 // NewNamesBuilder starts a Figure 10 accumulation.
@@ -88,11 +99,34 @@ func (b *NamesBuilder) Observe(j *trace.Job) {
 		b.groups[w] = g
 	}
 	g.jobs++
-	g.bytes += float64(j.TotalBytes())
-	g.taskTime += float64(j.TotalTaskTime())
+	g.bytes += j.TotalBytes()
+	g.taskTime.Add(float64(j.TotalTaskTime()))
 	b.totJobs++
-	b.totBytes += float64(j.TotalBytes())
-	b.totTask += float64(j.TotalTaskTime())
+	b.totBytes += j.TotalBytes()
+	b.totTask.Add(float64(j.TotalTaskTime()))
+}
+
+// Merge folds another builder's buckets into this one. Both must cover
+// the same workload. The argument is not modified.
+func (b *NamesBuilder) Merge(o *NamesBuilder) error {
+	if b.workload != o.workload {
+		return fmt.Errorf("analysis: cannot merge name analyses of different workloads (%q vs %q)", b.workload, o.workload)
+	}
+	for w, og := range o.groups {
+		g := b.groups[w]
+		if g == nil {
+			g = &nameAgg{}
+			b.groups[w] = g
+		}
+		g.jobs += og.jobs
+		g.bytes += og.bytes
+		g.taskTime.Merge(&og.taskTime)
+	}
+	b.totJobs += o.totJobs
+	b.totBytes += o.totBytes
+	b.totTask.Merge(&o.totTask)
+	b.named = b.named || o.named
+	return nil
 }
 
 // Result returns the Figure 10 analysis, erroring when the stream
@@ -119,28 +153,30 @@ func (b *NamesBuilder) Result(topN int) (*NameAnalysis, error) {
 		return words[i] < words[k]
 	})
 	res := &NameAnalysis{Workload: b.workload, DistinctWords: len(b.groups)}
-	var restJobs, restBytes, restTask float64
+	var restJobs int64
+	var restBytes units.Bytes
+	var restTask stats.ExactSum
 	for i, w := range words {
 		g := b.groups[w]
 		if i < topN {
 			res.Groups = append(res.Groups, NameGroup{
 				Word:             w,
-				JobsFraction:     g.jobs / b.totJobs,
-				BytesFraction:    safeDiv(g.bytes, b.totBytes),
-				TaskTimeFraction: safeDiv(g.taskTime, b.totTask),
+				JobsFraction:     float64(g.jobs) / float64(b.totJobs),
+				BytesFraction:    safeDiv(float64(g.bytes), float64(b.totBytes)),
+				TaskTimeFraction: safeDiv(g.taskTime.Sum(), b.totTask.Sum()),
 			})
 			continue
 		}
 		restJobs += g.jobs
 		restBytes += g.bytes
-		restTask += g.taskTime
+		restTask.Merge(&g.taskTime)
 	}
 	if restJobs > 0 {
 		res.Groups = append(res.Groups, NameGroup{
 			Word:             "[others]",
-			JobsFraction:     restJobs / b.totJobs,
-			BytesFraction:    safeDiv(restBytes, b.totBytes),
-			TaskTimeFraction: safeDiv(restTask, b.totTask),
+			JobsFraction:     float64(restJobs) / float64(b.totJobs),
+			BytesFraction:    safeDiv(float64(restBytes), float64(b.totBytes)),
+			TaskTimeFraction: safeDiv(restTask.Sum(), b.totTask.Sum()),
 		})
 	}
 	return res, nil

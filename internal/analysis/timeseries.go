@@ -2,11 +2,13 @@ package analysis
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // TimeSeries is the hourly-binned view of a workload behind Figures 7-9:
@@ -38,9 +40,23 @@ type TimeSeries struct {
 // — so core.AnalyzeSource can build Figures 7–9 in one streaming pass.
 // BinHourly delegates to it, which is what keeps streaming and
 // materialized series identical.
+//
+// The builder is a mergeable partial aggregate: per-hour job counts and
+// byte totals accumulate in integers and the fractional task-time bins
+// in stats.ExactSum, so the bins are exact, order-independent sums.
+// Observing a job stream in shards and Merge-ing the shard builders (in
+// any grouping) yields a Series() bit-identical to observing the stream
+// sequentially — the contract the shard-parallel analysis path relies
+// on, including at shard-boundary hours where two shards contribute to
+// the same bin.
 type TimeSeriesBuilder struct {
-	ts    *TimeSeries
-	hours int
+	workload string
+	start    time.Time
+	hours    int
+	jobs     []int64
+	bytes    []units.Bytes
+	task     []stats.ExactSum
+	spread   []stats.ExactSum
 }
 
 // NewTimeSeriesBuilder starts an hourly binning for a trace of the given
@@ -52,15 +68,13 @@ func NewTimeSeriesBuilder(workload string, start time.Time, length time.Duration
 		return nil, errors.New("analysis: trace too short for hourly binning")
 	}
 	return &TimeSeriesBuilder{
-		ts: &TimeSeries{
-			Workload:          workload,
-			Start:             start,
-			Jobs:              make([]float64, hours),
-			Bytes:             make([]float64, hours),
-			TaskSeconds:       make([]float64, hours),
-			TaskSecondsSpread: make([]float64, hours),
-		},
-		hours: hours,
+		workload: workload,
+		start:    start,
+		hours:    hours,
+		jobs:     make([]int64, hours),
+		bytes:    make([]units.Bytes, hours),
+		task:     make([]stats.ExactSum, hours),
+		spread:   make([]stats.ExactSum, hours),
 	}, nil
 }
 
@@ -68,21 +82,56 @@ func NewTimeSeriesBuilder(workload string, start time.Time, length time.Duration
 // series start are dropped; jobs past the horizon clamp into the final
 // bin, exactly as BinHourly always did.
 func (b *TimeSeriesBuilder) Observe(j *trace.Job) {
-	h := int(j.SubmitTime.Sub(b.ts.Start).Hours())
+	h := int(j.SubmitTime.Sub(b.start).Hours())
 	if h < 0 {
 		return
 	}
 	if h >= b.hours {
 		h = b.hours - 1
 	}
-	b.ts.Jobs[h]++
-	b.ts.Bytes[h] += float64(j.TotalBytes())
-	b.ts.TaskSeconds[h] += float64(j.TotalTaskTime())
-	spreadTaskTime(b.ts.TaskSecondsSpread, b.ts.Start, j)
+	b.jobs[h]++
+	b.bytes[h] += j.TotalBytes()
+	b.task[h].Add(float64(j.TotalTaskTime()))
+	spreadTaskTime(b.spread, b.start, j)
 }
 
-// Series returns the accumulated hourly view.
-func (b *TimeSeriesBuilder) Series() *TimeSeries { return b.ts }
+// Merge folds another builder's bins into this one. Both builders must
+// cover the same workload, origin, and hour count (the agreement
+// contract: shards of one trace, split with the full trace's metadata).
+// The argument is not modified.
+func (b *TimeSeriesBuilder) Merge(o *TimeSeriesBuilder) error {
+	if b.workload != o.workload || !b.start.Equal(o.start) || b.hours != o.hours {
+		return fmt.Errorf("analysis: cannot merge series of different traces (%q from %v over %dh vs %q from %v over %dh)",
+			b.workload, b.start, b.hours, o.workload, o.start, o.hours)
+	}
+	for h := 0; h < b.hours; h++ {
+		b.jobs[h] += o.jobs[h]
+		b.bytes[h] += o.bytes[h]
+		b.task[h].Merge(&o.task[h])
+		b.spread[h].Merge(&o.spread[h])
+	}
+	return nil
+}
+
+// Series materializes the accumulated hourly view. It does not modify
+// the builder, so a frozen builder can serve concurrent readers.
+func (b *TimeSeriesBuilder) Series() *TimeSeries {
+	ts := &TimeSeries{
+		Workload:          b.workload,
+		Start:             b.start,
+		Jobs:              make([]float64, b.hours),
+		Bytes:             make([]float64, b.hours),
+		TaskSeconds:       make([]float64, b.hours),
+		TaskSecondsSpread: make([]float64, b.hours),
+	}
+	for h := 0; h < b.hours; h++ {
+		ts.Jobs[h] = float64(b.jobs[h])
+		ts.Bytes[h] = float64(b.bytes[h])
+		ts.TaskSeconds[h] = b.task[h].Sum()
+		ts.TaskSecondsSpread[h] = b.spread[h].Sum()
+	}
+	return ts
+}
 
 // BinHourly builds the hourly series for a trace. The number of bins is
 // ceil(trace length); traces shorter than two hours are rejected.
@@ -106,8 +155,10 @@ func BinHourly(t *trace.Trace) (*TimeSeries, error) {
 }
 
 // spreadTaskTime distributes a job's task-time uniformly over the hourly
-// bins its execution window [submit, submit+duration) overlaps.
-func spreadTaskTime(bins []float64, start time.Time, j *trace.Job) {
+// bins its execution window [submit, submit+duration) overlaps. Each
+// per-bin contribution is a pure function of the job, so the exact-sum
+// bins are independent of observation order.
+func spreadTaskTime(bins []stats.ExactSum, start time.Time, j *trace.Job) {
 	total := float64(j.TotalTaskTime())
 	if total <= 0 {
 		return
@@ -128,11 +179,11 @@ func spreadTaskTime(bins []float64, start time.Time, j *trace.Job) {
 		if h >= len(bins) {
 			// Execution spills past the trace horizon; attribute the
 			// remainder to the final bin so totals are conserved.
-			bins[len(bins)-1] += rate * (t1 - t)
+			bins[len(bins)-1].Add(rate * (t1 - t))
 			return
 		}
 		segEnd := math.Min(float64(h+1), t1)
-		bins[h] += rate * (segEnd - t)
+		bins[h].Add(rate * (segEnd - t))
 		t = segEnd
 	}
 }

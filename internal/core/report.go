@@ -73,6 +73,16 @@ type AnalyzeOptions struct {
 	// Figure 1 retains 24 bytes per job and matches the materialized
 	// analysis exactly.
 	SketchDataSizes bool
+	// Shards selects the shard-parallel execution of the streaming
+	// analysis (AnalyzeSource / AnalyzeSourceParallel): the job stream
+	// is split into this many contiguous ordered shards, analyzed on a
+	// bounded worker pool, and merged in shard order. The merged report
+	// is byte-identical to the sequential one at any shard count; the
+	// cost is holding the job set in memory while the shards run.
+	// 0 or 1 keeps the sequential constant-memory pass (0 means "one
+	// per CPU" where a parallel entry point is invoked explicitly).
+	// Ignored by the materialized Analyze.
+	Shards int
 }
 
 // Analyze runs the full measurement methodology of the paper over a trace

@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/analysis"
 	"repro/internal/trace"
 )
 
-// AnalyzeSource runs the measurement methodology over a streamed trace in
-// a single pass. It computes every analysis that does not need random
-// access over the whole job set:
+func errNeedsLength() error {
+	return fmt.Errorf("core: streaming analysis needs metadata with a positive trace length (set Materialize for span-derived traces)")
+}
+
+// AnalyzeSource runs the measurement methodology over a streamed trace.
+// It computes every analysis that does not need random access over the
+// whole job set:
 //
 //   - the Table-1 summary,
 //   - Figure 1 data-size distributions (exact by default; fixed-memory
@@ -18,16 +21,20 @@ import (
 //   - the Figures 7–9 hourly series with burstiness and correlations,
 //   - the Figure 10 job-name breakdown.
 //
-// Memory is O(trace hours + name vocabulary), independent of job count
-// (plus 24 B/job for exact Figure 1 unless opts.SketchDataSizes). The
-// analyses that genuinely need the whole trace in memory — Table-2
-// k-means and the path-based Figures 2–6 — are left nil; set
-// opts.Materialize to collect the stream and run the full Analyze
-// instead.
+// By default the stream is analyzed in a single sequential pass: memory
+// is O(trace hours + name vocabulary), independent of job count (plus
+// 24 B/job for exact Figure 1 unless opts.SketchDataSizes). With
+// opts.Shards > 1 the stream is instead analyzed shard-parallel (see
+// AnalyzeSourceParallel) — same report bytes, wall-clock divided across
+// CPUs, at the cost of holding the job set in memory. The analyses that
+// genuinely need the whole trace in memory — Table-2 k-means and the
+// path-based Figures 2–6 — are left nil; set opts.Materialize to
+// collect the stream and run the full Analyze instead.
 //
-// Because the per-analysis builders are the same code the materialized
-// Analyze runs, a streaming report's sections are identical to the
-// corresponding sections of Analyze on the collected trace.
+// Because the per-analysis builders are the same mergeable aggregates
+// the materialized Analyze and the parallel path run, a streaming
+// report's sections are identical to the corresponding sections of
+// Analyze on the collected trace.
 func AnalyzeSource(src trace.Source, opts AnalyzeOptions) (*Report, error) {
 	if opts.Materialize {
 		t, err := trace.Collect(src)
@@ -36,21 +43,23 @@ func AnalyzeSource(src trace.Source, opts AnalyzeOptions) (*Report, error) {
 		}
 		return Analyze(t, opts)
 	}
-	if opts.TopNames == 0 {
-		opts.TopNames = 8
+	if opts.Shards > 1 {
+		return AnalyzeSourceParallel(src, opts)
 	}
+	return analyzeStream(src, opts)
+}
+
+// analyzeStream is the sequential one-pass body: one Partial aggregate
+// observes every job, then finalizes.
+func analyzeStream(src trace.Source, opts AnalyzeOptions) (*Report, error) {
 	meta := src.Meta()
 	if meta.Length <= 0 {
-		return nil, fmt.Errorf("core: streaming analysis needs metadata with a positive trace length (set Materialize for span-derived traces)")
+		return nil, errNeedsLength()
 	}
-	sum := trace.NewSummaryAccumulator(meta)
-	dsb := analysis.NewDataSizeBuilder(meta.Name, opts.SketchDataSizes)
-	tsb, err := analysis.NewTimeSeriesBuilder(meta.Name, meta.Start, meta.Length)
+	p, err := NewPartial(meta, opts.SketchDataSizes)
 	if err != nil {
 		return nil, err
 	}
-	nb := analysis.NewNamesBuilder(meta.Name)
-	n := 0
 	for {
 		j, err := src.Next()
 		if err == io.EOF {
@@ -59,31 +68,7 @@ func AnalyzeSource(src trace.Source, opts AnalyzeOptions) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		n++
-		sum.Observe(j)
-		dsb.Observe(j)
-		tsb.Observe(j)
-		nb.Observe(j)
+		p.Observe(j)
 	}
-	if n == 0 {
-		return nil, fmt.Errorf("core: cannot analyze an empty trace")
-	}
-	rep := &Report{Summary: sum.Summary()}
-	ds, err := dsb.Result()
-	if err != nil {
-		return nil, err
-	}
-	rep.DataSizes = ds
-	series := tsb.Series()
-	rep.Series = series
-	if b, err := series.BurstinessOf(); err == nil {
-		rep.PeakToMedian = b.PeakToMedian
-	}
-	if c, err := series.Correlate(); err == nil {
-		rep.Correlations = c
-	}
-	if na, err := nb.Result(opts.TopNames); err == nil {
-		rep.Names = na
-	}
-	return rep, nil
+	return p.Report(opts.TopNames)
 }

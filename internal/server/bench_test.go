@@ -10,9 +10,9 @@ import (
 
 // benchServer returns a server preloaded with a two-week CC-b trace —
 // thousands of jobs, a realistic interactive-analytics target.
-func benchServer(tb testing.TB) (*Server, *httptest.Server) {
+func benchServer(tb testing.TB, cfg Config) (*Server, *httptest.Server) {
 	tb.Helper()
-	s := New(Config{})
+	s := New(cfg)
 	tr := genTrace(tb, "CC-b", 1, 14*24*time.Hour)
 	if _, err := s.store.Put("bench", tr); err != nil {
 		tb.Fatal(err)
@@ -34,13 +34,17 @@ func get(tb testing.TB, url string) {
 	}
 }
 
-// BenchmarkServeReport measures the serving layer's headline number:
-// the cost of a report request cold (full streaming analysis) versus
-// warm (result-cache hit). The cold/warm ratio is the value of the
-// ReStore-style result cache; the acceptance bar is >= 10x.
+// BenchmarkServeReport measures the serving layer's headline numbers:
+// a cold report request in the two cold regimes — "cold" finalizes the
+// trace's frozen ingest-time partial aggregate (the default since
+// partials landed; no per-job work), "cold-scan" re-reads every stored
+// job with partials disabled (the pre-partial behavior) — versus
+// "warm", a result-cache hit. cold-scan/cold is the value of
+// ingest-time aggregation; cold/warm is the value of the ReStore-style
+// result cache (acceptance bar >= 10x).
 func BenchmarkServeReport(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
-		s, ts := benchServer(b)
+		s, ts := benchServer(b, Config{})
 		url := ts.URL + "/v1/traces/bench/report"
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -50,8 +54,19 @@ func BenchmarkServeReport(b *testing.B) {
 			b.StartTimer()
 		}
 	})
+	b.Run("cold-scan", func(b *testing.B) {
+		s, ts := benchServer(b, Config{DisablePartials: true})
+		url := ts.URL + "/v1/traces/bench/report"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+			b.StopTimer()
+			s.cache.Purge() // drops the aggregate tier too
+			b.StartTimer()
+		}
+	})
 	b.Run("warm", func(b *testing.B) {
-		_, ts := benchServer(b)
+		_, ts := benchServer(b, Config{})
 		url := ts.URL + "/v1/traces/bench/report"
 		get(b, url) // prime
 		b.ResetTimer()
@@ -71,7 +86,7 @@ func TestServeReportCacheSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test is not -short")
 	}
-	s, ts := benchServer(t)
+	s, ts := benchServer(t, Config{})
 	url := ts.URL + "/v1/traces/bench/report"
 
 	start := time.Now()

@@ -177,10 +177,20 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleDelete removes a trace and, when no other stored trace shares
+// its content fingerprint, drops the fingerprint's memoized results and
+// partial aggregates from both cache tiers — fingerprint-keyed entries
+// can never be stale, so this is reclaiming memory a deleted trace can
+// no longer earn back, not a correctness step.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Delete(r.PathValue("name")) {
-		writeErr(w, fmt.Errorf("%w: %q", ErrNotFound, r.PathValue("name")))
+	name := r.PathValue("name")
+	info, ok := s.store.Delete(name)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %q", ErrNotFound, name))
 		return
+	}
+	if !s.store.HasFingerprint(info.Fingerprint) {
+		s.cache.InvalidatePrefix(info.Fingerprint + "|")
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -204,12 +214,24 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() (
 }
 
 // handleReport serves the study's analytics for one stored trace:
-// Table 1, Figure 1, Figures 7-9, and Figure 10 in the default one-pass
-// streaming mode; every figure and table the trace permits (including
-// the Table-2 clustering) with full=1. sketch=1 bounds Figure 1's memory
-// with quantile sketches; top=N widens the Figure 10 word list.
+// Table 1, Figure 1, Figures 7-9, and Figure 10 in the default
+// streaming-section mode; every figure and table the trace permits
+// (including the Table-2 clustering) with full=1. sketch=1 bounds
+// Figure 1's memory with quantile sketches; top=N widens the Figure 10
+// word list.
+//
+// The default mode computes nothing per job when it can avoid it: a
+// cold report finalizes the trace's frozen ingest-time partial
+// aggregate; when none applies (partials disabled, sketch=1, or a
+// trace the binner rejects) the jobs are scanned — shard-parallel
+// across shards=K shards (0 = one per CPU, 1 = sequential) — and the
+// scan's partial is parked in the cache's aggregate tier under the
+// fingerprint, so report variants that differ only in finalization
+// (top=N) share it. shards never appears in the result-cache key: by
+// the merge contract the bytes are identical at any shard count. The
+// X-Analysis response header reports which path a MISS took.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	t, info, err := s.store.Get(r.PathValue("name"))
+	t, info, partial, err := s.store.Snapshot(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -221,15 +243,41 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	shards, err := queryInt(r, "shards", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if shards < 0 || shards > 1024 {
+		writeErr(w, badReq("shards=%d out of range [0, 1024]", shards))
+		return
+	}
 	key := fmt.Sprintf("%s|report|full=%t|sketch=%t|top=%d", info.Fingerprint, full, sketch, top)
 	s.serveCached(w, key, func() ([]byte, error) {
-		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch}
+		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch, Shards: shards}
 		var rep *core.Report
 		var err error
-		if full {
+		switch {
+		case full:
+			w.Header().Set("X-Analysis", "full")
 			rep, err = core.Analyze(t, opts)
-		} else {
-			rep, err = core.AnalyzeSource(trace.NewSliceSource(t), opts)
+		case partial != nil && partial.Sketch() == sketch:
+			w.Header().Set("X-Analysis", "ingest-partial")
+			rep, err = partial.Report(top)
+		default:
+			aggKey := fmt.Sprintf("%s|partial|sketch=%t", info.Fingerprint, sketch)
+			v, cached, aggErr := s.cache.DoAggregate(aggKey, func() (any, error) {
+				return core.BuildTracePartial(t, shards, sketch)
+			})
+			if aggErr != nil {
+				return nil, fmt.Errorf("%w: %v", errUnprocessable, aggErr)
+			}
+			if cached {
+				w.Header().Set("X-Analysis", "cached-partial")
+			} else {
+				w.Header().Set("X-Analysis", "scan")
+			}
+			rep, err = v.(*core.Partial).Report(top)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)

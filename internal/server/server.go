@@ -17,6 +17,11 @@ type Config struct {
 	// raw bytes a single newline-free request could make the line
 	// reader buffer.
 	MaxUploadBytes int64
+	// DisablePartials turns off ingest-time partial aggregation: stored
+	// traces then carry no precomputed aggregate (saving ~24 B/job of
+	// heap) and cold reports scan the jobs, shard-parallel when the
+	// request sets shards=K.
+	DisablePartials bool
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 }
@@ -63,6 +68,9 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		mw:        &middleware{logger: cfg.Logger},
 		maxUpload: maxUpload,
+	}
+	if cfg.DisablePartials {
+		s.store.DisablePartials()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)

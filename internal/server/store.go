@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,14 @@ type TraceInfo struct {
 type entry struct {
 	t    *trace.Trace
 	info TraceInfo
+	// partial is the frozen ingest-time aggregate: an exact-mode
+	// core.Partial observed while (or right after) the trace was
+	// ingested, so a first cold report finalizes precomputed section
+	// aggregates instead of re-reading every job. Never mutated after
+	// insertion — Partial.Report is read-only — and nil when partials
+	// are disabled or the trace cannot be binned (shorter than two
+	// hours). Costs ~24 B per job on top of the stored trace.
+	partial *core.Partial
 }
 
 // Store is the concurrent in-memory trace store. Memory is bounded by
@@ -58,6 +67,7 @@ type Store struct {
 	totalJobs    int
 	maxTraces    int
 	maxTotalJobs int
+	noPartials   bool
 
 	ingests  uint64
 	rejected uint64
@@ -107,15 +117,49 @@ func normalize(name string, t *trace.Trace) error {
 	return t.Validate()
 }
 
+// DisablePartials turns off ingest-time partial aggregation (for
+// memory-constrained deployments; cold reports then scan the stored
+// jobs, shard-parallel when the request asks for it). Call before the
+// store starts serving.
+func (s *Store) DisablePartials() { s.noPartials = true }
+
 // Put inserts (or replaces) the trace under name. The caller hands over
 // ownership: the store normalizes the trace in place, fingerprints it,
 // and from then on treats it as immutable. Returns the stored identity.
 func (s *Store) Put(name string, t *trace.Trace) (TraceInfo, error) {
+	return s.put(name, t, nil)
+}
+
+// put is Put with an optional partial aggregate observed during a
+// streaming ingest. The partial is adopted only if it demonstrably
+// covers this exact trace (same metadata, same job count); otherwise —
+// and for every non-ingest Put, e.g. preloads and stored syntheses — a
+// fresh aggregate is built here, shard-parallel across the CPUs, so
+// every stored trace carries one. Partial construction is best-effort:
+// a trace too short for hourly binning stores with a nil partial and
+// reports fall back to scanning.
+func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, error) {
 	if name == "" {
 		return TraceInfo{}, fmt.Errorf("server: empty trace name")
 	}
 	if err := normalize(name, t); err != nil {
 		return TraceInfo{}, err
+	}
+	// Cheap non-authoritative admission check before the expensive work
+	// (partial aggregation + fingerprint): a store that is already full
+	// must not burn a multi-core analysis scan per rejected upload. The
+	// bounds are re-checked authoritatively under the write lock below.
+	if err := s.precheck(name, t.Len()); err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return TraceInfo{}, err
+	}
+	if p != nil && (p.Sketch() || p.Jobs() != t.Len() || p.Meta() != t.Meta) {
+		p = nil
+	}
+	if p == nil && !s.noPartials {
+		p, _ = core.BuildTracePartial(t, 0, false)
 	}
 	fp, err := t.Fingerprint()
 	if err != nil {
@@ -147,7 +191,7 @@ func (s *Store) Put(name string, t *trace.Trace) (TraceInfo, error) {
 		s.rejected++
 		return TraceInfo{}, fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
 	}
-	s.entries[name] = &entry{t: t, info: info}
+	s.entries[name] = &entry{t: t, info: info, partial: p}
 	s.totalJobs += t.Len() - oldJobs
 	s.ingests++
 	return info, nil
@@ -159,8 +203,22 @@ func (s *Store) Put(name string, t *trace.Trace) (TraceInfo, error) {
 // mid-stream, before it can balloon the heap. The budget is sampled at
 // ingest start, so concurrent uploads may each buffer up to the same
 // remainder; Put re-checks the bound authoritatively under the lock.
+//
+// When the upload header carries complete metadata, the partial
+// aggregate is built inline as the jobs decode — the analysis work of a
+// first cold report happens during the upload itself. The builders are
+// order-independent, so observing the pre-sort upload order produces
+// exactly the aggregate of the normalized trace.
 func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
 	budget := s.RemainingBudget(name)
+	meta := src.Meta()
+	var p *core.Partial
+	if !s.noPartials && !meta.Start.IsZero() && meta.Length > 0 {
+		if meta.Name == "" {
+			meta.Name = name // mirrors what normalize will decide
+		}
+		p, _ = core.NewPartial(meta, false)
+	}
 	t := trace.New(src.Meta())
 	for {
 		j, err := src.Next()
@@ -177,8 +235,32 @@ func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
 			return TraceInfo{}, fmt.Errorf("%w: upload exceeds the remaining %d-job budget", ErrStoreFull, budget)
 		}
 		t.Add(j)
+		if p != nil {
+			p.Observe(j)
+		}
 	}
-	return s.Put(name, t)
+	return s.put(name, t, p)
+}
+
+// precheck samples the store bounds for a prospective insert of jobs
+// under name. It is advisory — concurrent writers can invalidate it —
+// so put re-checks under the write lock; its job is to fail clearly
+// doomed inserts before the expensive aggregation and hashing.
+func (s *Store) precheck(name string, jobs int) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oldJobs := 0
+	_, replacing := s.entries[name]
+	if replacing {
+		oldJobs = s.entries[name].info.Jobs
+	}
+	if !replacing && len(s.entries) >= s.maxTraces {
+		return fmt.Errorf("%w: %d traces (max %d)", ErrStoreFull, len(s.entries), s.maxTraces)
+	}
+	if newTotal := s.totalJobs - oldJobs + jobs; newTotal > s.maxTotalJobs {
+		return fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
+	}
+	return nil
 }
 
 // RemainingBudget reports how many more jobs the store could accept
@@ -198,25 +280,53 @@ func (s *Store) RemainingBudget(name string) int {
 // Get resolves name to its current immutable snapshot. The returned
 // trace must not be mutated.
 func (s *Store) Get(name string) (*trace.Trace, TraceInfo, error) {
+	t, info, _, err := s.Snapshot(name)
+	return t, info, err
+}
+
+// Snapshot resolves name to its current immutable snapshot together
+// with the frozen ingest-time partial aggregate (nil when unavailable).
+// Trace and partial come from one consistent entry: a concurrent
+// re-ingest of the name cannot pair this trace with another upload's
+// aggregate.
+func (s *Store) Snapshot(name string) (*trace.Trace, TraceInfo, *core.Partial, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.entries[name]
 	if !ok {
-		return nil, TraceInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, TraceInfo{}, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return e.t, e.info, nil
+	return e.t, e.info, e.partial, nil
 }
 
-// Delete removes name; it reports whether the trace existed.
-func (s *Store) Delete(name string) bool {
+// Delete removes name, reporting the deleted identity and whether the
+// trace existed — the identity is what lets the caller invalidate
+// fingerprint-keyed caches.
+func (s *Store) Delete(name string) (TraceInfo, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
-	if ok {
-		s.totalJobs -= e.info.Jobs
-		delete(s.entries, name)
+	if !ok {
+		return TraceInfo{}, false
 	}
-	return ok
+	s.totalJobs -= e.info.Jobs
+	delete(s.entries, name)
+	return e.info, true
+}
+
+// HasFingerprint reports whether any stored trace currently has the
+// given content fingerprint (two names may hold identical content; the
+// caller must not invalidate shared fingerprint-keyed results while one
+// holder remains).
+func (s *Store) HasFingerprint(fp string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.entries {
+		if e.info.Fingerprint == fp {
+			return true
+		}
+	}
+	return false
 }
 
 // List returns the identities of every stored trace, sorted by name.
@@ -231,10 +341,12 @@ func (s *Store) List() []TraceInfo {
 	return out
 }
 
-// StoreStats is the store's occupancy and lifetime counters.
+// StoreStats is the store's occupancy and lifetime counters. Partials
+// counts stored traces carrying a frozen ingest-time aggregate.
 type StoreStats struct {
 	Traces       int    `json:"traces"`
 	TotalJobs    int    `json:"total_jobs"`
+	Partials     int    `json:"partials"`
 	MaxTraces    int    `json:"max_traces"`
 	MaxTotalJobs int    `json:"max_total_jobs"`
 	Ingests      uint64 `json:"ingests"`
@@ -245,9 +357,16 @@ type StoreStats struct {
 func (s *Store) Stats() StoreStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	partials := 0
+	for _, e := range s.entries {
+		if e.partial != nil {
+			partials++
+		}
+	}
 	return StoreStats{
 		Traces:       len(s.entries),
 		TotalJobs:    s.totalJobs,
+		Partials:     partials,
 		MaxTraces:    s.maxTraces,
 		MaxTotalJobs: s.maxTotalJobs,
 		Ingests:      s.ingests,

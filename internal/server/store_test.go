@@ -59,8 +59,12 @@ func TestStorePutGetDeleteList(t *testing.T) {
 	if l := s.List(); len(l) != 1 || l[0].Name != "mine" {
 		t.Errorf("list %+v", l)
 	}
-	if !s.Delete("mine") || s.Delete("mine") {
-		t.Error("delete semantics broken")
+	delInfo, ok := s.Delete("mine")
+	if !ok || delInfo.Fingerprint != info.Fingerprint {
+		t.Errorf("delete returned (%+v, %v), want the stored identity", delInfo, ok)
+	}
+	if _, ok := s.Delete("mine"); ok {
+		t.Error("second delete reported existence")
 	}
 	if st := s.Stats(); st.Traces != 0 || st.TotalJobs != 0 {
 		t.Errorf("stats after delete: %+v", st)

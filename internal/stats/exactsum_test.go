@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigSum computes the reference value: the exact rational sum of the
+// inputs, rounded once to float64 by math/big.
+func bigSum(vals []float64) float64 {
+	acc := new(big.Float).SetPrec(2000)
+	for _, v := range vals {
+		acc.Add(acc, new(big.Float).SetPrec(2000).SetFloat64(v))
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+// randomValues mixes magnitudes aggressively — the regime where naive
+// summation loses bits.
+func randomValues(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		mag := math.Pow(10, float64(rng.Intn(24))-6)
+		v := rng.Float64() * mag
+		if rng.Intn(4) == 0 {
+			v = -v
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+// TestExactSumMatchesBigFloat pins Sum() to the correctly rounded exact
+// sum on adversarial magnitude mixes.
+func TestExactSumMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		vals := randomValues(rng, 1+rng.Intn(300))
+		var s ExactSum
+		for _, v := range vals {
+			s.Add(v)
+		}
+		want := bigSum(vals)
+		if got := s.Sum(); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: Sum()=%g, big.Float reference=%g (diff %g)",
+				trial, got, want, got-want)
+		}
+	}
+}
+
+// TestExactSumOrderIndependent is the mergeable-builder contract: any
+// permutation of the inputs, and any contiguous sharding of them merged
+// in any order, produces bit-identical Sum() results.
+func TestExactSumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		vals := randomValues(rng, 2+rng.Intn(200))
+
+		var seq ExactSum
+		for _, v := range vals {
+			seq.Add(v)
+		}
+		want := seq.Sum()
+
+		// Random permutation.
+		perm := rng.Perm(len(vals))
+		var shuffled ExactSum
+		for _, i := range perm {
+			shuffled.Add(vals[i])
+		}
+		if got := shuffled.Sum(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: permuted sum %g != sequential %g", trial, got, want)
+		}
+
+		// Contiguous shards merged in shard order.
+		k := 1 + rng.Intn(8)
+		shards := make([]ExactSum, k)
+		for i, v := range vals {
+			shards[i*k/len(vals)].Add(v)
+		}
+		var merged ExactSum
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if got := merged.Sum(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: %d-shard merged sum %g != sequential %g", trial, k, got, want)
+		}
+	}
+}
+
+// TestExactSumMergeDoesNotMutateSource proves Merge treats its argument
+// as read-only, so frozen shard partials can be merged repeatedly.
+func TestExactSumMergeDoesNotMutateSource(t *testing.T) {
+	var a, b ExactSum
+	for i := 0; i < 50; i++ {
+		a.Add(1e16)
+		a.Add(1.0 / 3.0)
+		b.Add(-1e-9)
+		b.Add(2.5e12)
+	}
+	before := b.Sum()
+	a.Merge(&b)
+	a.Merge(&b) // merge twice: b must be unchanged between merges
+	if after := b.Sum(); math.Float64bits(after) != math.Float64bits(before) {
+		t.Fatalf("Merge mutated its source: %g -> %g", before, after)
+	}
+}
+
+// TestExactSumZeroValue: the zero value is an empty, usable sum.
+func TestExactSumZeroValue(t *testing.T) {
+	var s ExactSum
+	if got := s.Sum(); got != 0 {
+		t.Fatalf("empty Sum() = %g, want 0", got)
+	}
+	var o ExactSum
+	s.Merge(&o)
+	if got := s.Sum(); got != 0 {
+		t.Fatalf("empty-merged Sum() = %g, want 0", got)
+	}
+	s.Add(1.5)
+	if got := s.Sum(); got != 1.5 {
+		t.Fatalf("Sum() = %g, want 1.5", got)
+	}
+}
+
+// TestExactSumCancellation: classic catastrophic-cancellation cases that
+// defeat naive and Kahan summation.
+func TestExactSumCancellation(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want float64
+	}{
+		{[]float64{1e16, 1, -1e16}, 1},
+		{[]float64{1e100, 1, -1e100, 1}, 2},
+		{[]float64{1, 1e-17, -1}, 1e-17},
+	}
+	for _, c := range cases {
+		var s ExactSum
+		for _, v := range c.vals {
+			s.Add(v)
+		}
+		if got := s.Sum(); got != c.want {
+			t.Errorf("Sum(%v) = %g, want %g", c.vals, got, c.want)
+		}
+	}
+}

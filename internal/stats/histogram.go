@@ -62,6 +62,25 @@ func (h *LogHistogram) Observe(v float64) {
 // Total returns the number of observations including zeros.
 func (h *LogHistogram) Total() uint64 { return h.total }
 
+// Merge folds another histogram's counts into this one. The two must
+// share an identical bin layout (resolution, origin, and bin count);
+// counts are integers, so merging is exact, associative, and
+// commutative — merging per-shard histograms in any order yields the
+// same result as observing the whole stream sequentially. The argument
+// is not modified.
+func (h *LogHistogram) Merge(o *LogHistogram) error {
+	if h.BinsPerDecade != o.BinsPerDecade || h.MinExp != o.MinExp || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: cannot merge histograms with different layouts (%d bins/decade from 10^%g over %d bins vs %d bins/decade from 10^%g over %d bins)",
+			h.BinsPerDecade, h.MinExp, len(h.Counts), o.BinsPerDecade, o.MinExp, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.ZeroCount += o.ZeroCount
+	h.total += o.total
+	return nil
+}
+
 // BinLeft returns the left edge of bin i.
 func (h *LogHistogram) BinLeft(i int) float64 {
 	return math.Pow(10, h.MinExp+float64(i)/float64(h.BinsPerDecade))

@@ -81,6 +81,33 @@ func (s *QuantileSketch) Observe(v float64) {
 	}
 }
 
+// Merge folds another sketch into this one. Both must have been built
+// with the same binsPerDecade. Histogram counts are integers and the
+// min/max/minPos trackers take extrema, so merging is exact: merging
+// per-shard sketches in any order answers every Distribution query
+// identically to a single sketch that observed the whole stream — the
+// property that lets Figure 1 compose across shards. The argument is
+// not modified.
+func (s *QuantileSketch) Merge(o *QuantileSketch) error {
+	if o.h.Total() == 0 {
+		return nil // merging an empty sketch is a no-op either way
+	}
+	empty := s.h.Total() == 0
+	if err := s.h.Merge(o.h); err != nil {
+		return err
+	}
+	if empty || o.min < s.min {
+		s.min = o.min
+	}
+	if empty || o.max > s.max {
+		s.max = o.max
+	}
+	if o.minPos != 0 && (s.minPos == 0 || o.minPos < s.minPos) {
+		s.minPos = o.minPos
+	}
+	return nil
+}
+
 // Len returns the number of observations.
 func (s *QuantileSketch) Len() int { return int(s.h.Total()) }
 

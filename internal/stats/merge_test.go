@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sketchShards observes vals split into k contiguous shards, one sketch
+// per shard, and merges them in shard order.
+func sketchShards(t *testing.T, vals []float64, k, binsPerDecade int) *QuantileSketch {
+	t.Helper()
+	shards := make([]*QuantileSketch, k)
+	for i := range shards {
+		shards[i] = NewQuantileSketch(binsPerDecade)
+	}
+	for i, v := range vals {
+		shards[i*k/len(vals)].Observe(v)
+	}
+	merged := NewQuantileSketch(binsPerDecade)
+	for _, sh := range shards {
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return merged
+}
+
+// assertSketchesIdentical checks every Distribution query agrees
+// bitwise between two sketches.
+func assertSketchesIdentical(t *testing.T, name string, seq, merged *QuantileSketch) {
+	t.Helper()
+	if seq.Len() != merged.Len() {
+		t.Fatalf("%s: Len %d != %d", name, merged.Len(), seq.Len())
+	}
+	if math.Float64bits(seq.Min()) != math.Float64bits(merged.Min()) ||
+		math.Float64bits(seq.Max()) != math.Float64bits(merged.Max()) {
+		t.Fatalf("%s: extremes differ: [%g,%g] vs [%g,%g]",
+			name, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if a, b := seq.Quantile(q), merged.Quantile(q); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: Quantile(%.2f): merged %g != sequential %g", name, q, b, a)
+		}
+	}
+	for _, x := range []float64{0.5, 1, 3, 10, 1e3, 1e6, 1e9, 1e12} {
+		if a, b := seq.P(x), merged.P(x); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("%s: P(%g): merged %g != sequential %g", name, x, b, a)
+		}
+	}
+	sp, mp := seq.LogPoints(10), merged.LogPoints(10)
+	if len(sp) != len(mp) {
+		t.Fatalf("%s: LogPoints length %d != %d", name, len(mp), len(sp))
+	}
+	for i := range sp {
+		if sp[i] != mp[i] {
+			t.Fatalf("%s: LogPoints[%d]: merged %v != sequential %v", name, i, mp[i], sp[i])
+		}
+	}
+}
+
+// adversarialInputs are the satellite's target regimes: sorted streams
+// (contiguous shards see disjoint narrow ranges — the worst case for
+// merged extremes) and duplicate-heavy streams (rank boundaries land
+// inside long runs of one value).
+func adversarialInputs(rng *rand.Rand) map[string][]float64 {
+	sorted := make([]float64, 5000)
+	for i := range sorted {
+		sorted[i] = math.Pow(10, 12*float64(i)/float64(len(sorted))) // 1 .. 1e12, ascending
+	}
+	dups := make([]float64, 0, 6000)
+	for _, v := range []float64{1, 64, 64, 1e3, 4.2e7, 9.99e11} {
+		for i := 0; i < 1000; i++ {
+			dups = append(dups, v)
+		}
+	}
+	sort.Float64s(dups)
+	mixed := make([]float64, 4000)
+	for i := range mixed {
+		mixed[i] = math.Pow(10, rng.Float64()*15)
+	}
+	withZeros := append([]float64{0, 0, 0, 0.25, 0.99}, sorted[:500]...)
+	return map[string][]float64{
+		"sorted":          sorted,
+		"duplicate-heavy": dups,
+		"mixed":           mixed,
+		"with-zeros":      withZeros,
+	}
+}
+
+// TestQuantileSketchMergeMatchesSequential: a merged sketch must answer
+// every query bit-identically to one sketch that saw the whole stream —
+// counts are integers and extremes are exact, so there is no "merge
+// error" on top of the sketch's own quantization.
+func TestQuantileSketchMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for name, vals := range adversarialInputs(rng) {
+		seq := NewQuantileSketch(0)
+		for _, v := range vals {
+			seq.Observe(v)
+		}
+		for _, k := range []int{2, 3, 7, 16} {
+			assertSketchesIdentical(t, name, seq, sketchShards(t, vals, k, 0))
+		}
+	}
+}
+
+// TestQuantileSketchMergeErrorBound: the merged sketch's quantile error
+// against the exact sample stays within the sequential sketch's
+// documented bound — one bin width in log space, 10^(1/BinsPerDecade)-1
+// relative — on the adversarial inputs. Merging must not compound
+// quantization. The reference is the pair of order statistics
+// bracketing the rank (the sketch answers in order-statistic terms; the
+// interpolating CDF quantile can sit between two distant observations
+// at a duplicate-run boundary, which is a definition difference, not
+// sketch error).
+func TestQuantileSketchMergeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bound := math.Pow(10, 1.0/float64(DefaultBinsPerDecade)) - 1
+	for name, vals := range adversarialInputs(rng) {
+		if name == "with-zeros" {
+			continue // sub-1 values collapse into the zero bucket by design
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		merged := sketchShards(t, vals, 8, 0)
+		for q := 0.05; q <= 0.99; q += 0.01 {
+			rank := q * float64(len(sorted))
+			i0 := int(math.Ceil(rank)) - 2
+			i1 := int(math.Ceil(rank))
+			if i0 < 0 {
+				i0 = 0
+			}
+			if i1 >= len(sorted) {
+				i1 = len(sorted) - 1
+			}
+			lo, hi := sorted[i0], sorted[i1]
+			got := merged.Quantile(q)
+			if got < lo/(1+bound) || got > hi*(1+bound) {
+				t.Errorf("%s: Quantile(%.2f): merged %g outside [%g, %g] widened by the %.4f bound",
+					name, q, got, lo, hi, bound)
+			}
+		}
+	}
+}
+
+// TestQuantileSketchMergeLayoutMismatch: sketches of different
+// resolution must refuse to merge rather than silently corrupt.
+func TestQuantileSketchMergeLayoutMismatch(t *testing.T) {
+	a := NewQuantileSketch(64)
+	b := NewQuantileSketch(128)
+	a.Observe(10)
+	b.Observe(10)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging sketches with different binsPerDecade did not error")
+	}
+}
+
+// TestQuantileSketchMergeEmpty: empty sketches are the neutral element
+// on both sides.
+func TestQuantileSketchMergeEmpty(t *testing.T) {
+	empty := NewQuantileSketch(0)
+	full := NewQuantileSketch(0)
+	for _, v := range []float64{0, 2, 300, 4.5e6} {
+		full.Observe(v)
+	}
+	if err := full.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 4 || full.Min() != 0 || full.Max() != 4.5e6 {
+		t.Fatalf("merging empty changed the sketch: len=%d min=%g max=%g", full.Len(), full.Min(), full.Max())
+	}
+	if err := empty.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	seq := NewQuantileSketch(0)
+	for _, v := range []float64{0, 2, 300, 4.5e6} {
+		seq.Observe(v)
+	}
+	assertSketchesIdentical(t, "empty-receiver", seq, empty)
+}

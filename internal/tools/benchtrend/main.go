@@ -1,0 +1,169 @@
+// Command benchtrend appends one datapoint to a benchmark trend file
+// (BENCH_ANALYZE.json) from `go test -bench BenchmarkParallelAnalyze`
+// output. CI runs it after the benchmark step and uploads the grown
+// file as an artifact, so the K=1 vs K=NumCPU speedup is tracked per
+// commit on the multi-core runners.
+//
+//	go test -run '^$' -bench BenchmarkParallelAnalyze ./internal/core | \
+//	    benchtrend -json BENCH_ANALYZE.json -note "ci trend"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
+		jsonPath = fs.String("json", "BENCH_ANALYZE.json", "trend file to append the datapoint to")
+		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
+		minSpeed = fs.Float64("min-speedup", 0, "fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benchOut, err := readInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	trend, err := os.ReadFile(*jsonPath)
+	if err != nil {
+		return err
+	}
+	grown, summary, err := appendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*jsonPath, grown, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, summary)
+	return checkSpeedup(grown, *minSpeed)
+}
+
+// checkSpeedup enforces the acceptance bar against the datapoint just
+// appended. The datapoint is always recorded first, so a failing run
+// still leaves the evidence in the trend artifact.
+func checkSpeedup(grown []byte, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			CPUs    int     `json:"cpus"`
+			Speedup float64 `json:"speedup_numcpu"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.CPUs <= 1 {
+		return nil // nothing to parallelize across; the bar needs cores
+	}
+	if dp.Speedup < minSpeedup {
+		return fmt.Errorf("K=NumCPU(%d) speedup %.2fx is below the %.2fx acceptance bar", dp.CPUs, dp.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+func readInput(path string, stdin io.Reader) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// benchLine matches one sub-benchmark result, e.g.
+// "BenchmarkParallelAnalyze/K=NumCPU(4)-4   3   19627556 ns/op ...".
+var benchLine = regexp.MustCompile(`(?m)^BenchmarkParallelAnalyze/K=(NumCPU\((\d+)\)|\d+)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// cpuLine matches the benchmark header's cpu description.
+var cpuLine = regexp.MustCompile(`(?m)^cpu: (.+)$`)
+
+// appendDatapoint parses benchOut and returns the trend file with one
+// datapoint appended, preserving every existing field, plus a one-line
+// summary. It errors when the output carries no K=1 or no K=NumCPU
+// result — a truncated benchmark run must fail the step, not append
+// garbage.
+func appendDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	cpus := 0
+	for _, m := range benchLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[3], err)
+		}
+		if m[2] != "" { // K=NumCPU(n)
+			cpus, err = strconv.Atoi(m[2])
+			if err != nil {
+				return nil, "", fmt.Errorf("parsing cpu count %q: %w", m[2], err)
+			}
+			nsPerOp["numcpu"] = ns
+			nsPerOp[m[2]] = ns // NumCPU(n) is also the K=n result
+		} else {
+			nsPerOp[strings.TrimPrefix(m[1], "K=")] = ns
+		}
+	}
+	k1, ok1 := nsPerOp["1"]
+	kn, okN := nsPerOp["numcpu"]
+	if !ok1 || !okN {
+		return nil, "", fmt.Errorf("benchmark output carries no K=1 or K=NumCPU result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	speedup := k1 / kn
+	dp := map[string]any{
+		"date":              now.Format("2006-01-02"),
+		"go":                goVersion,
+		"cpus":              cpus,
+		"k1_ns_per_op":      int64(k1),
+		"knumcpu_ns_per_op": int64(kn),
+		"speedup_numcpu":    math2(speedup),
+		"note":              note,
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	for _, k := range []string{"2", "4"} {
+		if ns, ok := nsPerOp[k]; ok {
+			dp["k"+k+"_ns_per_op"] = int64(ns)
+		}
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("appended datapoint: K=1 %.1fms, K=NumCPU(%d) %.1fms, speedup %.2fx",
+		k1/1e6, cpus, kn/1e6, speedup)
+	return append(grown, '\n'), summary, nil
+}
+
+// math2 rounds to two decimals so the trend file stays readable.
+func math2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

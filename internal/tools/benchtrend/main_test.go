@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleTrend = `{
+  "benchmark": "BenchmarkParallelAnalyze",
+  "acceptance": "speedup > 1.5x",
+  "datapoints": [
+    {"date": "2026-07-28", "speedup_numcpu": 1.0}
+  ]
+}`
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelAnalyze/K=1-4         	       3	  21636837 ns/op	 6118202 B/op	   39083 allocs/op
+BenchmarkParallelAnalyze/K=2-4         	       3	  14159707 ns/op	 6612458 B/op	   40076 allocs/op
+BenchmarkParallelAnalyze/K=NumCPU(4)-4 	       3	   9627556 ns/op	 6967050 B/op	   40443 allocs/op
+PASS
+`
+
+func TestAppendDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendDatapoint([]byte(sampleTrend), []byte(sampleBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "speedup 2.25x") {
+		t.Errorf("summary %q lacks the speedup", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["acceptance"] != "speedup > 1.5x" {
+		t.Error("existing fields not preserved")
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 2 {
+		t.Fatalf("got %d datapoints, want 2", len(points))
+	}
+	dp := points[1].(map[string]any)
+	for key, want := range map[string]any{
+		"date":              "2026-08-01",
+		"go":                "go1.24.0",
+		"cpus":              4.0, // JSON numbers decode as float64
+		"k1_ns_per_op":      21636837.0,
+		"k2_ns_per_op":      14159707.0,
+		"k4_ns_per_op":      9627556.0, // NumCPU(4) doubles as the K=4 result
+		"knumcpu_ns_per_op": 9627556.0,
+		"speedup_numcpu":    2.25,
+		"cpu":               "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"note":              "ci trend",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendDatapointRejectsTruncatedOutput(t *testing.T) {
+	if _, _, err := appendDatapoint([]byte(sampleTrend), []byte("PASS\n"), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("empty benchmark output did not error")
+	}
+	partial := "BenchmarkParallelAnalyze/K=2-4   3   14159707 ns/op\n"
+	if _, _, err := appendDatapoint([]byte(sampleTrend), []byte(partial), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without K=1/K=NumCPU did not error")
+	}
+}
+
+func TestCheckSpeedup(t *testing.T) {
+	trend := func(cpus int, speedup float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"cpus": cpus, "speedup_numcpu": speedup},
+		}})
+		return b
+	}
+	if err := checkSpeedup(trend(4, 2.1), 1.5); err != nil {
+		t.Errorf("2.1x on 4 cores failed the 1.5x bar: %v", err)
+	}
+	if err := checkSpeedup(trend(4, 1.2), 1.5); err == nil {
+		t.Error("1.2x on 4 cores passed the 1.5x bar")
+	}
+	if err := checkSpeedup(trend(1, 1.0), 1.5); err != nil {
+		t.Errorf("single-core machine not exempt: %v", err)
+	}
+	if err := checkSpeedup(trend(4, 1.0), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
+func TestAppendDatapointSingleCore(t *testing.T) {
+	bench := "BenchmarkParallelAnalyze/K=NumCPU(1)   3   21636837 ns/op\n" +
+		"BenchmarkParallelAnalyze/K=2   3   21159707 ns/op\n"
+	grown, _, err := appendDatapoint([]byte(sampleTrend), []byte(bench), time.Now(), "go1.24.0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	dp := doc["datapoints"].([]any)[1].(map[string]any)
+	if dp["speedup_numcpu"] != 1.0 || dp["cpus"] != 1.0 {
+		t.Errorf("single-core datapoint %+v", dp)
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func splitFixture(n int) *Trace {
+	start := time.Date(2009, 5, 1, 0, 0, 0, 0, time.UTC)
+	t := New(Meta{Name: "split-test", Machines: 10, Start: start, Length: 48 * time.Hour})
+	for i := 0; i < n; i++ {
+		t.Add(&Job{
+			ID:         int64(i),
+			SubmitTime: start.Add(time.Duration(i) * time.Minute),
+			Duration:   time.Minute,
+			InputBytes: 100,
+		})
+	}
+	return t
+}
+
+func drain(t *testing.T, src Source) []*Job {
+	t.Helper()
+	var out []*Job
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, j)
+	}
+}
+
+// TestSplitTraceContiguousOrdered: the shards are a contiguous ordered
+// partition — concatenating them in shard order reproduces the original
+// job sequence exactly, sizes differ by at most one, and every shard
+// carries the parent metadata.
+func TestSplitTraceContiguousOrdered(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 101} {
+		tr := splitFixture(n)
+		for _, k := range []int{1, 2, 3, 5, 16} {
+			shards, err := SplitTrace(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shards) != k {
+				t.Fatalf("n=%d k=%d: got %d shards", n, k, len(shards))
+			}
+			var all []*Job
+			min, max := n, 0
+			for _, sh := range shards {
+				if sh.Meta() != tr.Meta {
+					t.Fatalf("n=%d k=%d: shard meta %+v != trace meta %+v", n, k, sh.Meta(), tr.Meta)
+				}
+				jobs := drain(t, sh)
+				if len(jobs) < min {
+					min = len(jobs)
+				}
+				if len(jobs) > max {
+					max = len(jobs)
+				}
+				all = append(all, jobs...)
+			}
+			if len(all) != n {
+				t.Fatalf("n=%d k=%d: concatenated %d jobs", n, k, len(all))
+			}
+			for i, j := range all {
+				if j != tr.Jobs[i] {
+					t.Fatalf("n=%d k=%d: job %d out of order (got ID %d, want %d)", n, k, i, j.ID, tr.Jobs[i].ID)
+				}
+			}
+			if k <= n && max-min > 1 {
+				t.Fatalf("n=%d k=%d: shard sizes unbalanced (min %d, max %d)", n, k, min, max)
+			}
+		}
+	}
+}
+
+// TestSplitDrainsSource: Split on a stream materializes it once and
+// shards the result, preserving metadata.
+func TestSplitDrainsSource(t *testing.T) {
+	tr := splitFixture(10)
+	shards, err := Split(NewSliceSource(tr), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(drain(t, sh))
+	}
+	if total != 10 {
+		t.Fatalf("shards hold %d jobs, want 10", total)
+	}
+}
+
+// TestSplitRejectsBadShardCount: k < 1 is a programmer error reported
+// as such.
+func TestSplitRejectsBadShardCount(t *testing.T) {
+	tr := splitFixture(3)
+	if _, err := SplitTrace(tr, 0); err == nil {
+		t.Fatal("SplitTrace(t, 0) did not error")
+	}
+	if _, err := Split(NewSliceSource(tr), -1); err == nil {
+		t.Fatal("Split(src, -1) did not error")
+	}
+}
+
+// TestSummaryAccumulatorMerge: shard summaries merge to exactly the
+// whole-trace summary, and summaries of different traces refuse.
+func TestSummaryAccumulatorMerge(t *testing.T) {
+	tr := splitFixture(25)
+	shards, err := SplitTrace(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := make([]*SummaryAccumulator, len(shards))
+	for i, sh := range shards {
+		accs[i] = NewSummaryAccumulator(sh.Meta())
+		for _, j := range drain(t, sh) {
+			accs[i].Observe(j)
+		}
+	}
+	merged := accs[0]
+	for _, a := range accs[1:] {
+		if err := merged.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.Summary(), tr.Summarize(); got != want {
+		t.Fatalf("merged summary %+v != sequential %+v", got, want)
+	}
+
+	other := NewSummaryAccumulator(Meta{Name: "other", Length: time.Hour})
+	if err := merged.Merge(other); err == nil {
+		t.Fatal("merging summaries of different traces did not error")
+	}
+}

@@ -1,6 +1,9 @@
 package trace
 
-import "io"
+import (
+	"fmt"
+	"io"
+)
 
 // The streaming layer: a Trace held fully in memory is convenient for the
 // random-access analyses (k-means clustering, file-popularity maps), but
@@ -139,6 +142,20 @@ func NewSummaryAccumulator(meta Meta) *SummaryAccumulator {
 func (a *SummaryAccumulator) Observe(j *Job) {
 	a.s.Jobs++
 	a.s.BytesMoved += j.TotalBytes()
+}
+
+// Merge folds another accumulator into this one. Both must describe the
+// same trace (name, machines, length); the counters are integers, so
+// merging per-shard summaries in any order is exactly the sequential
+// result. The argument is not modified.
+func (a *SummaryAccumulator) Merge(o *SummaryAccumulator) error {
+	if a.s.Name != o.s.Name || a.s.Machines != o.s.Machines || a.s.Length != o.s.Length {
+		return fmt.Errorf("trace: cannot merge summaries of different traces (%q/%d/%v vs %q/%d/%v)",
+			a.s.Name, a.s.Machines, a.s.Length, o.s.Name, o.s.Machines, o.s.Length)
+	}
+	a.s.Jobs += o.s.Jobs
+	a.s.BytesMoved += o.s.BytesMoved
+	return nil
 }
 
 // Summary returns the accumulated Table-1 row.

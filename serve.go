@@ -24,6 +24,11 @@ type ServeOptions struct {
 	MaxTotalJobs int
 	// CacheEntries bounds the result cache (default 256).
 	CacheEntries int
+	// DisablePartials turns off ingest-time partial aggregation: stored
+	// traces then carry no precomputed report aggregate (saving
+	// ~24 B/job of heap) and cold reports scan the stored jobs,
+	// shard-parallel when the request sets shards=K.
+	DisablePartials bool
 	// Logger receives one line per request; nil disables request logs.
 	Logger *log.Logger
 }
@@ -33,10 +38,11 @@ type ServeOptions struct {
 // the endpoint inventory.
 func NewServeHandler(opts ServeOptions) http.Handler {
 	return server.New(server.Config{
-		MaxTraces:    opts.MaxTraces,
-		MaxTotalJobs: opts.MaxTotalJobs,
-		CacheEntries: opts.CacheEntries,
-		Logger:       opts.Logger,
+		MaxTraces:       opts.MaxTraces,
+		MaxTotalJobs:    opts.MaxTotalJobs,
+		CacheEntries:    opts.CacheEntries,
+		DisablePartials: opts.DisablePartials,
+		Logger:          opts.Logger,
 	}).Handler()
 }
 
