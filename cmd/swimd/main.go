@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		preloadDur = fs.Duration("preload-duration", 48*time.Hour, "duration of preloaded traces")
 		seed       = fs.Int64("seed", 1, "preload generation seed")
 		partials   = fs.Bool("partials", true, "keep a frozen partial aggregate per stored trace, built at ingest, so a first cold report merges precomputed sections instead of re-reading jobs (~24 B/job of extra heap; disable to trade cold-report latency for memory)")
+		dataDir    = fs.String("data", "", "durable storage directory: traces persist as checksummed segment files with partial-aggregate snapshots, survive restarts (verified at startup), and spill to disk instead of being rejected when they exceed the in-memory job budget")
 		quiet      = fs.Bool("quiet", false, "disable per-request logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,13 +69,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if !*quiet {
 		logger = log.New(stderr, "swimd: ", log.LstdFlags)
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxTraces:       *maxTraces,
 		MaxTotalJobs:    *maxJobs,
 		CacheEntries:    *cacheSize,
 		DisablePartials: !*partials,
+		DataDir:         *dataDir,
 		Logger:          logger,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		recovered := srv.Recovered()
+		fmt.Fprintf(stdout, "swimd: durable store %s: recovered %d trace(s)\n", *dataDir, len(recovered))
+		for _, info := range recovered {
+			fmt.Fprintf(stdout, "  %s: %d jobs, fingerprint %.12s…\n", info.Name, info.Jobs, info.Fingerprint)
+		}
+	}
 
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {
@@ -128,12 +140,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	case <-stopOrNever(stop):
 	}
 	fmt.Fprintln(stdout, "swimd: shutting down")
+	// Shutdown drains in-flight requests first — an upload mid-stream
+	// finishes decoding and commits its manifest — then the durable
+	// store is closed so nothing can start a write after the drain.
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return err
 	}
 	<-done // Serve has returned http.ErrServerClosed
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "swimd: durable state flushed, bye")
 	return nil
 }
 

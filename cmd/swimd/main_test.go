@@ -6,9 +6,13 @@ import (
 	"flag"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	swim "repro"
+	"repro/internal/trace"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -94,5 +98,121 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	wg.Wait()
 	if runErr != nil {
 		t.Errorf("run returned %v (stderr: %s)", runErr, errb.String())
+	}
+}
+
+// startSwimd boots run() on a random port and returns the base URL, the
+// stop channel, and a wait func returning run's error and stdout.
+func startSwimd(t *testing.T, args ...string) (base string, stop chan struct{}, wait func() (error, string)) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	stop = make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		runErr = run(append([]string{"-addr", "127.0.0.1:0", "-quiet"}, args...), &out, &errb, ready, stop)
+	}()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not come up (stdout: %s, stderr: %s)", out.String(), errb.String())
+	}
+	return base, stop, func() (error, string) {
+		wg.Wait()
+		return runErr, out.String()
+	}
+}
+
+// TestGracefulShutdownDrainsUploadAndPersists is the shutdown contract
+// over the durable store: a JSONL upload still streaming when the stop
+// signal arrives is drained to completion, its manifest committed, and
+// a restarted swimd over the same data dir serves the trace — cold,
+// from the persisted partial — with no re-upload.
+func TestGracefulShutdownDrainsUploadAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := swim.Generate(swim.GenerateOptions{Workload: "CC-a", Seed: 1, Duration: 25 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := trace.WriteJSONL(&body, tr); err != nil {
+		t.Fatal(err)
+	}
+	payload := body.Bytes()
+
+	base, stop, wait := startSwimd(t, "-data", dir)
+
+	// Stream the upload through a pipe so we control its pacing: the
+	// first half is consumed by the server (pipe writes block until
+	// read), then the stop signal fires mid-upload, then the rest goes
+	// through. Shutdown must wait for the 201, not cut the request.
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/traces/survivor", "application/jsonl", pr)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode}
+	}()
+	half := len(payload) / 2
+	if _, err := pw.Write(payload[:half]); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if _, err := pw.Write(payload[half:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	res := <-done
+	if res.err != nil || res.status != http.StatusCreated {
+		t.Fatalf("in-flight upload not drained: status=%d err=%v", res.status, res.err)
+	}
+	runErr, stdout := wait()
+	if runErr != nil {
+		t.Fatalf("run returned %v", runErr)
+	}
+	if !strings.Contains(stdout, "durable state flushed") {
+		t.Errorf("shutdown did not report the durable flush; stdout: %s", stdout)
+	}
+
+	// Restart over the same dir: the trace is recovered and a cold
+	// report is served from the persisted aggregate without rescanning.
+	base2, stop2, wait2 := startSwimd(t, "-data", dir)
+	defer func() {
+		close(stop2)
+		wait2()
+	}()
+	resp, err := http.Get(base2 + "/v1/traces/survivor/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report after restart: %d %.200s", resp.StatusCode, bodyBytes)
+	}
+	if got := resp.Header.Get("X-Analysis"); got != "recovered-partial" {
+		t.Errorf("restarted report X-Analysis = %q, want recovered-partial", got)
+	}
+	var rep struct {
+		Summary struct {
+			Jobs int `json:"jobs"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(bodyBytes, &rep); err != nil || rep.Summary.Jobs != tr.Len() {
+		t.Errorf("restarted report jobs=%d want %d (err=%v)", rep.Summary.Jobs, tr.Len(), err)
 	}
 }

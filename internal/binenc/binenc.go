@@ -1,0 +1,173 @@
+// Package binenc is the small binary wire kit behind the durable
+// snapshot formats (core.Partial on disk). Writers append to a byte
+// slice with the Append* functions; readers decode through a Reader
+// with one sticky error, so decode code stays a straight line of typed
+// reads followed by a single Err() check.
+//
+// The encoding is deliberately dumb: uvarint/zigzag-varint integers,
+// fixed 8-byte little-endian IEEE-754 floats (bit-exact round-trips —
+// the exact-sum accumulators depend on it), and length-prefixed byte
+// strings. Versioning, magic numbers, and checksums belong to the
+// formats built on top, not here.
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v as a zigzag varint.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// AppendFloat64 appends the 8-byte little-endian IEEE-754 bits of f.
+// Every float64 value round-trips bit-for-bit, including negative zero
+// (NaN payloads too, though the analyses never store them).
+func AppendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendString appends a uvarint length prefix followed by the raw
+// bytes of s.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Reader decodes a byte slice written with the Append* functions. The
+// first malformed read latches an error; every subsequent read returns
+// a zero value, so callers check Err() once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The slice is not copied; the
+// caller must not mutate it while decoding.
+func NewReader(b []byte) *Reader {
+	return &Reader{b: b}
+}
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("binenc: offset %d: %s", r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or oversized uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zigzag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("truncated or oversized varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Float64 decodes a fixed 8-byte little-endian float.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// String decodes a length-prefixed string. The length is validated
+// against the remaining input before allocating, so a corrupt prefix
+// cannot demand an absurd allocation.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("string length %d exceeds remaining %d bytes", n, r.Remaining())
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bool decodes one byte as a boolean; any value other than 0 or 1 is
+// malformed (it would mean the stream is misaligned).
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < 1 {
+		r.fail("truncated bool")
+		return false
+	}
+	c := r.b[r.off]
+	if c > 1 {
+		r.fail("invalid bool byte 0x%02x", c)
+		return false
+	}
+	r.off++
+	return c == 1
+}
+
+// Count decodes a uvarint that callers will use as an element count for
+// a slice of elemSize-byte-minimum elements, validating it against the
+// remaining input so corrupt counts fail instead of allocating.
+func (r *Reader) Count(elemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.fail("count %d exceeds remaining input (%d bytes, >=%d each)", n, r.Remaining(), elemSize)
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,115 @@
+package binenc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, -1234567)
+	b = AppendVarint(b, math.MinInt64)
+	b = AppendFloat64(b, 0)
+	b = AppendFloat64(b, math.Copysign(0, -1))
+	b = AppendFloat64(b, 1e-300)
+	b = AppendFloat64(b, -math.MaxFloat64)
+	b = AppendString(b, "")
+	b = AppendString(b, "héllo\x00world")
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	r := NewReader(b)
+	if v := r.Uvarint(); v != 0 {
+		t.Errorf("uvarint 0: %d", v)
+	}
+	if v := r.Uvarint(); v != math.MaxUint64 {
+		t.Errorf("uvarint max: %d", v)
+	}
+	if v := r.Varint(); v != -1234567 {
+		t.Errorf("varint: %d", v)
+	}
+	if v := r.Varint(); v != math.MinInt64 {
+		t.Errorf("varint min: %d", v)
+	}
+	if v := r.Float64(); v != 0 || math.Signbit(v) {
+		t.Errorf("float 0: %v", v)
+	}
+	if v := r.Float64(); v != 0 || !math.Signbit(v) {
+		t.Errorf("float -0: %v signbit=%v", v, math.Signbit(v))
+	}
+	if v := r.Float64(); v != 1e-300 {
+		t.Errorf("float small: %v", v)
+	}
+	if v := r.Float64(); v != -math.MaxFloat64 {
+		t.Errorf("float large: %v", v)
+	}
+	if v := r.String(); v != "" {
+		t.Errorf("empty string: %q", v)
+	}
+	if v := r.String(); v != "héllo\x00world" {
+		t.Errorf("string: %q", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools did not round-trip")
+	}
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	// A truncated float latches an error; later reads stay zero and the
+	// error is the first one.
+	r := NewReader([]byte{1, 2, 3})
+	if v := r.Float64(); v != 0 {
+		t.Errorf("truncated float returned %v", v)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("no error on truncated float")
+	}
+	if v := r.Uvarint(); v != 0 {
+		t.Errorf("read after error returned %d", v)
+	}
+	if r.Err() != first {
+		t.Error("error was overwritten")
+	}
+}
+
+func TestStringLengthGuard(t *testing.T) {
+	// Length prefix claims 1000 bytes but only 2 remain.
+	b := AppendUvarint(nil, 1000)
+	b = append(b, 'h', 'i')
+	r := NewReader(b)
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Errorf("oversized string prefix accepted: %q err=%v", s, r.Err())
+	}
+}
+
+func TestCountGuard(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40)
+	r := NewReader(b)
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Errorf("absurd count accepted: %d err=%v", n, r.Err())
+	}
+
+	b = AppendUvarint(nil, 2)
+	b = AppendFloat64(b, 1)
+	b = AppendFloat64(b, 2)
+	r = NewReader(b)
+	if n := r.Count(8); n != 2 || r.Err() != nil {
+		t.Errorf("valid count rejected: %d err=%v", n, r.Err())
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	r := NewReader([]byte{7})
+	if r.Bool() || r.Err() == nil {
+		t.Error("bool byte 7 accepted")
+	}
+}

@@ -95,6 +95,23 @@ func BuildTracePartial(t *trace.Trace, k int, sketch bool) (*Partial, error) {
 	return mergeShardPartials(t.Meta, shards, sketch)
 }
 
+// BuildShardsPartial builds the merged partial aggregate of pre-split
+// shard sources — the out-of-core path: the durable storage engine
+// hands one Source per on-disk segment, so a trace larger than memory
+// is scanned segment-at-a-time across the CPUs without ever being
+// collected. Every shard must carry the full trace's metadata (the
+// merge contract trace.Split establishes); the merged result is
+// identical to a sequential BuildPartial over the concatenated shards.
+func BuildShardsPartial(meta trace.Meta, shards []trace.Source, sketch bool) (*Partial, error) {
+	if meta.Length <= 0 {
+		return nil, errNeedsLength()
+	}
+	if len(shards) == 0 {
+		return NewPartial(meta, sketch)
+	}
+	return mergeShardPartials(meta, shards, sketch)
+}
+
 // mergeShardPartials analyzes the shards on a worker pool bounded by
 // the CPU count and merges the per-shard partials in shard order.
 func mergeShardPartials(meta trace.Meta, shards []trace.Source, sketch bool) (*Partial, error) {

@@ -12,7 +12,11 @@ import (
 // thousands of jobs, a realistic interactive-analytics target.
 func benchServer(tb testing.TB, cfg Config) (*Server, *httptest.Server) {
 	tb.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { s.Close() })
 	tr := genTrace(tb, "CC-b", 1, 14*24*time.Hour)
 	if _, err := s.store.Put("bench", tr); err != nil {
 		tb.Fatal(err)
@@ -72,6 +76,74 @@ func BenchmarkServeReport(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			get(b, url)
+		}
+	})
+}
+
+// BenchmarkStoreColdReport is the durability trend datapoint: a cold
+// report request served from the in-memory ingest-time partial
+// ("memory") versus one served by a freshly restarted server from the
+// persisted partial snapshot ("disk") versus a restarted server with no
+// snapshot that must scan the segments out-of-core ("disk-scan"). The
+// first two should be near-identical — that gap is the cost of a
+// restart under the durable store — and the third bounds the worst
+// case. benchtrend -suite serve appends the numbers to BENCH_SERVE.json.
+func BenchmarkStoreColdReport(b *testing.B) {
+	b.Run("memory", func(b *testing.B) {
+		s, ts := benchServer(b, Config{})
+		url := ts.URL + "/v1/traces/bench/report"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+			b.StopTimer()
+			s.cache.Purge()
+			b.StartTimer()
+		}
+	})
+	restarted := func(b *testing.B, cfg Config) (*Server, *httptest.Server) {
+		b.Helper()
+		dir := b.TempDir()
+		cfg.DataDir = dir
+		s1, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := genTrace(b, "CC-b", 1, 14*24*time.Hour)
+		if _, err := s1.store.Put("bench", tr); err != nil {
+			b.Fatal(err)
+		}
+		if err := s1.Close(); err != nil {
+			b.Fatal(err)
+		}
+		s2, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s2.Close() })
+		ts := httptest.NewServer(s2.Handler())
+		b.Cleanup(ts.Close)
+		return s2, ts
+	}
+	b.Run("disk", func(b *testing.B) {
+		s, ts := restarted(b, Config{})
+		url := ts.URL + "/v1/traces/bench/report"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+			b.StopTimer()
+			s.cache.Purge()
+			b.StartTimer()
+		}
+	})
+	b.Run("disk-scan", func(b *testing.B) {
+		s, ts := restarted(b, Config{DisablePartials: true})
+		url := ts.URL + "/v1/traces/bench/report"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, url)
+			b.StopTimer()
+			s.cache.Purge() // drops the parked aggregate too
+			b.StartTimer()
 		}
 	})
 }

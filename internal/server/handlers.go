@@ -36,7 +36,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusInsufficientStorage
 	case errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
-	case errors.Is(err, errUnprocessable):
+	case errors.Is(err, errUnprocessable), errors.Is(err, ErrTooLarge):
 		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
@@ -169,12 +169,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
-	_, info, err := s.store.Get(r.PathValue("name"))
+	v, err := s.store.View(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, http.StatusOK, v.Info)
 }
 
 // handleDelete removes a trace and, when no other stored trace shares
@@ -221,17 +221,26 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() (
 // word list.
 //
 // The default mode computes nothing per job when it can avoid it: a
-// cold report finalizes the trace's frozen ingest-time partial
-// aggregate; when none applies (partials disabled, sketch=1, or a
-// trace the binner rejects) the jobs are scanned — shard-parallel
-// across shards=K shards (0 = one per CPU, 1 = sequential) — and the
-// scan's partial is parked in the cache's aggregate tier under the
+// cold report finalizes the trace's frozen partial aggregate — built at
+// ingest ("ingest-partial") or decoded from the durable snapshot after
+// a restart ("recovered-partial"). When none applies (partials
+// disabled, sketch=1, or a trace the binner rejects) the jobs are
+// scanned — a resident trace shard-parallel across shards=K shards
+// (0 = one per CPU, 1 = sequential; "scan"), a disk-resident trace
+// out-of-core with one shard per segment ("disk-scan") — and the scan's
+// partial is parked in the cache's aggregate tier under the
 // fingerprint, so report variants that differ only in finalization
-// (top=N) share it. shards never appears in the result-cache key: by
-// the merge contract the bytes are identical at any shard count. The
-// X-Analysis response header reports which path a MISS took.
+// (top=N) share it ("cached-partial"). shards never appears in the
+// result-cache key: by the merge contract the bytes are identical at
+// any shard count. The X-Analysis response header reports which path a
+// MISS took.
+//
+// full=1 needs random access (Table-2 clustering, path figures), so a
+// disk-resident trace is reloaded into the hot tier first; a trace
+// bigger than the whole tier cannot be, and such requests fail 422
+// while the streaming modes keep working.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	t, info, partial, err := s.store.Snapshot(r.PathValue("name"))
+	v, err := s.store.View(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -252,22 +261,39 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badReq("shards=%d out of range [0, 1024]", shards))
 		return
 	}
-	key := fmt.Sprintf("%s|report|full=%t|sketch=%t|top=%d", info.Fingerprint, full, sketch, top)
+	key := fmt.Sprintf("%s|report|full=%t|sketch=%t|top=%d", v.Info.Fingerprint, full, sketch, top)
 	s.serveCached(w, key, func() ([]byte, error) {
 		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch, Shards: shards}
 		var rep *core.Report
 		var err error
 		switch {
 		case full:
+			t := v.Trace
+			if t == nil {
+				if t, _, err = s.store.Get(v.Info.Name); err != nil {
+					return nil, err
+				}
+			}
 			w.Header().Set("X-Analysis", "full")
 			rep, err = core.Analyze(t, opts)
-		case partial != nil && partial.Sketch() == sketch:
-			w.Header().Set("X-Analysis", "ingest-partial")
-			rep, err = partial.Report(top)
+		case v.Partial != nil && v.Partial.Sketch() == sketch:
+			if v.Recovered {
+				w.Header().Set("X-Analysis", "recovered-partial")
+			} else {
+				w.Header().Set("X-Analysis", "ingest-partial")
+			}
+			rep, err = v.Partial.Report(top)
 		default:
-			aggKey := fmt.Sprintf("%s|partial|sketch=%t", info.Fingerprint, sketch)
-			v, cached, aggErr := s.cache.DoAggregate(aggKey, func() (any, error) {
-				return core.BuildTracePartial(t, shards, sketch)
+			aggKey := fmt.Sprintf("%s|partial|sketch=%t", v.Info.Fingerprint, sketch)
+			miss := "scan"
+			av, cached, aggErr := s.cache.DoAggregate(aggKey, func() (any, error) {
+				if v.Trace != nil {
+					return core.BuildTracePartial(v.Trace, shards, sketch)
+				}
+				// Disk-resident: scan the segments out-of-core, one
+				// shard per segment, without materializing the trace.
+				miss = "disk-scan"
+				return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.Shards(), sketch)
 			})
 			if aggErr != nil {
 				return nil, fmt.Errorf("%w: %v", errUnprocessable, aggErr)
@@ -275,9 +301,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			if cached {
 				w.Header().Set("X-Analysis", "cached-partial")
 			} else {
-				w.Header().Set("X-Analysis", "scan")
+				w.Header().Set("X-Analysis", miss)
 			}
-			rep, err = v.(*core.Partial).Report(top)
+			rep, err = av.(*core.Partial).Report(top)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)

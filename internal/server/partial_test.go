@@ -127,7 +127,7 @@ func TestReportShardsParamAgreement(t *testing.T) {
 // off, so reports exercise the scan + aggregate-tier path.
 func httptestServerNoPartials(t testing.TB) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{DisablePartials: true})
+	s := mustNew(t, Config{DisablePartials: true})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -1,13 +1,18 @@
 package server
 
 import (
+	"fmt"
 	"log"
 	"net/http"
+
+	"repro/internal/storage"
 )
 
 // Config sizes a Server.
 type Config struct {
 	// MaxTraces / MaxTotalJobs bound the trace store (zero: defaults).
+	// With DataDir set, MaxTotalJobs bounds only the in-memory hot tier:
+	// bigger uploads spill to disk instead of being rejected.
 	MaxTraces    int
 	MaxTotalJobs int
 	// CacheEntries bounds the result cache (zero: default).
@@ -19,9 +24,19 @@ type Config struct {
 	MaxUploadBytes int64
 	// DisablePartials turns off ingest-time partial aggregation: stored
 	// traces then carry no precomputed aggregate (saving ~24 B/job of
-	// heap) and cold reports scan the jobs, shard-parallel when the
-	// request sets shards=K.
+	// heap) and cold reports scan the stored jobs, shard-parallel when
+	// the request sets shards=K.
 	DisablePartials bool
+	// DataDir enables the durable storage engine rooted there: traces
+	// are written through to checksummed on-disk segments with partial
+	// aggregates persisted alongside, recovered (and verified) at
+	// startup, and served out-of-core when they exceed the hot tier.
+	// Empty keeps the pre-durability behavior: memory only, nothing
+	// survives a restart.
+	DataDir string
+	// SegmentJobs caps jobs per on-disk segment file (zero: the storage
+	// engine's default). Segments are the out-of-core sharding unit.
+	SegmentJobs int
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 }
@@ -39,7 +54,7 @@ const DefaultMaxUploadBytes = 1 << 30
 //	GET    /v1/traces                   list stored traces
 //	POST   /v1/traces/{name}            streaming JSONL ingest
 //	GET    /v1/traces/{name}            one trace's identity
-//	DELETE /v1/traces/{name}            drop a trace
+//	DELETE /v1/traces/{name}            drop a trace (and its segments)
 //	GET    /v1/traces/{name}/report     the study's figures/tables (cached)
 //	GET    /v1/traces/{name}/synth      SWIM synthesis + fidelity (cached)
 //	GET    /v1/traces/{name}/replay     simulated replay metrics (cached)
@@ -53,10 +68,14 @@ type Server struct {
 	mux       *http.ServeMux
 	mw        *middleware
 	maxUpload int64
+	backing   *storage.Store
+	recovered []TraceInfo
 }
 
-// New assembles a server.
-func New(cfg Config) *Server {
+// New assembles a server. With cfg.DataDir set it opens (creating if
+// needed) and recovers the durable store first; recovery results are
+// logged through cfg.Logger and available via Recovered.
+func New(cfg Config) (*Server, error) {
 	maxUpload := cfg.MaxUploadBytes
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUploadBytes
@@ -72,6 +91,21 @@ func New(cfg Config) *Server {
 	if cfg.DisablePartials {
 		s.store.DisablePartials()
 	}
+	if cfg.DataDir != "" {
+		backing, rec, err := storage.Open(cfg.DataDir, storage.Options{SegmentJobs: cfg.SegmentJobs})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening data dir: %w", err)
+		}
+		s.backing = backing
+		s.store.AttachBacking(backing, rec.Traces)
+		s.recovered = s.store.List()
+		if cfg.Logger != nil {
+			for _, d := range rec.Dropped {
+				cfg.Logger.Printf("recovery dropped trace %q: %s", d.Name, d.Reason)
+			}
+			cfg.Logger.Printf("recovered %d traces from %s", len(rec.Traces), cfg.DataDir)
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
@@ -84,13 +118,28 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler with middleware applied.
 func (s *Server) Handler() http.Handler {
 	return s.mw.wrap(s.mux)
 }
+
+// Close flushes nothing — every durable commit syncs before it returns
+// — but closes the storage engine so late writers fail fast instead of
+// racing a shutdown. Call after the HTTP server has drained (its
+// Shutdown waits for in-flight uploads, whose manifests therefore
+// commit before this runs).
+func (s *Server) Close() error {
+	if s.backing != nil {
+		return s.backing.Close()
+	}
+	return nil
+}
+
+// Recovered lists the traces the durable store restored at startup.
+func (s *Server) Recovered() []TraceInfo { return s.recovered }
 
 // Store exposes the trace store (for preloading at startup and tests).
 func (s *Server) Store() *Store { return s.store }

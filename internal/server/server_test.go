@@ -14,11 +14,28 @@ import (
 	"repro/internal/trace"
 )
 
+// mustNew builds a Server, failing the test on configuration errors.
+func mustNew(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
 // newTestServer returns a started httptest server plus the Server for
 // white-box assertions.
 func newTestServer(t testing.TB) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{})
+	return newTestServerCfg(t, Config{})
+}
+
+// newTestServerCfg is newTestServer with a custom configuration.
+func newTestServerCfg(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -337,7 +354,7 @@ func TestGenerateJobLifecycle(t *testing.T) {
 // never fit the store fails mid-stream (bounded heap) instead of
 // materializing the whole trace first.
 func TestGenerateBoundedByStoreBudget(t *testing.T) {
-	s := New(Config{MaxTotalJobs: 50})
+	s := mustNew(t, Config{MaxTotalJobs: 50})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/generate", "application/json",
@@ -366,7 +383,7 @@ func TestGenerateBoundedByStoreBudget(t *testing.T) {
 // TestIngestByteLimit: a body over MaxUploadBytes is rejected even if
 // it never contains a newline.
 func TestIngestByteLimit(t *testing.T) {
-	s := New(Config{MaxUploadBytes: 1024})
+	s := mustNew(t, Config{MaxUploadBytes: 1024})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/traces/x", "application/jsonl",
@@ -397,7 +414,7 @@ func TestReplayStragglersAlone(t *testing.T) {
 
 // TestPanicRecovery: a handler panic becomes a 500, not a dead server.
 func TestPanicRecovery(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -417,7 +434,7 @@ func TestPanicRecovery(t *testing.T) {
 }
 
 func TestStoreFullOverHTTP(t *testing.T) {
-	s := New(Config{MaxTotalJobs: 10})
+	s := mustNew(t, Config{MaxTotalJobs: 10})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	tr := genTrace(t, "CC-b", 1, 25*time.Hour)

@@ -1,5 +1,5 @@
 // Package server is the serving layer: a long-running HTTP/JSON service
-// that owns named workload traces in a concurrent in-memory store and
+// that owns named workload traces in a hybrid memory/disk store and
 // answers the study's analytics interactively — the "interactive
 // analytical processing" usage mode the paper argues MapReduce clusters
 // evolved into, applied to the analysis pipeline itself. Reports,
@@ -9,6 +9,7 @@
 package server
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"io"
@@ -16,15 +17,28 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
 // ErrStoreFull is returned when an ingest would exceed the store's
-// configured memory bounds (trace count or total job count).
+// configured memory bounds (trace count, or total job count in a store
+// with no disk backing to spill to).
 var ErrStoreFull = errors.New("server: trace store full")
 
 // ErrNotFound is returned for operations on unknown trace names.
 var ErrNotFound = errors.New("server: no such trace")
+
+// ErrTooLarge is returned when a request needs a disk-resident trace
+// materialized in memory (full reports, synthesis, replay) but the
+// trace alone exceeds the in-memory job budget; such traces are served
+// by the out-of-core streaming analyses only.
+var ErrTooLarge = errors.New("server: trace exceeds the in-memory budget")
+
+// errUnsortedSpill rejects the one upload shape the spill path cannot
+// take: jobs out of submit order in a stream too large to sort in
+// memory (the engine has no external sort).
+var errUnsortedSpill = errors.New("server: upload is not in submit order and exceeds the in-memory budget (sort the stream before uploading)")
 
 // TraceInfo is the stored identity of one trace: the name it is served
 // under, its content fingerprint, and its Table-1 summary.
@@ -40,37 +54,71 @@ type TraceInfo struct {
 
 // entry pairs an immutable trace snapshot with its identity. The *Trace
 // (and every Job it points to) is never mutated after insertion, which
-// is what makes lock-free reads of a snapshot safe: Put swaps whole
+// is what makes lock-free reads of a snapshot safe: writers swap whole
 // entries under the write lock, so a reader holding a snapshot keeps
 // analyzing exactly the version it resolved, untouched by concurrent
 // re-ingests of the same name.
+//
+// In a disk-backed store an entry has two tiers: stored is the durable
+// generation on disk (always present), t is the in-memory hot copy
+// (nil when the entry has been spilled or evicted — reads then stream
+// from the segments). In a memory-only store t is always present and
+// stored is nil.
 type entry struct {
 	t    *trace.Trace
 	info TraceInfo
-	// partial is the frozen ingest-time aggregate: an exact-mode
-	// core.Partial observed while (or right after) the trace was
-	// ingested, so a first cold report finalizes precomputed section
+	// partial is the frozen aggregate: an exact-mode core.Partial
+	// observed at ingest (or decoded from the on-disk snapshot at
+	// recovery), so a cold report finalizes precomputed section
 	// aggregates instead of re-reading every job. Never mutated after
 	// insertion — Partial.Report is read-only — and nil when partials
 	// are disabled or the trace cannot be binned (shorter than two
-	// hours). Costs ~24 B per job on top of the stored trace.
+	// hours). Costs ~24 B per job of heap.
 	partial *core.Partial
+	// recovered marks a partial decoded from a persisted snapshot
+	// rather than built by this process — surfaced in the X-Analysis
+	// header so restart round-trips are observable.
+	recovered bool
+	// stored is the committed on-disk generation (nil without backing).
+	stored *storage.Trace
+	// elem is the entry's position in the residency LRU while t != nil.
+	elem *list.Element
 }
 
-// Store is the concurrent in-memory trace store. Memory is bounded by
-// two knobs: the number of named traces and the total job count across
-// them; ingests that would exceed either are rejected with ErrStoreFull
-// rather than silently evicting data a client may be querying.
+// Store is the concurrent trace store. Without disk backing it is
+// memory-only and memory is bounded by two knobs — the number of named
+// traces and the total job count across them — with ingests beyond the
+// bounds rejected (ErrStoreFull) rather than silently evicting data a
+// client may be querying.
+//
+// With backing attached the job-count knob bounds only the in-memory
+// hot tier: every trace is written through to disk, uploads that
+// exceed the remaining hot budget spill to disk instead of being
+// rejected, and hot-tier overflow evicts the least-recently-used
+// resident copy (the segments remain, so eviction costs a reload, not
+// data). DELETE garbage-collects the on-disk segments.
 type Store struct {
-	mu           sync.RWMutex
+	mu sync.RWMutex
+	// lruMu serializes recency touches from concurrent readers. Reads
+	// resolve entries under mu.RLock for concurrency; the only mutation
+	// they perform is a MoveToFront, guarded here. Structural list
+	// changes (push, remove, evict) happen under mu's write lock, which
+	// excludes all readers, and take lruMu too so the two never
+	// interleave. Lock order: mu before lruMu.
+	lruMu        sync.Mutex
 	entries      map[string]*entry
-	totalJobs    int
+	lru          *list.List // resident entries; front = most recently used
+	residentJobs int
 	maxTraces    int
 	maxTotalJobs int
 	noPartials   bool
+	backing      *storage.Store
 
-	ingests  uint64
-	rejected uint64
+	ingests   uint64
+	rejected  uint64
+	spills    uint64
+	evictions uint64
+	reloads   uint64
 }
 
 // DefaultMaxTraces and DefaultMaxTotalJobs bound the store when the
@@ -81,7 +129,8 @@ const (
 	DefaultMaxTotalJobs = 2_000_000
 )
 
-// NewStore creates a store with the given bounds (zero: defaults).
+// NewStore creates a memory-only store with the given bounds (zero:
+// defaults). Attach disk backing with AttachBacking before serving.
 func NewStore(maxTraces, maxTotalJobs int) *Store {
 	if maxTraces <= 0 {
 		maxTraces = DefaultMaxTraces
@@ -91,8 +140,41 @@ func NewStore(maxTraces, maxTotalJobs int) *Store {
 	}
 	return &Store{
 		entries:      make(map[string]*entry),
+		lru:          list.New(),
 		maxTraces:    maxTraces,
 		maxTotalJobs: maxTotalJobs,
+	}
+}
+
+// AttachBacking wires a durable storage engine under the store and
+// registers its recovered traces as disk-resident entries, loading each
+// one's persisted partial aggregate (unless partials are disabled) so
+// the first cold report after a restart finalizes on-disk state instead
+// of rescanning jobs. Call before the store starts serving.
+func (s *Store) AttachBacking(b *storage.Store, recovered []*storage.Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backing = b
+	for _, st := range recovered {
+		e := &entry{
+			stored: st,
+			info: TraceInfo{
+				Name:        st.Name(),
+				Fingerprint: st.Fingerprint(),
+				Workload:    st.Meta().Name,
+				Machines:    st.Meta().Machines,
+				LengthMS:    st.Meta().Length.Milliseconds(),
+				Jobs:        st.Jobs(),
+				BytesMoved:  st.BytesMoved(),
+			},
+		}
+		if !s.noPartials {
+			if p, err := st.LoadPartial(); err == nil && p != nil {
+				e.partial = p
+				e.recovered = true
+			}
+		}
+		s.entries[st.Name()] = e
 	}
 }
 
@@ -138,6 +220,12 @@ func (s *Store) Put(name string, t *trace.Trace) (TraceInfo, error) {
 // every stored trace carries one. Partial construction is best-effort:
 // a trace too short for hourly binning stores with a nil partial and
 // reports fall back to scanning.
+//
+// With backing, the trace is written through: segments and snapshot
+// are staged and fsynced outside the store lock (the expensive part),
+// and only the atomic manifest commit happens inside it, ordered with
+// the map insert so the disk and memory views can never disagree about
+// which upload won a race on one name.
 func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, error) {
 	if name == "" {
 		return TraceInfo{}, fmt.Errorf("server: empty trace name")
@@ -176,33 +264,126 @@ func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, er
 		BytesMoved:  int64(sum.BytesMoved),
 	}
 
+	var sealed *storage.Sealed
+	if s.backing != nil {
+		sealed, err = s.backing.Stage(name, t, fp, p)
+		if err != nil {
+			return TraceInfo{}, fmt.Errorf("server: persisting %q: %w", name, err)
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	oldJobs := 0
-	old, replacing := s.entries[name]
-	if replacing {
-		oldJobs = old.info.Jobs
-	}
-	if !replacing && len(s.entries) >= s.maxTraces {
+	if err := s.admitLocked(name, t.Len()); err != nil {
 		s.rejected++
-		return TraceInfo{}, fmt.Errorf("%w: %d traces (max %d)", ErrStoreFull, len(s.entries), s.maxTraces)
+		if sealed != nil {
+			sealed.Abort()
+		}
+		return TraceInfo{}, err
 	}
-	if newTotal := s.totalJobs - oldJobs + t.Len(); newTotal > s.maxTotalJobs {
-		s.rejected++
-		return TraceInfo{}, fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
+	var stored *storage.Trace
+	if sealed != nil {
+		stored, err = sealed.Commit()
+		if err != nil {
+			sealed.Abort()
+			return TraceInfo{}, fmt.Errorf("server: committing %q: %w", name, err)
+		}
 	}
-	s.entries[name] = &entry{t: t, info: info, partial: p}
-	s.totalJobs += t.Len() - oldJobs
+	e := &entry{t: t, info: info, partial: p, stored: stored}
+	s.installLocked(name, e)
 	s.ingests++
 	return info, nil
 }
 
+// admitLocked re-checks the admission bounds under the write lock for a
+// resident insert of jobs under name. With backing, only the trace
+// count can reject — job overflow evicts instead.
+func (s *Store) admitLocked(name string, jobs int) error {
+	old, replacing := s.entries[name]
+	if !replacing && len(s.entries) >= s.maxTraces {
+		return fmt.Errorf("%w: %d traces (max %d)", ErrStoreFull, len(s.entries), s.maxTraces)
+	}
+	if s.backing == nil {
+		oldJobs := 0
+		if replacing {
+			oldJobs = old.info.Jobs
+		}
+		if newTotal := s.residentJobs - oldJobs + jobs; newTotal > s.maxTotalJobs {
+			return fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
+		}
+	}
+	return nil
+}
+
+// installLocked replaces name's entry with e, maintaining the residency
+// accounting and LRU, and (with backing) evicting least-recently-used
+// resident copies until the hot tier fits its budget again.
+func (s *Store) installLocked(name string, e *entry) {
+	if old, ok := s.entries[name]; ok {
+		s.dropResidencyLocked(old)
+	}
+	s.entries[name] = e
+	if e.t != nil {
+		s.residentJobs += e.info.Jobs
+		s.lruMu.Lock()
+		e.elem = s.lru.PushFront(e)
+		s.lruMu.Unlock()
+	}
+	if s.backing != nil {
+		s.evictToFitLocked()
+	}
+}
+
+// dropResidencyLocked removes an entry's hot copy from the accounting
+// (the entry itself stays wherever it is referenced).
+func (s *Store) dropResidencyLocked(e *entry) {
+	if e.t == nil {
+		return
+	}
+	s.residentJobs -= e.info.Jobs
+	s.lruMu.Lock()
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	s.lruMu.Unlock()
+	e.t = nil
+}
+
+// evictToFitLocked sheds least-recently-used hot copies until the
+// resident tier fits the job budget. Eviction spills nothing — every
+// entry with a hot copy already has its segments on disk — it only
+// drops the in-memory jobs.
+func (s *Store) evictToFitLocked() {
+	for s.residentJobs > s.maxTotalJobs {
+		s.lruMu.Lock()
+		back := s.lru.Back()
+		s.lruMu.Unlock()
+		if back == nil {
+			return
+		}
+		s.dropResidencyLocked(back.Value.(*entry))
+		s.evictions++
+	}
+}
+
+// touch marks a resident entry recently used. Callers hold mu (either
+// mode); lruMu serializes the list move against concurrent readers.
+func (s *Store) touch(e *entry) {
+	s.lruMu.Lock()
+	if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.lruMu.Unlock()
+}
+
 // Ingest drains a job stream into the store under name. The stream is
 // bounded as it is read: an upload that would not fit the *remaining*
-// job budget (counting the trace it would replace as freed) is rejected
-// mid-stream, before it can balloon the heap. The budget is sampled at
-// ingest start, so concurrent uploads may each buffer up to the same
-// remainder; Put re-checks the bound authoritatively under the lock.
+// hot-tier job budget (counting the trace it would replace as freed)
+// is, without backing, rejected mid-stream before it can balloon the
+// heap — and, with backing, switched to the spill path: the buffered
+// jobs and the rest of the stream go straight to disk segments, the
+// aggregate keeps building inline, and the trace is served out-of-core.
 //
 // When the upload header carries complete metadata, the partial
 // aggregate is built inline as the jobs decode — the analysis work of a
@@ -210,6 +391,9 @@ func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, er
 // order-independent, so observing the pre-sort upload order produces
 // exactly the aggregate of the normalized trace.
 func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
+	if name == "" {
+		return TraceInfo{}, fmt.Errorf("server: empty trace name")
+	}
 	budget := s.RemainingBudget(name)
 	meta := src.Meta()
 	var p *core.Partial
@@ -229,6 +413,9 @@ func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
 			return TraceInfo{}, err
 		}
 		if t.Len() >= budget {
+			if s.backing != nil {
+				return s.spillIngest(name, t, j, src, p)
+			}
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
@@ -249,59 +436,119 @@ func (s *Store) Ingest(name string, src trace.Source) (TraceInfo, error) {
 func (s *Store) precheck(name string, jobs int) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	oldJobs := 0
-	_, replacing := s.entries[name]
-	if replacing {
-		oldJobs = s.entries[name].info.Jobs
-	}
-	if !replacing && len(s.entries) >= s.maxTraces {
-		return fmt.Errorf("%w: %d traces (max %d)", ErrStoreFull, len(s.entries), s.maxTraces)
-	}
-	if newTotal := s.totalJobs - oldJobs + jobs; newTotal > s.maxTotalJobs {
-		return fmt.Errorf("%w: %d total jobs would exceed max %d", ErrStoreFull, newTotal, s.maxTotalJobs)
-	}
-	return nil
+	return s.admitLocked(name, jobs)
 }
 
-// RemainingBudget reports how many more jobs the store could accept
-// under name right now, counting the trace that name currently holds as
-// freed (a Put replaces it). It is a point-in-time sample: writers that
-// buffer against it must still expect Put's authoritative re-check.
+// RemainingBudget reports how many more jobs the hot tier could accept
+// under name right now, counting the resident copy that name currently
+// holds as freed (a Put replaces it). It is a point-in-time sample:
+// writers that buffer against it must still expect the authoritative
+// re-check at install time.
 func (s *Store) RemainingBudget(name string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	budget := s.maxTotalJobs - s.totalJobs
-	if e, ok := s.entries[name]; ok {
+	budget := s.maxTotalJobs - s.residentJobs
+	if e, ok := s.entries[name]; ok && e.t != nil {
 		budget += e.info.Jobs
 	}
 	return budget
 }
 
-// Get resolves name to its current immutable snapshot. The returned
-// trace must not be mutated.
-func (s *Store) Get(name string) (*trace.Trace, TraceInfo, error) {
-	t, info, _, err := s.Snapshot(name)
-	return t, info, err
+// View is one consistent read of an entry: identity, the hot copy (nil
+// when the trace lives only on disk), the frozen partial aggregate, and
+// the durable handle. Trace and partial come from one entry: a
+// concurrent re-ingest of the name cannot pair this trace with another
+// upload's aggregate.
+type View struct {
+	Trace *trace.Trace
+	Info  TraceInfo
+	// Partial is the frozen aggregate (nil when unavailable).
+	Partial *core.Partial
+	// Recovered marks a partial decoded from the on-disk snapshot at
+	// startup rather than built by this process.
+	Recovered bool
+	// Stored is the durable generation (nil in memory-only stores).
+	Stored *storage.Trace
 }
 
-// Snapshot resolves name to its current immutable snapshot together
-// with the frozen ingest-time partial aggregate (nil when unavailable).
-// Trace and partial come from one consistent entry: a concurrent
-// re-ingest of the name cannot pair this trace with another upload's
-// aggregate.
-func (s *Store) Snapshot(name string) (*trace.Trace, TraceInfo, *core.Partial, error) {
+// View resolves name. Resident entries of a disk-backed store are
+// marked recently used; reads stay on the shared lock so concurrent
+// report traffic never serializes on the store.
+func (s *Store) View(name string) (View, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.entries[name]
 	if !ok {
-		return nil, TraceInfo{}, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return View{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return e.t, e.info, e.partial, nil
+	if e.t != nil && s.backing != nil {
+		s.touch(e)
+	}
+	return View{Trace: e.t, Info: e.info, Partial: e.partial, Recovered: e.recovered, Stored: e.stored}, nil
+}
+
+// Snapshot resolves name to its current immutable snapshot together
+// with the frozen partial aggregate (nil when unavailable). The trace
+// is nil when the entry is disk-resident; use Get to materialize it.
+func (s *Store) Snapshot(name string) (*trace.Trace, TraceInfo, *core.Partial, error) {
+	v, err := s.View(name)
+	return v.Trace, v.Info, v.Partial, err
+}
+
+// Get resolves name to an immutable in-memory snapshot, reloading a
+// disk-resident trace into the hot tier if needed (evicting colder
+// residents to make room). It fails with ErrTooLarge when the trace
+// alone exceeds the hot tier's job budget — such traces are served by
+// the out-of-core paths only. The returned trace must not be mutated.
+func (s *Store) Get(name string) (*trace.Trace, TraceInfo, error) {
+	v, err := s.View(name)
+	if err != nil {
+		return nil, TraceInfo{}, err
+	}
+	if v.Trace != nil {
+		return v.Trace, v.Info, nil
+	}
+	if v.Info.Jobs > s.maxTotalJobs {
+		return nil, TraceInfo{}, fmt.Errorf("%w: %q holds %d jobs, budget is %d",
+			ErrTooLarge, name, v.Info.Jobs, s.maxTotalJobs)
+	}
+	// Load outside the lock; admit under it. A concurrent re-ingest may
+	// have replaced the entry meanwhile — then the load is discarded.
+	tr, err := v.Stored.Collect()
+	if err != nil {
+		return nil, TraceInfo{}, fmt.Errorf("server: reloading %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, TraceInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if e.info.Fingerprint != v.Info.Fingerprint {
+		// Replaced while loading; serve the loaded snapshot we have (it
+		// is a consistent version) without installing it.
+		return tr, v.Info, nil
+	}
+	if e.t == nil {
+		e.t = tr
+		s.residentJobs += e.info.Jobs
+		e.elem = s.lru.PushFront(e)
+		s.reloads++
+		s.evictToFitLocked()
+	}
+	return e.t, e.info, nil
 }
 
 // Delete removes name, reporting the deleted identity and whether the
 // trace existed — the identity is what lets the caller invalidate
-// fingerprint-keyed caches.
+// fingerprint-keyed caches. With backing, the on-disk segments are
+// garbage-collected under the same lock that orders commits, so a
+// concurrent re-ingest of the name either commits before the delete
+// (and is deleted with it) or after it (and survives) — the directory
+// can never be removed out from under an entry the store still serves.
+// The removal itself is best-effort: the in-memory removal wins even if
+// the directory removal fails (a restart would then resurrect the
+// trace, which is the safe direction).
 func (s *Store) Delete(name string) (TraceInfo, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -309,8 +556,11 @@ func (s *Store) Delete(name string) (TraceInfo, bool) {
 	if !ok {
 		return TraceInfo{}, false
 	}
-	s.totalJobs -= e.info.Jobs
+	s.dropResidencyLocked(e)
 	delete(s.entries, name)
+	if s.backing != nil && e.stored != nil {
+		_ = s.backing.Delete(name)
+	}
 	return e.info, true
 }
 
@@ -341,35 +591,51 @@ func (s *Store) List() []TraceInfo {
 	return out
 }
 
-// StoreStats is the store's occupancy and lifetime counters. Partials
-// counts stored traces carrying a frozen ingest-time aggregate.
+// StoreStats is the store's occupancy and lifetime counters. TotalJobs
+// counts jobs across every stored trace; ResidentJobs counts the hot
+// tier only (they differ once traces spill or evict to disk). Partials
+// counts traces carrying a frozen aggregate; DiskTraces and DiskBytes
+// describe the durable tier.
 type StoreStats struct {
 	Traces       int    `json:"traces"`
 	TotalJobs    int    `json:"total_jobs"`
+	ResidentJobs int    `json:"resident_jobs"`
 	Partials     int    `json:"partials"`
 	MaxTraces    int    `json:"max_traces"`
 	MaxTotalJobs int    `json:"max_total_jobs"`
 	Ingests      uint64 `json:"ingests"`
 	Rejected     uint64 `json:"rejected"`
+	DiskTraces   int    `json:"disk_traces,omitempty"`
+	DiskBytes    int64  `json:"disk_bytes,omitempty"`
+	Spills       uint64 `json:"spills,omitempty"`
+	Evictions    uint64 `json:"evictions,omitempty"`
+	Reloads      uint64 `json:"reloads,omitempty"`
 }
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() StoreStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	partials := 0
-	for _, e := range s.entries {
-		if e.partial != nil {
-			partials++
-		}
-	}
-	return StoreStats{
+	st := StoreStats{
 		Traces:       len(s.entries),
-		TotalJobs:    s.totalJobs,
-		Partials:     partials,
+		ResidentJobs: s.residentJobs,
 		MaxTraces:    s.maxTraces,
 		MaxTotalJobs: s.maxTotalJobs,
 		Ingests:      s.ingests,
 		Rejected:     s.rejected,
+		Spills:       s.spills,
+		Evictions:    s.evictions,
+		Reloads:      s.reloads,
 	}
+	for _, e := range s.entries {
+		st.TotalJobs += e.info.Jobs
+		if e.partial != nil {
+			st.Partials++
+		}
+		if e.stored != nil {
+			st.DiskTraces++
+			st.DiskBytes += e.stored.SizeBytes()
+		}
+	}
+	return st
 }

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/binenc"
+)
+
+// TestExactSumEncodeExact: the decoded accumulator carries the exact
+// expansion state — same Sum(), and same future behavior when more
+// values are added after the round-trip.
+func TestExactSumEncodeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s ExactSum
+	for i := 0; i < 2000; i++ {
+		s.Add(math.Ldexp(rng.Float64()-0.5, rng.Intn(120)-60))
+	}
+
+	r := binenc.NewReader(s.AppendBinary(nil))
+	got := ReadExactSum(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+	if !reflect.DeepEqual(s.partials, got.partials) {
+		t.Fatal("expansion partials did not round-trip verbatim")
+	}
+	if s.Sum() != got.Sum() {
+		t.Fatalf("sum drifted: %v vs %v", s.Sum(), got.Sum())
+	}
+	// Future adds behave identically.
+	s.Add(1e-9)
+	got.Add(1e-9)
+	if s.Sum() != got.Sum() {
+		t.Fatalf("post-round-trip add diverged: %v vs %v", s.Sum(), got.Sum())
+	}
+}
+
+func TestExactSumEncodeEmpty(t *testing.T) {
+	var s ExactSum
+	r := binenc.NewReader(s.AppendBinary(nil))
+	got := ReadExactSum(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sum() != 0 || len(got.partials) != 0 {
+		t.Fatalf("empty sum round-trip: %+v", got)
+	}
+}
+
+// TestQuantileSketchEncodeExact: a decoded sketch answers every
+// Distribution query identically to the original.
+func TestQuantileSketchEncodeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewQuantileSketch(0)
+	for i := 0; i < 5000; i++ {
+		s.Observe(math.Pow(10, rng.Float64()*12))
+	}
+	s.Observe(0) // zero bucket
+
+	r := binenc.NewReader(s.AppendBinary(nil))
+	got := ReadQuantileSketch(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+	if got.Len() != s.Len() || got.Min() != s.Min() || got.Max() != s.Max() {
+		t.Fatalf("len/min/max drifted: %d/%v/%v vs %d/%v/%v",
+			got.Len(), got.Min(), got.Max(), s.Len(), s.Min(), s.Max())
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if a, b := s.Quantile(q), got.Quantile(q); a != b {
+			t.Errorf("Quantile(%g): %v vs %v", q, a, b)
+		}
+	}
+	for _, x := range []float64{0.5, 1, 100, 1e6, 1e11} {
+		if a, b := s.P(x), got.P(x); a != b {
+			t.Errorf("P(%g): %v vs %v", x, a, b)
+		}
+	}
+	// And it still merges: layout survived.
+	other := NewQuantileSketch(0)
+	other.Observe(42)
+	if err := got.Merge(other); err != nil {
+		t.Fatalf("decoded sketch cannot merge: %v", err)
+	}
+}
+
+func TestReadLogHistogramCorrupt(t *testing.T) {
+	h := NewLogHistogram(8, 0, 4)
+	h.Observe(123)
+	b := h.AppendBinary(nil)
+	r := binenc.NewReader(b[:len(b)-1])
+	ReadLogHistogram(r)
+	if r.Err() == nil {
+		t.Error("truncated histogram decoded without error")
+	}
+}

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The crash-safety regression suite: simulate torn writes the way a
+// power cut leaves them — truncated segments, truncated or missing
+// manifests, stray uncommitted generations — and assert recovery drops
+// exactly the damaged trace while intact traces stay serveable.
+
+// corruptibleStore writes two traces and returns the root plus the
+// victim's directory.
+func corruptibleStore(t *testing.T) (root, victimDir string) {
+	t.Helper()
+	root = t.TempDir()
+	s, _ := openStore(t, root, 200)
+	writeTrace(t, s, "victim", genTrace(t, "CC-b", 1, 25*time.Hour))
+	writeTrace(t, s, "intact", genTrace(t, "CC-e", 2, 25*time.Hour))
+	s.Close()
+	enc, err := encodeName("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, filepath.Join(root, "traces", enc)
+}
+
+// reopenExpectingDrop reopens the store and asserts "victim" was
+// dropped for the expected reason fragment while "intact" survived and
+// still verifies end to end.
+func reopenExpectingDrop(t *testing.T, root, reasonFragment string) {
+	t.Helper()
+	s, rec := openStore(t, root, 200)
+	defer s.Close()
+	if len(rec.Traces) != 1 || rec.Traces[0].Name() != "intact" {
+		names := make([]string, 0, len(rec.Traces))
+		for _, tr := range rec.Traces {
+			names = append(names, tr.Name())
+		}
+		t.Fatalf("recovered %v, want exactly [intact]", names)
+	}
+	if len(rec.Dropped) != 1 || rec.Dropped[0].Name != "victim" {
+		t.Fatalf("dropped %+v, want exactly victim", rec.Dropped)
+	}
+	if !strings.Contains(rec.Dropped[0].Reason, reasonFragment) {
+		t.Errorf("drop reason %q does not mention %q", rec.Dropped[0].Reason, reasonFragment)
+	}
+	// The victim's directory is gone — recovery cleans, not quarantines.
+	enc, _ := encodeName("victim")
+	if _, err := os.Stat(filepath.Join(root, "traces", enc)); !os.IsNotExist(err) {
+		t.Errorf("victim directory still present after recovery (err=%v)", err)
+	}
+	// The survivor still reads back in full.
+	intact := rec.Traces[0]
+	tr, err := intact.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != intact.Jobs() {
+		t.Errorf("intact trace reads %d jobs, manifest says %d", tr.Len(), intact.Jobs())
+	}
+	if p, err := intact.LoadPartial(); err != nil || p == nil {
+		t.Errorf("intact trace's partial did not survive: %v", err)
+	}
+}
+
+// mustOneSegment returns the path of one committed segment file.
+func mustOneSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "g*-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segment files in %s (%v)", dir, err)
+	}
+	return matches[0]
+}
+
+func truncateFile(t *testing.T, path string, toFraction float64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(float64(fi.Size())*toFraction)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryDropsTornSegment: a segment truncated mid-file (the
+// classic torn tail) drops the whole trace cleanly.
+func TestRecoveryDropsTornSegment(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	truncateFile(t, mustOneSegment(t, victim), 0.6)
+	reopenExpectingDrop(t, root, "torn trace")
+}
+
+// TestRecoveryDropsCorruptSegment: same size, flipped bytes — the CRC
+// catches silent corruption, not just truncation.
+func TestRecoveryDropsCorruptSegment(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	seg := mustOneSegment(t, victim)
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenExpectingDrop(t, root, "CRC mismatch")
+}
+
+// TestRecoveryDropsTornManifest: a manifest truncated mid-write (as if
+// the rename protocol had been violated by a crash inside a non-atomic
+// filesystem) is unparsable and drops the trace.
+func TestRecoveryDropsTornManifest(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	truncateFile(t, filepath.Join(victim, manifestName), 0.5)
+	reopenExpectingDrop(t, root, "unreadable manifest")
+}
+
+// TestRecoveryDropsUncommittedTrace: segments without a manifest — a
+// crash before the first commit — leave nothing serveable.
+func TestRecoveryDropsUncommittedTrace(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	if err := os.Remove(filepath.Join(victim, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	reopenExpectingDrop(t, root, "no committed manifest")
+}
+
+// TestRecoveryKeepsTraceWhenPartialDamaged: the aggregate snapshot is
+// derived data — a torn snapshot must cost the snapshot, not the trace.
+func TestRecoveryKeepsTraceWhenPartialDamaged(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	matches, err := filepath.Glob(filepath.Join(victim, "g*.partial"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want one partial snapshot, got %v (%v)", matches, err)
+	}
+	truncateFile(t, matches[0], 0.5)
+
+	s, rec := openStore(t, root, 200)
+	defer s.Close()
+	if len(rec.Traces) != 2 || len(rec.Dropped) != 0 {
+		t.Fatalf("recovered %d traces / %d dropped, want 2/0", len(rec.Traces), len(rec.Dropped))
+	}
+	for _, tr := range rec.Traces {
+		if tr.Name() != "victim" {
+			continue
+		}
+		if _, err := tr.LoadPartial(); err == nil {
+			t.Error("damaged partial loaded without error")
+		}
+		// The jobs themselves still read in full.
+		got, err := tr.Collect()
+		if err != nil || got.Len() != tr.Jobs() {
+			t.Errorf("victim's jobs unreadable after partial damage: %v", err)
+		}
+	}
+}
+
+// TestRecoverySweepsStrayGeneration: files of a crashed newer stage
+// (no manifest pointing at them) are removed and the committed
+// generation keeps serving.
+func TestRecoverySweepsStrayGeneration(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	stray := filepath.Join(victim, segmentFile(99, 0))
+	if err := os.WriteFile(stray, []byte(`{"id":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	strayTmp := filepath.Join(victim, manifestName+".tmp")
+	if err := os.WriteFile(strayTmp, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, rec := openStore(t, root, 200)
+	defer s.Close()
+	if len(rec.Traces) != 2 || len(rec.Dropped) != 0 {
+		t.Fatalf("recovered %d traces / %d dropped, want 2/0", len(rec.Traces), len(rec.Dropped))
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("stray future-generation segment survived recovery")
+	}
+	if _, err := os.Stat(strayTmp); !os.IsNotExist(err) {
+		t.Error("stray manifest tmp survived recovery")
+	}
+}
+
+// TestRecoveryDropsMismatchedDirectory: a directory that is not the
+// canonical home of its manifest's name is dropped (no aliasing).
+func TestRecoveryDropsMismatchedDirectory(t *testing.T) {
+	root, victim := corruptibleStore(t)
+	renamed := filepath.Join(filepath.Dir(victim), "imposter")
+	if err := os.Rename(victim, renamed); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := openStore(t, root, 200)
+	defer s.Close()
+	if len(rec.Traces) != 1 || rec.Traces[0].Name() != "intact" {
+		t.Fatalf("recovered %d traces, want only intact", len(rec.Traces))
+	}
+	if len(rec.Dropped) != 1 || !strings.Contains(rec.Dropped[0].Reason, "does not match manifest name") {
+		t.Fatalf("dropped %+v", rec.Dropped)
+	}
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// manifestName is the per-trace commit point.
+const manifestName = "manifest.json"
+
+// manifestFormat versions the manifest schema.
+const manifestFormat = "swim-store-v1"
+
+// Manifest is the committed description of one trace generation. It is
+// everything the serving layer needs to register a recovered trace
+// without reading a single job: identity, Table-1 totals, and the
+// verified file list.
+type Manifest struct {
+	Format      string        `json:"format"`
+	Generation  uint64        `json:"generation"`
+	Name        string        `json:"name"`
+	Fingerprint string        `json:"fingerprint"`
+	Meta        ManifestMeta  `json:"meta"`
+	Jobs        int           `json:"jobs"`
+	BytesMoved  int64         `json:"bytes_moved"`
+	Segments    []SegmentInfo `json:"segments"`
+	// Partial describes the persisted aggregate snapshot; nil when the
+	// trace stored without one (e.g. too short for hourly binning).
+	Partial *FileInfo `json:"partial,omitempty"`
+}
+
+// ManifestMeta is trace.Meta at nanosecond precision.
+type ManifestMeta struct {
+	Name        string `json:"name"`
+	Machines    int    `json:"machines"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	LengthNS    int64  `json:"length_ns"`
+}
+
+// metaToManifest converts trace metadata for the manifest.
+func metaToManifest(m trace.Meta) ManifestMeta {
+	return ManifestMeta{
+		Name:        m.Name,
+		Machines:    m.Machines,
+		StartUnixNS: m.Start.UnixNano(),
+		LengthNS:    int64(m.Length),
+	}
+}
+
+// TraceMeta converts back to trace metadata (UTC).
+func (m ManifestMeta) TraceMeta() trace.Meta {
+	return trace.Meta{
+		Name:     m.Name,
+		Machines: m.Machines,
+		Start:    time.Unix(0, m.StartUnixNS).UTC(),
+		Length:   time.Duration(m.LengthNS),
+	}
+}
+
+// FileInfo records one committed file's verification data.
+type FileInfo struct {
+	File   string `json:"file"`
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// SegmentInfo is FileInfo plus the segment's job count, so byte-range
+// shards know their weight without reading.
+type SegmentInfo struct {
+	FileInfo
+	Jobs int `json:"jobs"`
+}
+
+// readManifest loads and structurally validates a manifest file.
+func readManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("storage: parsing %s: %w", path, err)
+	}
+	if man.Format != manifestFormat {
+		return nil, fmt.Errorf("storage: %s: unknown format %q", path, man.Format)
+	}
+	if man.Name == "" || man.Generation == 0 {
+		return nil, fmt.Errorf("storage: %s: incomplete manifest", path)
+	}
+	segJobs := 0
+	for _, seg := range man.Segments {
+		if seg.File == "" || seg.File != filepath.Base(seg.File) {
+			return nil, fmt.Errorf("storage: %s: bad segment file name %q", path, seg.File)
+		}
+		segJobs += seg.Jobs
+	}
+	if segJobs != man.Jobs {
+		return nil, fmt.Errorf("storage: %s: segment job counts sum to %d, manifest says %d", path, segJobs, man.Jobs)
+	}
+	if man.Partial != nil && (man.Partial.File == "" || man.Partial.File != filepath.Base(man.Partial.File)) {
+		return nil, fmt.Errorf("storage: %s: bad partial file name %q", path, man.Partial.File)
+	}
+	return &man, nil
+}
+
+// commitManifest atomically installs man as dir's committed manifest:
+// tmp write, fsync, rename over manifest.json, directory fsync. After
+// this returns, a crash at any point serves exactly this generation.
+func commitManifest(dir string, man *Manifest) error {
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: writing manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("storage: committing manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// genPrefix names generation gen's files.
+func genPrefix(gen uint64) string { return fmt.Sprintf("g%06d", gen) }
+
+// segmentFile names segment idx of generation gen.
+func segmentFile(gen uint64, idx int) string {
+	return fmt.Sprintf("%s-%05d.seg", genPrefix(gen), idx)
+}
+
+// partialFile names generation gen's aggregate snapshot.
+func partialFile(gen uint64) string { return genPrefix(gen) + ".partial" }

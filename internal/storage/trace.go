@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Trace is an immutable handle to one committed trace generation. Its
+// methods read the generation's files; a later re-ingest or delete of
+// the same name does not invalidate an in-progress read (segments are
+// unlinked, never rewritten, and an open descriptor survives unlink).
+type Trace struct {
+	dir string
+	man *Manifest
+}
+
+// Name returns the trace's stored name.
+func (t *Trace) Name() string { return t.man.Name }
+
+// Fingerprint returns the committed content fingerprint.
+func (t *Trace) Fingerprint() string { return t.man.Fingerprint }
+
+// Meta returns the normalized trace metadata.
+func (t *Trace) Meta() trace.Meta { return t.man.Meta.TraceMeta() }
+
+// Jobs returns the committed job count.
+func (t *Trace) Jobs() int { return t.man.Jobs }
+
+// BytesMoved returns the committed Table-1 bytes-moved total.
+func (t *Trace) BytesMoved() int64 { return t.man.BytesMoved }
+
+// Segments returns the number of segment files.
+func (t *Trace) Segments() int { return len(t.man.Segments) }
+
+// SizeBytes returns the committed on-disk size of the job data.
+func (t *Trace) SizeBytes() int64 {
+	var n int64
+	for _, seg := range t.man.Segments {
+		n += seg.Size
+	}
+	return n
+}
+
+// Open returns a Source streaming every job in order across the
+// segments — the sequential out-of-core read path. The source owns its
+// file descriptors and closes them at io.EOF or on error; abandon it
+// only at a stream boundary.
+func (t *Trace) Open() (trace.Source, error) {
+	return &chainSource{sources: segmentSources(t.dir, t.Meta(), t.man.Segments)}, nil
+}
+
+// Shards returns one Source per segment, each carrying the full
+// trace's metadata — the scatter inputs for the out-of-core
+// shard-parallel analysis (core.BuildShardsPartial): a trace larger
+// than memory is scanned segment-at-a-time across the CPUs.
+func (t *Trace) Shards() []trace.Source {
+	return segmentSources(t.dir, t.Meta(), t.man.Segments)
+}
+
+// Collect materializes the whole trace in memory — the reload path for
+// analyses that need random access. The caller owns the result.
+func (t *Trace) Collect() (*trace.Trace, error) {
+	src, err := t.Open()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Collect(src)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// LoadPartial reads, verifies, and decodes the persisted aggregate
+// snapshot. It returns (nil, nil) when the trace committed without one,
+// and an error when the snapshot exists but fails its CRC or decode —
+// callers treat that as "rebuild from the jobs", never as fatal.
+func (t *Trace) LoadPartial() (*core.Partial, error) {
+	if t.man.Partial == nil {
+		return nil, nil
+	}
+	path := filepath.Join(t.dir, t.man.Partial.File)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading partial snapshot: %w", err)
+	}
+	if int64(len(b)) != t.man.Partial.Size {
+		return nil, fmt.Errorf("storage: partial snapshot is %d bytes, manifest says %d", len(b), t.man.Partial.Size)
+	}
+	if crc := crc32.Checksum(b, castagnoli); crc != t.man.Partial.CRC32C {
+		return nil, fmt.Errorf("storage: partial snapshot CRC mismatch (%08x vs %08x)", crc, t.man.Partial.CRC32C)
+	}
+	return core.UnmarshalPartial(b)
+}
+
+// segmentSources builds one lazily-opened Source per segment.
+func segmentSources(dir string, meta trace.Meta, segs []SegmentInfo) []trace.Source {
+	out := make([]trace.Source, len(segs))
+	for i, seg := range segs {
+		out[i] = &segmentSource{path: filepath.Join(dir, seg.File), meta: meta}
+	}
+	return out
+}
+
+// segmentSource streams one segment file's job lines. The file opens on
+// the first Next and closes at io.EOF or on the first error.
+type segmentSource struct {
+	path string
+	meta trace.Meta
+	f    *os.File
+	r    *trace.JSONLReader
+	done bool
+}
+
+// Meta returns the full trace's metadata.
+func (s *segmentSource) Meta() trace.Meta { return s.meta }
+
+// Next yields the next job, or io.EOF at segment end.
+func (s *segmentSource) Next() (*trace.Job, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.f == nil {
+		f, err := os.Open(s.path)
+		if err != nil {
+			s.done = true
+			return nil, fmt.Errorf("storage: opening segment: %w", err)
+		}
+		s.f = f
+		s.r = trace.NewJSONLBodyReader(f, s.meta)
+	}
+	j, err := s.r.Next()
+	if err != nil {
+		s.done = true
+		s.f.Close()
+		s.f = nil
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("storage: reading %s: %w", filepath.Base(s.path), err)
+	}
+	return j, nil
+}
+
+// chainSource concatenates segment sources into one ordered stream.
+type chainSource struct {
+	sources []trace.Source
+	i       int
+}
+
+// Meta returns the trace metadata.
+func (c *chainSource) Meta() trace.Meta {
+	if len(c.sources) == 0 {
+		return trace.Meta{}
+	}
+	return c.sources[0].Meta()
+}
+
+// Next yields the next job across segment boundaries.
+func (c *chainSource) Next() (*trace.Job, error) {
+	for c.i < len(c.sources) {
+		j, err := c.sources[c.i].Next()
+		if err == io.EOF {
+			c.i++
+			continue
+		}
+		return j, err
+	}
+	return nil, io.EOF
+}
+
+// verifySegment streams a committed segment against its recorded size
+// and CRC.
+func verifySegment(dir string, seg SegmentInfo) error {
+	f, err := os.Open(filepath.Join(dir, seg.File))
+	if err != nil {
+		return fmt.Errorf("segment %s: %w", seg.File, err)
+	}
+	defer f.Close()
+	var size int64
+	crc := uint32(0)
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := f.Read(buf)
+		if n > 0 {
+			crc = crc32.Update(crc, castagnoli, buf[:n])
+			size += int64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("segment %s: %w", seg.File, err)
+		}
+	}
+	if size != seg.Size {
+		return fmt.Errorf("segment %s: %d bytes on disk, manifest says %d", seg.File, size, seg.Size)
+	}
+	if crc != seg.CRC32C {
+		return fmt.Errorf("segment %s: CRC mismatch (%08x vs %08x)", seg.File, crc, seg.CRC32C)
+	}
+	return nil
+}

@@ -1,11 +1,19 @@
 // Command benchtrend appends one datapoint to a benchmark trend file
-// (BENCH_ANALYZE.json) from `go test -bench BenchmarkParallelAnalyze`
-// output. CI runs it after the benchmark step and uploads the grown
-// file as an artifact, so the K=1 vs K=NumCPU speedup is tracked per
-// commit on the multi-core runners.
+// from `go test -bench` output. CI runs it after the benchmark steps
+// and uploads the grown files as artifacts, so the headline ratios are
+// tracked per commit on the multi-core runners. Two suites are known:
 //
-//	go test -run '^$' -bench BenchmarkParallelAnalyze ./internal/core | \
-//	    benchtrend -json BENCH_ANALYZE.json -note "ci trend"
+//   - analyze (default): BenchmarkParallelAnalyze K=1 vs K=NumCPU into
+//     BENCH_ANALYZE.json, with an optional -min-speedup gate.
+//
+//   - serve: BenchmarkStoreColdReport memory vs disk vs disk-scan into
+//     BENCH_SERVE.json — the cost of a restart under the durable store
+//     — with an optional -max-restart-overhead gate on disk/memory.
+//
+//     go test -run '^$' -bench BenchmarkParallelAnalyze ./internal/core | \
+//     benchtrend -json BENCH_ANALYZE.json -note "ci trend"
+//     go test -run '^$' -bench BenchmarkStoreColdReport ./internal/server | \
+//     benchtrend -suite serve -json BENCH_SERVE.json -note "ci trend"
 package main
 
 import (
@@ -32,12 +40,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		jsonPath = fs.String("json", "BENCH_ANALYZE.json", "trend file to append the datapoint to")
+		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze) or serve (BenchmarkStoreColdReport)")
+		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json per suite)")
 		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
-		minSpeed = fs.Float64("min-speedup", 0, "fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
+		minSpeed = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
+		maxOver  = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonPath == "" {
+		if *suite == "serve" {
+			*jsonPath = "BENCH_SERVE.json"
+		} else {
+			*jsonPath = "BENCH_ANALYZE.json"
+		}
 	}
 	benchOut, err := readInput(*in, stdin)
 	if err != nil {
@@ -47,7 +64,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	grown, summary, err := appendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	var grown []byte
+	var summary string
+	switch *suite {
+	case "analyze":
+		grown, summary, err = appendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	case "serve":
+		grown, summary, err = appendServeDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	default:
+		return fmt.Errorf("unknown suite %q (use analyze or serve)", *suite)
+	}
 	if err != nil {
 		return err
 	}
@@ -55,7 +81,87 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout, summary)
+	if *suite == "serve" {
+		return checkRestartOverhead(grown, *maxOver)
+	}
 	return checkSpeedup(grown, *minSpeed)
+}
+
+// serveLine matches one BenchmarkStoreColdReport sub-benchmark, e.g.
+// "BenchmarkStoreColdReport/disk-scan-4   3   54531950 ns/op".
+var serveLine = regexp.MustCompile(`(?m)^BenchmarkStoreColdReport/(memory|disk|disk-scan)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// appendServeDatapoint parses the durability benchmark and appends the
+// memory/disk/disk-scan cold-report datapoint. It errors when the
+// memory or disk result is missing — a truncated run must fail the
+// step, not append garbage (disk-scan is optional; partial-free scans
+// may be skipped in quick runs).
+func appendServeDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	for _, m := range serveLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		nsPerOp[m[1]] = ns
+	}
+	mem, okM := nsPerOp["memory"]
+	disk, okD := nsPerOp["disk"]
+	if !okM || !okD {
+		return nil, "", fmt.Errorf("benchmark output carries no memory or disk result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	overhead := disk / mem
+	dp := map[string]any{
+		"date":             now.Format("2006-01-02"),
+		"go":               goVersion,
+		"memory_ns_per_op": int64(mem),
+		"disk_ns_per_op":   int64(disk),
+		"restart_overhead": math2(overhead),
+		"note":             note,
+	}
+	if scan, ok := nsPerOp["disk-scan"]; ok {
+		dp["disk_scan_ns_per_op"] = int64(scan)
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("appended datapoint: memory %.1fms, disk %.1fms (restart overhead %.2fx)",
+		mem/1e6, disk/1e6, overhead)
+	return append(grown, '\n'), summary, nil
+}
+
+// checkRestartOverhead enforces the serve-suite bar against the
+// datapoint just appended.
+func checkRestartOverhead(grown []byte, maxOverhead float64) error {
+	if maxOverhead <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Overhead float64 `json:"restart_overhead"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Overhead > maxOverhead {
+		return fmt.Errorf("disk/memory cold-report overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
+	}
+	return nil
 }
 
 // checkSpeedup enforces the acceptance bar against the datapoint just

@@ -95,6 +95,78 @@ func TestCheckSpeedup(t *testing.T) {
 	}
 }
 
+const sampleServeTrend = `{
+  "benchmark": "BenchmarkServeReport",
+  "datapoints": [
+    {"date": "2026-07-28", "cold_ns_per_op": 19625480}
+  ]
+}`
+
+const sampleServeBench = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreColdReport/memory-4       	       3	   7394871 ns/op
+BenchmarkStoreColdReport/disk-4         	       3	   8845664 ns/op
+BenchmarkStoreColdReport/disk-scan-4    	       3	  54531950 ns/op
+PASS
+`
+
+func TestAppendServeDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendServeDatapoint([]byte(sampleServeTrend), []byte(sampleServeBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "restart overhead 1.2") {
+		t.Errorf("summary %q lacks the overhead ratio", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 2 {
+		t.Fatalf("got %d datapoints, want 2", len(points))
+	}
+	dp := points[1].(map[string]any)
+	for key, want := range map[string]any{
+		"date":                "2026-08-01",
+		"memory_ns_per_op":    7394871.0,
+		"disk_ns_per_op":      8845664.0,
+		"disk_scan_ns_per_op": 54531950.0,
+		"restart_overhead":    1.2,
+		"cpu":                 "Intel(R) Xeon(R) Processor @ 2.10GHz",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendServeDatapointRejectsTruncated(t *testing.T) {
+	partial := "BenchmarkStoreColdReport/memory-4   3   7394871 ns/op\n"
+	if _, _, err := appendServeDatapoint([]byte(sampleServeTrend), []byte(partial), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without the disk result did not error")
+	}
+}
+
+func TestCheckRestartOverhead(t *testing.T) {
+	trend := func(overhead float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"restart_overhead": overhead},
+		}})
+		return b
+	}
+	if err := checkRestartOverhead(trend(1.3), 3); err != nil {
+		t.Errorf("1.3x failed the 3x bar: %v", err)
+	}
+	if err := checkRestartOverhead(trend(4.2), 3); err == nil {
+		t.Error("4.2x passed the 3x bar")
+	}
+	if err := checkRestartOverhead(trend(9.9), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
 func TestAppendDatapointSingleCore(t *testing.T) {
 	bench := "BenchmarkParallelAnalyze/K=NumCPU(1)   3   21636837 ns/op\n" +
 		"BenchmarkParallelAnalyze/K=2   3   21159707 ns/op\n"

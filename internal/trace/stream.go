@@ -160,3 +160,10 @@ func (a *SummaryAccumulator) Merge(o *SummaryAccumulator) error {
 
 // Summary returns the accumulated Table-1 row.
 func (a *SummaryAccumulator) Summary() Summary { return a.s }
+
+// RestoreSummaryAccumulator rebuilds an accumulator from a previously
+// captured Summary — the durable-snapshot path: counters are plain
+// integers, so Summary() is the accumulator's complete state.
+func RestoreSummaryAccumulator(s Summary) *SummaryAccumulator {
+	return &SummaryAccumulator{s: s}
+}

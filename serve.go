@@ -9,17 +9,18 @@ import (
 )
 
 // The serving façade: the same analytics the batch CLIs produce, exposed
-// as a long-running HTTP/JSON service with an in-memory trace store and
-// a fingerprint-keyed, single-flight result cache (see internal/server
-// and the swimd command).
+// as a long-running HTTP/JSON service with a hybrid memory/disk trace
+// store and a fingerprint-keyed, single-flight result cache (see
+// internal/server, internal/storage, and the swimd command).
 
 // ServeOptions sizes the swimd service.
 type ServeOptions struct {
 	// Addr is the listen address (default ":8080").
 	Addr string
-	// MaxTraces / MaxTotalJobs bound the in-memory trace store; ingests
-	// beyond them are rejected, not silently evicted (defaults 64 traces,
-	// 2M total jobs).
+	// MaxTraces / MaxTotalJobs bound the in-memory trace store (defaults
+	// 64 traces, 2M total jobs). Without DataDir, ingests beyond them
+	// are rejected, not silently evicted; with DataDir, the job bound
+	// sizes only the hot tier and overflow spills to disk.
 	MaxTraces    int
 	MaxTotalJobs int
 	// CacheEntries bounds the result cache (default 256).
@@ -29,21 +30,32 @@ type ServeOptions struct {
 	// ~24 B/job of heap) and cold reports scan the stored jobs,
 	// shard-parallel when the request sets shards=K.
 	DisablePartials bool
+	// DataDir enables durable storage rooted at the given directory:
+	// traces persist as checksummed segment files with their aggregates
+	// snapshotted alongside, survive restarts, and are analyzed
+	// out-of-core when larger than the in-memory budget.
+	DataDir string
 	// Logger receives one line per request; nil disables request logs.
 	Logger *log.Logger
 }
 
 // NewServeHandler builds the swimd HTTP handler without binding a
 // socket — the form tests and embedders want. See internal/server for
-// the endpoint inventory.
-func NewServeHandler(opts ServeOptions) http.Handler {
-	return server.New(server.Config{
+// the endpoint inventory. It errors only when DataDir is set and the
+// durable store cannot be opened or recovered.
+func NewServeHandler(opts ServeOptions) (http.Handler, error) {
+	srv, err := server.New(server.Config{
 		MaxTraces:       opts.MaxTraces,
 		MaxTotalJobs:    opts.MaxTotalJobs,
 		CacheEntries:    opts.CacheEntries,
 		DisablePartials: opts.DisablePartials,
+		DataDir:         opts.DataDir,
 		Logger:          opts.Logger,
-	}).Handler()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv.Handler(), nil
 }
 
 // Serve runs the workload-analytics service until the listener fails;
@@ -54,7 +66,11 @@ func Serve(opts ServeOptions) error {
 	if addr == "" {
 		addr = ":8080"
 	}
-	return http.ListenAndServe(addr, NewServeHandler(opts))
+	h, err := NewServeHandler(opts)
+	if err != nil {
+		return err
+	}
+	return http.ListenAndServe(addr, h)
 }
 
 // Fingerprint drains a job stream and returns the trace's stable

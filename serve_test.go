@@ -14,7 +14,10 @@ import (
 // the handler, fetch the cached report, and cross-check Fingerprint
 // against the Trace method.
 func TestServeFacade(t *testing.T) {
-	h := NewServeHandler(ServeOptions{})
+	h, err := NewServeHandler(ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -43,6 +46,54 @@ func TestServeFacade(t *testing.T) {
 		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != want {
 			t.Errorf("report %d: status=%d X-Cache=%q want %q", i, resp.StatusCode, resp.Header.Get("X-Cache"), want)
 		}
+	}
+}
+
+// TestServeFacadeDurable drives the DataDir option end to end: upload
+// through one handler, build a second handler over the same directory,
+// and read the trace back without re-uploading.
+func TestServeFacadeDurable(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Generate(GenerateOptions{Workload: "CC-e", Seed: 2, Duration: 25 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	h1, err := NewServeHandler(ServeOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(h1)
+	resp, err := http.Post(ts1.URL+"/v1/traces/durable", "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	ts1.Close()
+
+	h2, err := NewServeHandler(ServeOptions{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/traces/durable/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("report after reopen: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Analysis"); got != "recovered-partial" {
+		t.Errorf("reopened report X-Analysis = %q, want recovered-partial", got)
 	}
 }
 
