@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		seed       = fs.Int64("seed", 1, "preload generation seed")
 		partials   = fs.Bool("partials", true, "keep a frozen partial aggregate per stored trace, built at ingest, so a first cold report merges precomputed sections instead of re-reading jobs (~24 B/job of extra heap; disable to trade cold-report latency for memory)")
 		dataDir    = fs.String("data", "", "durable storage directory: traces persist as checksummed segment files with partial-aggregate snapshots, survive restarts (verified at startup), and spill to disk instead of being rejected when they exceed the in-memory job budget")
+		segCodec   = fs.String("segment-codec", "", "on-disk segment format for newly stored traces: colseg (compact columnar binary, the default) or jsonl (canonical JSONL, the legacy format); existing segments always read back with the codec they were written with")
 		quiet      = fs.Bool("quiet", false, "disable per-request logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		CacheEntries:    *cacheSize,
 		DisablePartials: !*partials,
 		DataDir:         *dataDir,
+		SegmentCodec:    *segCodec,
 		Logger:          logger,
 	})
 	if err != nil {

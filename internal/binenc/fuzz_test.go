@@ -1,0 +1,82 @@
+package binenc
+
+import (
+	"testing"
+)
+
+// FuzzBinenc drives the sticky-error Reader with an arbitrary byte
+// stream interpreted as an op program: the first bytes choose which
+// typed reads to issue, the rest is the input being decoded. The
+// invariants under fuzz:
+//
+//   - no read ever panics, whatever the input;
+//   - once Err() is non-nil it stays non-nil and every later read
+//     returns the zero value;
+//   - reads never consume past the input (Remaining() is monotone
+//     non-increasing and never negative);
+//   - Count(elemSize) never returns a count the remaining input could
+//     not possibly hold — the allocation bound corrupt colseg and
+//     partial snapshots rely on.
+func FuzzBinenc(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6}, AppendString(AppendVarint(AppendUvarint(nil, 300), -7), "hi"))
+	f.Add([]byte{2, 2, 2}, AppendFloat64(AppendBool(nil, true), 3.5))
+	f.Add([]byte{6, 6}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02})
+	f.Add([]byte{3}, []byte{0xfe})
+
+	f.Fuzz(func(t *testing.T, ops, data []byte) {
+		r := NewReader(data)
+		if r.Remaining() != len(data) {
+			t.Fatalf("fresh reader has %d remaining, want %d", r.Remaining(), len(data))
+		}
+		prevRemaining := r.Remaining()
+		errSeen := false
+		for _, op := range ops {
+			hadErr := errSeen
+			var zero bool
+			switch op % 9 {
+			case 0:
+				zero = r.Uvarint() == 0
+			case 1:
+				zero = r.Varint() == 0
+			case 2:
+				zero = r.Float64() == 0
+			case 3:
+				zero = r.String() == ""
+			case 4:
+				zero = !r.Bool()
+			case 5:
+				zero = r.Count(1) == 0
+			case 6:
+				n := r.Count(8)
+				zero = n == 0
+				if r.Err() == nil && n > r.Remaining()/8 {
+					t.Fatalf("Count(8) returned %d with only %d bytes remaining", n, r.Remaining())
+				}
+			case 7:
+				zero = r.Uint64() == 0
+			case 8:
+				zero = r.Uint32() == 0
+			}
+			if errSeen {
+				if r.Err() == nil {
+					t.Fatal("sticky error cleared itself")
+				}
+				if !zero {
+					t.Fatalf("op %d returned non-zero after error %v", op%9, r.Err())
+				}
+			}
+			if r.Err() != nil {
+				errSeen = true
+			}
+			rem := r.Remaining()
+			if rem < 0 || rem > prevRemaining {
+				t.Fatalf("Remaining went from %d to %d", prevRemaining, rem)
+			}
+			if hadErr && rem != prevRemaining {
+				t.Fatalf("failed read still consumed input (%d -> %d)", prevRemaining, rem)
+			}
+			prevRemaining = rem
+		}
+	})
+}

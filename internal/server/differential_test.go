@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TestDifferentialScanFormats is the representation-independence
+// acceptance test for the columnar segment format: the golden FB-2009
+// day-1 trace analyzed three ways — the in-memory path, a JSONL spill
+// scanned out-of-core, and a columnar spill scanned out-of-core — must
+// produce byte-identical report bodies, and every path must commit the
+// pinned golden fingerprint (fingerprints hash canonical JSONL, so the
+// segment codec must never show through). CI runs this under -race,
+// which also exercises the columnar reader's pooled volatile batches
+// across the scan's parallel shards.
+func TestDifferentialScanFormats(t *testing.T) {
+	tr := genTrace(t, "FB-2009", 1, 24*time.Hour)
+
+	// The identity pin: the same golden file internal/core locks the
+	// generator and canonical codec against.
+	raw, err := os.ReadFile(filepath.Join("..", "core", "testdata", "fb2009_day1.fingerprint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := string(bytes.TrimSpace(raw))
+
+	// Reference bytes from a plain in-memory server.
+	_, tsRef := newTestServer(t)
+	refInfo := ingestTrace(t, tsRef, "ref", tr)
+	if refInfo.Fingerprint != wantFP {
+		t.Fatalf("in-memory fingerprint %s, want golden %s", refInfo.Fingerprint, wantFP)
+	}
+	_, want := getRaw(t, tsRef.URL+"/v1/traces/ref/report")
+
+	for _, codec := range []string{storage.CodecJSONL, storage.CodecColumnar} {
+		t.Run(codec, func(t *testing.T) {
+			// Budget a third of the trace and disable partials: the
+			// report has no choice but to scan the segments.
+			s, ts := diskServer(t, t.TempDir(), Config{
+				MaxTotalJobs:    tr.Len() / 3,
+				DisablePartials: true,
+				SegmentCodec:    codec,
+			})
+			info := ingestTrace(t, ts, "spilled", tr)
+			if info.Fingerprint != wantFP {
+				t.Errorf("%s spill fingerprint %s, want golden %s", codec, info.Fingerprint, wantFP)
+			}
+			resp, got := getRaw(t, ts.URL+"/v1/traces/spilled/report")
+			if x := resp.Header.Get("X-Analysis"); x != "disk-scan" {
+				t.Fatalf("spilled report X-Analysis = %q, want disk-scan", x)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s disk-scan report differs from the in-memory reference (got %d bytes, want %d)",
+					codec, len(got), len(want))
+			}
+			// The scan really ran out-of-core: no jobs became resident.
+			if st := s.Store().Stats(); st.ResidentJobs != 0 {
+				t.Errorf("%s scan loaded %d jobs into memory", codec, st.ResidentJobs)
+			}
+		})
+	}
+}

@@ -292,8 +292,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 				}
 				// Disk-resident: scan the segments out-of-core, one
 				// shard per segment, without materializing the trace.
+				// ScanShards decodes columnar segments batch-at-a-time
+				// into reused memory; the builders fold each job in and
+				// never retain it.
 				miss = "disk-scan"
-				return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.Shards(), sketch)
+				return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.ScanShards(), sketch)
 			})
 			if aggErr != nil {
 				return nil, fmt.Errorf("%w: %v", errUnprocessable, aggErr)

@@ -37,6 +37,11 @@ type Config struct {
 	// SegmentJobs caps jobs per on-disk segment file (zero: the storage
 	// engine's default). Segments are the out-of-core sharding unit.
 	SegmentJobs int
+	// SegmentCodec selects the on-disk segment format for newly written
+	// traces: storage.CodecColumnar (the default when empty) or
+	// storage.CodecJSONL. Existing segments always decode with the codec
+	// their manifest records, so changing this never strands old data.
+	SegmentCodec string
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 }
@@ -92,7 +97,7 @@ func New(cfg Config) (*Server, error) {
 		s.store.DisablePartials()
 	}
 	if cfg.DataDir != "" {
-		backing, rec, err := storage.Open(cfg.DataDir, storage.Options{SegmentJobs: cfg.SegmentJobs})
+		backing, rec, err := storage.Open(cfg.DataDir, storage.Options{SegmentJobs: cfg.SegmentJobs, Codec: cfg.SegmentCodec})
 		if err != nil {
 			return nil, fmt.Errorf("server: opening data dir: %w", err)
 		}

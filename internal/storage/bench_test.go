@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkSegmentScan is the disk-scan trend datapoint: the cost of
+// streaming every stored job back out of committed segments — the inner
+// loop of every out-of-core analysis — under each segment codec. The
+// paper's 14-day FB-2009 trace is stored once per codec; each iteration
+// drains all segment shards through the codec's scan path (ScanShards,
+// what the server's disk-scan report uses). benchtrend's scan suite
+// gates the colseg/jsonl ratio and records the on-disk sizes.
+func BenchmarkSegmentScan(b *testing.B) {
+	tr := genTrace(b, "FB-2009", 1, 14*24*time.Hour)
+	for _, codec := range []string{CodecJSONL, CodecColumnar} {
+		b.Run(codec, func(b *testing.B) {
+			root := b.TempDir()
+			s, _, err := Open(root, Options{Codec: codec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			fp, err := tr.Fingerprint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := s.Write("bench", tr, fp, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(st.SizeBytes())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := 0
+				for _, src := range st.ScanShards() {
+					for {
+						_, err := src.Next()
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						jobs++
+					}
+				}
+				if jobs != tr.Len() {
+					b.Fatalf("scanned %d jobs, want %d", jobs, tr.Len())
+				}
+			}
+			// After ResetTimer: it clears custom metrics.
+			b.ReportMetric(float64(st.SizeBytes()), "segbytes")
+			b.ReportMetric(float64(tr.Len()), "jobs/scan")
+		})
+	}
+}

@@ -70,10 +70,14 @@ type FileInfo struct {
 }
 
 // SegmentInfo is FileInfo plus the segment's job count, so byte-range
-// shards know their weight without reading.
+// shards know their weight without reading, and the codec its bytes are
+// encoded with. An empty codec means canonical JSONL — the only format
+// v5-era manifests could describe — so legacy manifests parse unchanged
+// and JSONL-codec stores keep writing byte-identical manifests.
 type SegmentInfo struct {
 	FileInfo
-	Jobs int `json:"jobs"`
+	Jobs  int    `json:"jobs"`
+	Codec string `json:"codec,omitempty"`
 }
 
 // readManifest loads and structurally validates a manifest file.
@@ -96,6 +100,11 @@ func readManifest(path string) (*Manifest, error) {
 	for _, seg := range man.Segments {
 		if seg.File == "" || seg.File != filepath.Base(seg.File) {
 			return nil, fmt.Errorf("storage: %s: bad segment file name %q", path, seg.File)
+		}
+		switch seg.Codec {
+		case "", CodecJSONL, CodecColumnar:
+		default:
+			return nil, fmt.Errorf("storage: %s: unknown segment codec %q", path, seg.Codec)
 		}
 		segJobs += seg.Jobs
 	}

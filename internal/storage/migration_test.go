@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/colseg"
+	"repro/internal/trace"
+)
+
+// The format-migration suite: a data directory written entirely in the
+// legacy JSONL segment format (what every store before the columnar
+// codec produced) must recover under a columnar-default store, keep
+// serving byte-identical jobs, and gain columnar segments only as
+// traces are re-ingested — JSONL and colseg generations coexisting in
+// one root with no flag day.
+
+// openStoreCodec opens a store with an explicit segment codec.
+func openStoreCodec(t testing.TB, root string, segJobs int, codec string) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(root, Options{SegmentJobs: segJobs, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+// readbackFingerprint streams the stored trace and fingerprints it.
+func readbackFingerprint(t *testing.T, st *Trace) string {
+	t.Helper()
+	src, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := trace.Fingerprint(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestJSONLCodecWritesLegacyLayout: a JSONL-codec store produces
+// exactly what the pre-codec store produced — plain JSONL segment
+// bytes and a manifest with no codec field at all — so the migration
+// test below genuinely starts from a v5-era directory.
+func TestJSONLCodecWritesLegacyLayout(t *testing.T) {
+	root := t.TempDir()
+	s, _ := openStoreCodec(t, root, 200, CodecJSONL)
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	writeTrace(t, s, "legacy", tr)
+
+	enc, err := encodeName("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "traces", enc)
+	seg, err := os.ReadFile(mustOneSegment(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(seg, []byte(`{"id":`)) {
+		t.Errorf("JSONL-codec segment starts %q, want canonical JSONL", seg[:min(len(seg), 12)])
+	}
+	if bytes.HasPrefix(seg, []byte(colseg.Magic)) {
+		t.Error("JSONL-codec store wrote a columnar segment")
+	}
+	man, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(man), `"codec"`) {
+		t.Error("JSONL-codec manifest mentions a codec; legacy manifests must stay byte-compatible")
+	}
+}
+
+// TestMigrationJSONLToColumnar: the full upgrade path. A legacy
+// (JSONL-only) data directory is reopened by a columnar-default store:
+// every trace recovers and reads back with its original fingerprint; a
+// re-ingest replaces one trace's segments with columnar ones while the
+// untouched trace keeps its JSONL segments; and a final reopen recovers
+// the mixed-codec root intact.
+func TestMigrationJSONLToColumnar(t *testing.T) {
+	root := t.TempDir()
+	trA := genTrace(t, "CC-b", 1, 25*time.Hour)
+	trB := genTrace(t, "CC-e", 2, 25*time.Hour)
+	fpA, fpB := fingerprint(t, trA), fingerprint(t, trB)
+
+	legacy, _ := openStoreCodec(t, root, 200, CodecJSONL)
+	writeTrace(t, legacy, "alpha", trA)
+	writeTrace(t, legacy, "beta", trB)
+	legacy.Close()
+
+	// Upgrade: reopen with the columnar default.
+	s, rec := openStore(t, root, 200)
+	if len(rec.Traces) != 2 || len(rec.Dropped) != 0 {
+		t.Fatalf("recovered %d traces / %d dropped from legacy root, want 2/0: %+v", len(rec.Traces), len(rec.Dropped), rec.Dropped)
+	}
+	byName := map[string]*Trace{}
+	for _, st := range rec.Traces {
+		byName[st.Name()] = st
+	}
+	if got := readbackFingerprint(t, byName["alpha"]); got != fpA {
+		t.Fatalf("alpha reads back fingerprint %s, want %s", got, fpA)
+	}
+	if got := readbackFingerprint(t, byName["beta"]); got != fpB {
+		t.Fatalf("beta reads back fingerprint %s, want %s", got, fpB)
+	}
+
+	// Re-ingest alpha: its new generation is columnar, same identity.
+	stA := writeTrace(t, s, "alpha", trA)
+	if got := readbackFingerprint(t, stA); got != fpA {
+		t.Fatalf("re-ingested alpha fingerprint %s, want %s", got, fpA)
+	}
+	encA, err := encodeName("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA := filepath.Join(root, "traces", encA)
+	manA := readVictimManifest(t, dirA)
+	for _, seg := range manA.Segments {
+		if seg.Codec != CodecColumnar {
+			t.Fatalf("re-ingested alpha segment %s codec %q, want %q", seg.File, seg.Codec, CodecColumnar)
+		}
+		b, err := os.ReadFile(filepath.Join(dirA, seg.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(b, []byte(colseg.Magic)) {
+			t.Fatalf("re-ingested alpha segment %s lacks the columnar magic", seg.File)
+		}
+	}
+	// Beta is untouched: still JSONL on disk, still serving.
+	encB, err := encodeName("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manB := readVictimManifest(t, filepath.Join(root, "traces", encB))
+	for _, seg := range manB.Segments {
+		if seg.Codec != "" {
+			t.Fatalf("untouched beta segment %s gained codec %q", seg.File, seg.Codec)
+		}
+	}
+	s.Close()
+
+	// The mixed-codec root recovers whole.
+	s2, rec2 := openStore(t, root, 200)
+	defer s2.Close()
+	if len(rec2.Traces) != 2 || len(rec2.Dropped) != 0 {
+		t.Fatalf("mixed-codec root recovered %d/%d, want 2/0: %+v", len(rec2.Traces), len(rec2.Dropped), rec2.Dropped)
+	}
+	for _, st := range rec2.Traces {
+		want := fpA
+		if st.Name() == "beta" {
+			want = fpB
+		}
+		if got := readbackFingerprint(t, st); got != want {
+			t.Fatalf("%s reads back fingerprint %s after mixed-codec recovery, want %s", st.Name(), got, want)
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/colseg"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
@@ -15,12 +17,76 @@ import (
 // uses.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// segmentEncoder turns job records into one segment file's bytes. Write
+// appends one job; Close flushes whatever the codec buffers. Encoders
+// write through a countCRCWriter, so whatever bytes they emit, the
+// manifest's size and CRC always describe the final file exactly.
+type segmentEncoder interface {
+	Write(j *trace.Job) error
+	Close() error
+}
+
+// countCRCWriter counts and checksums every byte passing through it —
+// the one place segment sizes and CRCs are computed, shared by all
+// codecs.
+type countCRCWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *countCRCWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// jsonlEncoder writes canonical JSONL job lines — the v5-era segment
+// format, byte-identical to what the pre-codec store wrote.
+type jsonlEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (e *jsonlEncoder) Write(j *trace.Job) error {
+	b, err := trace.AppendJobLine(e.buf[:0], j)
+	if err != nil {
+		return fmt.Errorf("storage: encoding job %d: %w", j.ID, err)
+	}
+	e.buf = b[:0]
+	if _, err := e.w.Write(b); err != nil {
+		return fmt.Errorf("storage: writing segment: %w", err)
+	}
+	return nil
+}
+
+func (e *jsonlEncoder) Close() error { return nil }
+
+// newSegmentEncoder builds the encoder for the store's codec.
+func newSegmentEncoder(codec string, w io.Writer) segmentEncoder {
+	if codec == CodecColumnar {
+		return colseg.NewWriter(w)
+	}
+	return &jsonlEncoder{w: w, buf: make([]byte, 0, 512)}
+}
+
+// manifestCodec maps a store codec to what SegmentInfo records: JSONL
+// stays the empty string so JSONL-codec manifests are byte-identical to
+// v5-era ones.
+func manifestCodec(codec string) string {
+	if codec == CodecJSONL {
+		return ""
+	}
+	return codec
+}
+
 // Stager writes one new generation of a trace: rotating segment files
-// of canonical JSONL job lines, each checksummed as it is written. The
-// write path is append-only and constant-memory, so a trace far larger
-// than RAM streams straight to disk. Seal finishes the files and the
-// aggregate snapshot; Commit (on the Sealed result) atomically installs
-// the manifest. Abort removes everything staged.
+// encoded with the store's codec, each checksummed as it is written.
+// The write path is append-only and constant-memory, so a trace far
+// larger than RAM streams straight to disk. Seal finishes the files and
+// the aggregate snapshot; Commit (on the Sealed result) atomically
+// installs the manifest. Abort removes everything staged.
 type Stager struct {
 	store *Store
 	dir   string
@@ -28,10 +94,9 @@ type Stager struct {
 
 	f        *os.File
 	bw       *bufio.Writer
-	crc      uint32
-	written  int64
+	cw       *countCRCWriter
+	enc      segmentEncoder
 	segJobs  int
-	buf      []byte
 	segments []SegmentInfo
 	done     bool
 }
@@ -53,7 +118,7 @@ func (s *Store) NewStager(name string) (*Stager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stager{store: s, dir: dir, gen: gen, buf: make([]byte, 0, 512)}, nil
+	return &Stager{store: s, dir: dir, gen: gen}, nil
 }
 
 // Write appends one job record to the current segment, rotating when
@@ -67,16 +132,9 @@ func (st *Stager) Write(j *trace.Job) error {
 			return err
 		}
 	}
-	b, err := trace.AppendJobLine(st.buf[:0], j)
-	if err != nil {
-		return fmt.Errorf("storage: encoding job %d: %w", j.ID, err)
+	if err := st.enc.Write(j); err != nil {
+		return err
 	}
-	st.buf = b[:0]
-	if _, err := st.bw.Write(b); err != nil {
-		return fmt.Errorf("storage: writing segment: %w", err)
-	}
-	st.crc = crc32.Update(st.crc, castagnoli, b)
-	st.written += int64(len(b))
 	st.segJobs++
 	if st.segJobs >= st.store.segJobs {
 		return st.closeSegment()
@@ -92,16 +150,21 @@ func (st *Stager) openSegment() error {
 	}
 	st.f = f
 	st.bw = bufio.NewWriterSize(f, 1<<16)
-	st.crc = 0
-	st.written = 0
+	st.cw = &countCRCWriter{w: st.bw}
+	st.enc = newSegmentEncoder(st.store.codec, st.cw)
 	st.segJobs = 0
 	return nil
 }
 
-// closeSegment flushes, fsyncs, and records the current segment.
+// closeSegment finishes the codec, flushes, fsyncs, and records the
+// current segment.
 func (st *Stager) closeSegment() error {
 	if st.f == nil {
 		return nil
+	}
+	if err := st.enc.Close(); err != nil {
+		st.f.Close()
+		return fmt.Errorf("storage: finishing segment: %w", err)
 	}
 	if err := st.bw.Flush(); err != nil {
 		st.f.Close()
@@ -117,13 +180,16 @@ func (st *Stager) closeSegment() error {
 	st.segments = append(st.segments, SegmentInfo{
 		FileInfo: FileInfo{
 			File:   segmentFile(st.gen, len(st.segments)),
-			Size:   st.written,
-			CRC32C: st.crc,
+			Size:   st.cw.n,
+			CRC32C: st.cw.crc,
 		},
-		Jobs: st.segJobs,
+		Jobs:  st.segJobs,
+		Codec: manifestCodec(st.store.codec),
 	})
 	st.f = nil
 	st.bw = nil
+	st.cw = nil
+	st.enc = nil
 	return nil
 }
 

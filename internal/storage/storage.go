@@ -7,12 +7,17 @@
 // Layout. Each stored trace owns one directory under <root>/traces/,
 // named by a reversible filesystem-safe encoding of the trace name.
 // Inside, job records live in generation-prefixed segment files
-// (g000001-00000.seg, …) holding canonical JSONL job lines — the exact
-// bytes the fingerprint hashes — and the trace's frozen core.Partial
-// lives in a versioned snapshot file (g000001.partial). The single
-// commit point is manifest.json: it names the generation's files with
-// their sizes and CRC-32C checksums, plus the trace metadata,
-// fingerprint, and Table-1 totals.
+// (g000001-00000.seg, …) encoded with the store's segment codec — by
+// default the compact columnar colseg format (package colseg), with
+// canonical JSONL available as the legacy/interchange codec — and the
+// trace's frozen core.Partial lives in a versioned snapshot file
+// (g000001.partial). The single commit point is manifest.json: it names
+// the generation's files with their sizes, CRC-32C checksums, and
+// codecs, plus the trace metadata, fingerprint, and Table-1 totals.
+// Fingerprints are always computed over the jobs' canonical JSONL
+// serialization, never over segment bytes, so trace identity is
+// independent of the on-disk representation: the same trace stored
+// under either codec has the same fingerprint.
 //
 // Commit protocol. A writer stages a new generation's segment and
 // snapshot files in the trace directory, fsyncs them, then commits by
@@ -47,12 +52,33 @@ import (
 // per-segment shards parallelize and a torn tail loses bounded work.
 const DefaultSegmentJobs = 1 << 17
 
+// Segment codecs. New segments are written with the store's configured
+// codec; reads always honor the codec each manifest records per
+// segment, so a data directory can hold both formats side by side (an
+// upgraded server reads its old JSONL segments and writes columnar
+// ones).
+const (
+	// CodecColumnar is the compact columnar binary format (package
+	// colseg): dictionary-encoded strings, delta varint times and IDs,
+	// per-block CRCs and zone maps. The default for new segments.
+	CodecColumnar = "colseg"
+	// CodecJSONL is canonical JSONL job lines — the interchange format
+	// and the v5-era on-disk format. Recorded in manifests as the empty
+	// string for backward compatibility.
+	CodecJSONL = "jsonl"
+)
+
 // Options tunes a Store.
 type Options struct {
 	// SegmentJobs caps the job records per segment file (zero:
 	// DefaultSegmentJobs). Segments are the unit of out-of-core
 	// sharding: one Source per segment feeds the parallel analysis.
 	SegmentJobs int
+	// Codec selects the format newly written segments use:
+	// CodecColumnar (the default when empty) or CodecJSONL. Existing
+	// segments are always read with the codec their manifest records,
+	// whatever this is set to.
+	Codec string
 }
 
 // Store is a handle to one storage root. It hands out immutable Trace
@@ -62,6 +88,7 @@ type Options struct {
 type Store struct {
 	root    string
 	segJobs int
+	codec   string
 
 	mu     sync.Mutex
 	gens   map[string]uint64 // per-directory last allocated generation
@@ -89,7 +116,15 @@ func Open(root string, opts Options) (*Store, *Recovery, error) {
 	if segJobs <= 0 {
 		segJobs = DefaultSegmentJobs
 	}
-	s := &Store{root: root, segJobs: segJobs, gens: make(map[string]uint64)}
+	codec := opts.Codec
+	switch codec {
+	case "":
+		codec = CodecColumnar
+	case CodecColumnar, CodecJSONL:
+	default:
+		return nil, nil, fmt.Errorf("storage: unknown segment codec %q (want %q or %q)", codec, CodecColumnar, CodecJSONL)
+	}
+	s := &Store{root: root, segJobs: segJobs, codec: codec, gens: make(map[string]uint64)}
 	if err := os.MkdirAll(s.tracesDir(), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("storage: creating root: %w", err)
 	}
@@ -102,6 +137,9 @@ func Open(root string, opts Options) (*Store, *Recovery, error) {
 
 // Root returns the storage root directory.
 func (s *Store) Root() string { return s.root }
+
+// Codec returns the codec newly written segments use.
+func (s *Store) Codec() string { return s.codec }
 
 func (s *Store) tracesDir() string { return filepath.Join(s.root, "traces") }
 

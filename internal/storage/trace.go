@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/colseg"
 	"repro/internal/core"
 	"repro/internal/trace"
 )
@@ -63,6 +64,22 @@ func (t *Trace) Shards() []trace.Source {
 	return segmentSources(t.dir, t.Meta(), t.man.Segments)
 }
 
+// ScanShards is Shards for aggregate-and-discard consumers: columnar
+// segments decode into one reused batch per shard, so a job a source
+// yields is valid only until that source's next Next call. The
+// disk-scan analysis path folds each job into a partial aggregate and
+// moves on, which is exactly that shape; anything retaining *Job
+// pointers (trace.Collect) must use Shards or Open. Strings inside the
+// jobs are immutable and safe to retain either way. JSONL segments are
+// unaffected — their decoder allocates per job regardless.
+func (t *Trace) ScanShards() []trace.Source {
+	out := segmentSources(t.dir, t.Meta(), t.man.Segments)
+	for _, src := range out {
+		src.(*segmentSource).volatile = true
+	}
+	return out
+}
+
 // Collect materializes the whole trace in memory — the reload path for
 // analyses that need random access. The caller owns the result.
 func (t *Trace) Collect() (*trace.Trace, error) {
@@ -99,23 +116,28 @@ func (t *Trace) LoadPartial() (*core.Partial, error) {
 	return core.UnmarshalPartial(b)
 }
 
-// segmentSources builds one lazily-opened Source per segment.
+// segmentSources builds one lazily-opened Source per segment, each
+// decoding with the codec its manifest entry records.
 func segmentSources(dir string, meta trace.Meta, segs []SegmentInfo) []trace.Source {
 	out := make([]trace.Source, len(segs))
 	for i, seg := range segs {
-		out[i] = &segmentSource{path: filepath.Join(dir, seg.File), meta: meta}
+		out[i] = &segmentSource{path: filepath.Join(dir, seg.File), meta: meta, codec: seg.Codec}
 	}
 	return out
 }
 
-// segmentSource streams one segment file's job lines. The file opens on
-// the first Next and closes at io.EOF or on the first error.
+// segmentSource streams one segment file's jobs. The file opens on the
+// first Next and closes at io.EOF or on the first error. The decoder is
+// chosen by the segment's recorded codec, so a trace directory mixing
+// columnar and legacy JSONL segments reads seamlessly.
 type segmentSource struct {
-	path string
-	meta trace.Meta
-	f    *os.File
-	r    *trace.JSONLReader
-	done bool
+	path     string
+	meta     trace.Meta
+	codec    string
+	volatile bool
+	f        *os.File
+	next     func() (*trace.Job, error)
+	done     bool
 }
 
 // Meta returns the full trace's metadata.
@@ -133,9 +155,18 @@ func (s *segmentSource) Next() (*trace.Job, error) {
 			return nil, fmt.Errorf("storage: opening segment: %w", err)
 		}
 		s.f = f
-		s.r = trace.NewJSONLBodyReader(f, s.meta)
+		switch s.codec {
+		case CodecColumnar:
+			var opts []colseg.Option
+			if s.volatile {
+				opts = append(opts, colseg.WithVolatileBatch())
+			}
+			s.next = colseg.NewReader(f, s.meta, opts...).Next
+		default: // "" and CodecJSONL: canonical JSONL
+			s.next = trace.NewJSONLBodyReader(f, s.meta).Next
+		}
 	}
-	j, err := s.r.Next()
+	j, err := s.next()
 	if err != nil {
 		s.done = true
 		s.f.Close()

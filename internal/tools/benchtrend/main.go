@@ -1,7 +1,7 @@
 // Command benchtrend appends one datapoint to a benchmark trend file
 // from `go test -bench` output. CI runs it after the benchmark steps
 // and uploads the grown files as artifacts, so the headline ratios are
-// tracked per commit on the multi-core runners. Two suites are known:
+// tracked per commit on the multi-core runners. Three suites are known:
 //
 //   - analyze (default): BenchmarkParallelAnalyze K=1 vs K=NumCPU into
 //     BENCH_ANALYZE.json, with an optional -min-speedup gate.
@@ -10,10 +10,17 @@
 //     BENCH_SERVE.json — the cost of a restart under the durable store
 //     — with an optional -max-restart-overhead gate on disk/memory.
 //
+//   - scan: BenchmarkSegmentScan jsonl vs colseg into BENCH_SCAN.json —
+//     the columnar segment codec's disk-scan throughput and on-disk
+//     size against the JSONL baseline — with an optional
+//     -min-scan-speedup gate on the jsonl/colseg time ratio.
+//
 //     go test -run '^$' -bench BenchmarkParallelAnalyze ./internal/core | \
 //     benchtrend -json BENCH_ANALYZE.json -note "ci trend"
 //     go test -run '^$' -bench BenchmarkStoreColdReport ./internal/server | \
 //     benchtrend -suite serve -json BENCH_SERVE.json -note "ci trend"
+//     go test -run '^$' -bench BenchmarkSegmentScan ./internal/storage | \
+//     benchtrend -suite scan -json BENCH_SCAN.json -note "ci trend"
 package main
 
 import (
@@ -40,19 +47,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze) or serve (BenchmarkStoreColdReport)")
-		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json per suite)")
+		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), or scan (BenchmarkSegmentScan)")
+		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json per suite)")
 		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
 		minSpeed = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
 		maxOver  = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
+		minScan  = fs.Float64("min-scan-speedup", 0, "scan suite: fail when the columnar disk scan is not at least this many times faster than the JSONL baseline — the segment-format acceptance gate; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonPath == "" {
-		if *suite == "serve" {
+		switch *suite {
+		case "serve":
 			*jsonPath = "BENCH_SERVE.json"
-		} else {
+		case "scan":
+			*jsonPath = "BENCH_SCAN.json"
+		default:
 			*jsonPath = "BENCH_ANALYZE.json"
 		}
 	}
@@ -71,8 +82,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		grown, summary, err = appendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	case "serve":
 		grown, summary, err = appendServeDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	case "scan":
+		grown, summary, err = appendScanDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	default:
-		return fmt.Errorf("unknown suite %q (use analyze or serve)", *suite)
+		return fmt.Errorf("unknown suite %q (use analyze, serve, or scan)", *suite)
 	}
 	if err != nil {
 		return err
@@ -81,8 +94,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout, summary)
-	if *suite == "serve" {
+	switch *suite {
+	case "serve":
 		return checkRestartOverhead(grown, *maxOver)
+	case "scan":
+		return checkScanSpeedup(grown, *minScan)
 	}
 	return checkSpeedup(grown, *minSpeed)
 }
@@ -160,6 +176,92 @@ func checkRestartOverhead(grown []byte, maxOverhead float64) error {
 	dp := doc.Datapoints[len(doc.Datapoints)-1]
 	if dp.Overhead > maxOverhead {
 		return fmt.Errorf("disk/memory cold-report overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
+	}
+	return nil
+}
+
+// scanLine matches one BenchmarkSegmentScan sub-benchmark with its
+// segbytes metric, e.g. "BenchmarkSegmentScan/colseg-4   100   5488495
+// ns/op   1043.59 MB/s   68581 jobs/scan   5727758 segbytes".
+var scanLine = regexp.MustCompile(`(?m)^BenchmarkSegmentScan/(jsonl|colseg)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op.*?\s(\d+(?:\.\d+)?) segbytes`)
+
+// appendScanDatapoint parses the segment-scan benchmark and appends the
+// jsonl-vs-colseg datapoint: scan times, on-disk sizes, and the two
+// headline ratios (scan_speedup = jsonl/colseg time, compression =
+// jsonl/colseg bytes). Both codecs must be present — a truncated run
+// must fail the step, not append garbage.
+func appendScanDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	segBytes := map[string]float64{}
+	for _, m := range scanLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		sz, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing segbytes %q: %w", m[3], err)
+		}
+		nsPerOp[m[1]] = ns
+		segBytes[m[1]] = sz
+	}
+	jsonl, okJ := nsPerOp["jsonl"]
+	colseg, okC := nsPerOp["colseg"]
+	if !okJ || !okC {
+		return nil, "", fmt.Errorf("benchmark output carries no jsonl or colseg result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	speedup := jsonl / colseg
+	compression := segBytes["jsonl"] / segBytes["colseg"]
+	dp := map[string]any{
+		"date":              now.Format("2006-01-02"),
+		"go":                goVersion,
+		"jsonl_ns_per_op":   int64(jsonl),
+		"colseg_ns_per_op":  int64(colseg),
+		"scan_speedup":      math2(speedup),
+		"jsonl_seg_bytes":   int64(segBytes["jsonl"]),
+		"colseg_seg_bytes":  int64(segBytes["colseg"]),
+		"compression_ratio": math2(compression),
+		"note":              note,
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("appended datapoint: jsonl %.1fms, colseg %.1fms (scan speedup %.2fx, compression %.2fx)",
+		jsonl/1e6, colseg/1e6, speedup, compression)
+	return append(grown, '\n'), summary, nil
+}
+
+// checkScanSpeedup enforces the scan-suite bar against the datapoint
+// just appended. The datapoint is always recorded first, so a failing
+// run still leaves the evidence in the trend artifact.
+func checkScanSpeedup(grown []byte, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Speedup float64 `json:"scan_speedup"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Speedup < minSpeedup {
+		return fmt.Errorf("colseg scan speedup %.2fx is below the %.2fx acceptance bar", dp.Speedup, minSpeedup)
 	}
 	return nil
 }

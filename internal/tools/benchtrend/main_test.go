@@ -167,6 +167,93 @@ func TestCheckRestartOverhead(t *testing.T) {
 	}
 }
 
+const sampleScanTrend = `{
+  "benchmark": "BenchmarkSegmentScan",
+  "acceptance": "colseg disk scan >= 10x the JSONL baseline",
+  "datapoints": []
+}`
+
+const sampleScanBench = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSegmentScan/jsonl-4   	      20	  57633511 ns/op	 299.61 MB/s	     68581 jobs/scan	  17267322 segbytes
+BenchmarkSegmentScan/colseg-4  	      20	   5488495 ns/op	1043.59 MB/s	     68581 jobs/scan	   5727758 segbytes
+PASS
+`
+
+func TestAppendScanDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendScanDatapoint([]byte(sampleScanTrend), []byte(sampleScanBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "scan speedup 10.50x") {
+		t.Errorf("summary %q lacks the speedup", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["acceptance"] != "colseg disk scan >= 10x the JSONL baseline" {
+		t.Error("existing fields not preserved")
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 1 {
+		t.Fatalf("got %d datapoints, want 1", len(points))
+	}
+	dp := points[0].(map[string]any)
+	for key, want := range map[string]any{
+		"date":              "2026-08-08",
+		"go":                "go1.24.0",
+		"jsonl_ns_per_op":   57633511.0,
+		"colseg_ns_per_op":  5488495.0,
+		"scan_speedup":      10.5,
+		"jsonl_seg_bytes":   17267322.0,
+		"colseg_seg_bytes":  5727758.0,
+		"compression_ratio": 3.01,
+		"cpu":               "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"note":              "ci trend",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendScanDatapointRejectsTruncated(t *testing.T) {
+	if _, _, err := appendScanDatapoint([]byte(sampleScanTrend), []byte("PASS\n"), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("empty benchmark output did not error")
+	}
+	partial := "BenchmarkSegmentScan/jsonl-4   20   57633511 ns/op   299.61 MB/s   68581 jobs/scan   17267322 segbytes\n"
+	if _, _, err := appendScanDatapoint([]byte(sampleScanTrend), []byte(partial), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without the colseg result did not error")
+	}
+	// A result line missing its segbytes metric is as truncated as a
+	// missing line: the datapoint needs both sizes.
+	noMetric := "BenchmarkSegmentScan/jsonl-4   20   57633511 ns/op\n" +
+		"BenchmarkSegmentScan/colseg-4   20   5488495 ns/op\n"
+	if _, _, err := appendScanDatapoint([]byte(sampleScanTrend), []byte(noMetric), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without segbytes metrics did not error")
+	}
+}
+
+func TestCheckScanSpeedup(t *testing.T) {
+	trend := func(speedup float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"scan_speedup": speedup},
+		}})
+		return b
+	}
+	if err := checkScanSpeedup(trend(10.5), 10); err != nil {
+		t.Errorf("10.5x failed the 10x bar: %v", err)
+	}
+	if err := checkScanSpeedup(trend(4.5), 10); err == nil {
+		t.Error("4.5x passed the 10x bar")
+	}
+	if err := checkScanSpeedup(trend(1.0), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
 func TestAppendDatapointSingleCore(t *testing.T) {
 	bench := "BenchmarkParallelAnalyze/K=NumCPU(1)   3   21636837 ns/op\n" +
 		"BenchmarkParallelAnalyze/K=2   3   21159707 ns/op\n"

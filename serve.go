@@ -35,6 +35,11 @@ type ServeOptions struct {
 	// snapshotted alongside, survive restarts, and are analyzed
 	// out-of-core when larger than the in-memory budget.
 	DataDir string
+	// SegmentCodec selects the on-disk segment format for newly stored
+	// traces: "colseg" (compact columnar binary, the default) or "jsonl"
+	// (canonical JSONL, the pre-v6 format). Stored segments always read
+	// back with the codec they were written with.
+	SegmentCodec string
 	// Logger receives one line per request; nil disables request logs.
 	Logger *log.Logger
 }
@@ -50,6 +55,7 @@ func NewServeHandler(opts ServeOptions) (http.Handler, error) {
 		CacheEntries:    opts.CacheEntries,
 		DisablePartials: opts.DisablePartials,
 		DataDir:         opts.DataDir,
+		SegmentCodec:    opts.SegmentCodec,
 		Logger:          opts.Logger,
 	})
 	if err != nil {
