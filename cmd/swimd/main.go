@@ -1,15 +1,18 @@
 // Command swimd serves the study's workload analytics as a long-running
 // HTTP/JSON service: named traces live in a concurrent in-memory store
-// (uploaded as JSONL streams or generated on demand from the calibrated
-// profiles) and every report, synthesis, and replay result is memoized
-// in a fingerprint-keyed, single-flight cache, so concurrent identical
-// requests compute once and repeats are served in microseconds.
+// (uploaded as JSONL streams, appended in live batches, or generated on
+// demand from the calibrated profiles) and every report, synthesis, and
+// replay result is memoized in a fingerprint-keyed, single-flight
+// cache, so concurrent identical requests compute once and repeats are
+// served in microseconds.
 //
 //	swimd -addr :8080 -preload FB-2009,CC-b -preload-duration 168h
 //
 //	curl localhost:8080/healthz
 //	curl -X POST --data-binary @cc-b.jsonl localhost:8080/v1/traces/mine
+//	curl -X POST --data-binary @batch.jsonl localhost:8080/v1/traces/mine/append
 //	curl localhost:8080/v1/traces/mine/report | jq .summary
+//	curl 'localhost:8080/v1/traces/mine/report?window=6h' | jq .summary
 //	curl localhost:8080/v1/stats | jq .cache
 //
 // See README.md ("Serving the analytics: swimd") for the endpoint tour.

@@ -168,6 +168,23 @@ func (r *Reader) BlocksRead() int { return r.blocksRead }
 // BlocksPruned returns how many blocks the zone maps skipped.
 func (r *Reader) BlocksPruned() int { return r.blocksPruned }
 
+// Close releases the reader's pooled buffers without draining the
+// stream. A scan abandoned mid-segment — a handler error on a sibling
+// shard, a disconnected client — must Close so the max-block bufio
+// buffer returns to the pool; a stream read to EOF or error has
+// already released and Close is a no-op. The reader is unusable after:
+// any subsequent Next reports the latched error.
+func (r *Reader) Close() error {
+	if r.err == nil {
+		r.err = errClosed
+		r.release()
+	}
+	return nil
+}
+
+// errClosed is the latched error after an explicit Close.
+var errClosed = fmt.Errorf("colseg: reader closed")
+
 // Next returns the next job, or io.EOF at end of segment.
 func (r *Reader) Next() (*trace.Job, error) {
 	for {

@@ -126,6 +126,26 @@ func (w *Writer) Close() error {
 	return w.flushBlock()
 }
 
+// Flush emits the buffered jobs as one (possibly short) block and
+// leaves the stream open for more writes. Blocks are self-contained —
+// each resets the delta and dictionary state — so a flushed prefix of
+// the stream is a valid colseg segment on its own. The live-ingest
+// path flushes at every batch commit boundary: everything up to the
+// manifest's recorded size then decodes without the uncommitted tail.
+// Flushing an empty buffer writes nothing (but still emits the header
+// on a fresh stream, so even a zero-job flush leaves a valid segment).
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.began {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return w.flushBlock()
+}
+
 // ref interns s in the block dictionary and returns its wire reference:
 // 0 for the empty string, index+1 otherwise.
 func (w *Writer) ref(s string) uint64 {

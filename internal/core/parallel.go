@@ -1,6 +1,7 @@
 package core
 
 import (
+	"io"
 	"runtime"
 	"sync"
 
@@ -139,6 +140,15 @@ func mergeShardPartials(meta trace.Meta, shards []trace.Source, sketch bool) (*P
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// A failed shard leaves its source — and possibly siblings —
+			// mid-stream; close whatever holds resources (disk shards own
+			// file descriptors) before abandoning the scan. Close after
+			// EOF is a no-op, so closing every shard is safe.
+			for _, sh := range shards {
+				if cl, ok := sh.(io.Closer); ok {
+					cl.Close()
+				}
+			}
 			return nil, err
 		}
 	}

@@ -99,3 +99,18 @@ func UnmarshalPartial(data []byte) (*Partial, error) {
 	}
 	return p, nil
 }
+
+// Clone returns an independent deep copy of the partial: mutating the
+// original (further Observe calls) never changes the clone, and the
+// clone's Report bytes are identical to the original's at the moment of
+// the copy. The live-ingest path uses this to publish a frozen snapshot
+// per committed batch while keeping one private mutable accumulator.
+// Implemented as a snapshot round trip, which the persistence suite
+// pins as byte-exact.
+func (p *Partial) Clone() (*Partial, error) {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalPartial(b)
+}

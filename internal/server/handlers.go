@@ -32,6 +32,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrAppendConflict):
+		status = http.StatusConflict
 	case errors.Is(err, ErrStoreFull):
 		status = http.StatusInsufficientStorage
 	case errors.Is(err, errBadRequest):
@@ -54,13 +56,36 @@ func badReq(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
 }
 
-// queryBool parses a boolean query parameter ("1", "true", "yes").
-func queryBool(r *http.Request, key string) bool {
-	switch r.URL.Query().Get(key) {
+// queryBool parses a boolean query parameter strictly: anything outside
+// {"", "0", "1", "true", "false", "yes", "no"} is a 400, not a silent
+// false — a misspelled ?ful=1 or ?sketch=ture must not quietly serve
+// the wrong report variant.
+func queryBool(r *http.Request, key string) (bool, error) {
+	switch v := r.URL.Query().Get(key); v {
 	case "1", "true", "yes":
-		return true
+		return true, nil
+	case "", "0", "false", "no":
+		return false, nil
+	default:
+		return false, badReq("parameter %s=%q is not a boolean (use 0/1/true/false/yes/no)", key, v)
 	}
-	return false
+}
+
+// queryTime parses a timestamp query parameter: integer unix seconds or
+// RFC3339. The zero time means absent.
+func queryTime(r *http.Request, key string) (time.Time, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, badReq("parameter %s=%q is neither unix seconds nor RFC3339", key, s)
+	}
+	return t, nil
 }
 
 // queryInt parses an integer query parameter with a default.
@@ -168,6 +193,51 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// AppendResponse is the POST /v1/traces/{name}/append payload: the
+// trace's new identity plus how many jobs this batch added.
+type AppendResponse struct {
+	TraceInfo
+	Appended int `json:"appended"`
+}
+
+// handleAppend streams one JSONL batch into a live trace: the first
+// batch (with complete metadata) creates the trace, later batches grow
+// it, and after every batch the trace is fully committed — fingerprint,
+// aggregate, durable segments — exactly as if the whole prefix had been
+// uploaded at once. Batches must not precede the committed tail in
+// (submit time, id) order; violations (and metadata contradictions, and
+// losing a race with a re-upload or delete) are 409s.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	src, err := trace.NewJSONLReader(body)
+	if err != nil {
+		writeErr(w, badReq("decoding append: %v", err))
+		return
+	}
+	info, appended, prevFP, err := s.store.Append(name, src)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			err = fmt.Errorf("%w: append exceeds the %d-byte limit", ErrStoreFull, tooLarge.Limit)
+		case errors.Is(err, ErrStoreFull), errors.Is(err, ErrAppendConflict), errors.Is(err, errBadRequest):
+		default:
+			err = badReq("%v", err)
+		}
+		writeErr(w, err)
+		return
+	}
+	// The batch retired the trace's previous fingerprint; drop its
+	// memoized results unless another stored trace still has that
+	// content (fingerprint-keyed entries are never stale, this is
+	// reclaiming memory the old version can no longer earn back).
+	if prevFP != "" && prevFP != info.Fingerprint && !s.store.HasFingerprint(prevFP) {
+		s.cache.InvalidatePrefix(prevFP + "|")
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{TraceInfo: info, Appended: appended})
+}
+
 func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 	v, err := s.store.View(r.PathValue("name"))
 	if err != nil {
@@ -245,8 +315,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	full := queryBool(r, "full")
-	sketch := queryBool(r, "sketch")
+	full, err := queryBool(r, "full")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sketch, err := queryBool(r, "sketch")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	top, err := queryInt(r, "top", 8)
 	if err != nil {
 		writeErr(w, err)
@@ -261,12 +339,26 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badReq("shards=%d out of range [0, 1024]", shards))
 		return
 	}
+	from, to, windowed, err := reportWindow(r, v)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if windowed && full {
+		writeErr(w, badReq("full=1 needs the whole trace and cannot combine with from/to/window"))
+		return
+	}
 	key := fmt.Sprintf("%s|report|full=%t|sketch=%t|top=%d", v.Info.Fingerprint, full, sketch, top)
+	if windowed {
+		key += fmt.Sprintf("|win=%d-%d", from.Unix(), to.Unix())
+	}
 	s.serveCached(w, key, func() ([]byte, error) {
 		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch, Shards: shards}
 		var rep *core.Report
 		var err error
 		switch {
+		case windowed:
+			rep, err = s.windowReport(w, v, from, to, shards, sketch, top)
 		case full:
 			t := v.Trace
 			if t == nil {
@@ -313,6 +405,107 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 		return json.Marshal(rep.JSON())
 	})
+}
+
+// reportWindow resolves a report request's from/to/window parameters
+// against the trace's own span. window=D means the trailing D of the
+// trace ([end-D, end]) and is exclusive with explicit bounds; a lone
+// from runs to the trace end, a lone to starts at the trace start.
+// Returns windowed=false when no window parameter is present.
+func reportWindow(r *http.Request, v View) (from, to time.Time, windowed bool, err error) {
+	from, err = queryTime(r, "from")
+	if err != nil {
+		return
+	}
+	to, err = queryTime(r, "to")
+	if err != nil {
+		return
+	}
+	window, err := queryDuration(r, "window", 0)
+	if err != nil {
+		return
+	}
+	windowed = !from.IsZero() || !to.IsZero() || window != 0
+	if !windowed {
+		return
+	}
+	var start time.Time
+	if v.Trace != nil {
+		start = v.Trace.Meta.Start
+	} else {
+		start = v.Stored.Meta().Start
+	}
+	end := start.Add(time.Duration(v.Info.LengthMS) * time.Millisecond)
+	switch {
+	case window < 0:
+		err = badReq("window=%s is negative", window)
+	case window > 0 && (!from.IsZero() || !to.IsZero()):
+		err = badReq("window is the trailing span of the trace and cannot combine with from/to")
+	case window > 0:
+		to = end
+		from = end.Add(-window)
+	default:
+		if from.IsZero() {
+			from = start
+		}
+		if to.IsZero() {
+			to = end
+		}
+	}
+	if err == nil && !to.After(from) {
+		err = badReq("empty window: from=%s is not before to=%s",
+			from.Format(time.RFC3339), to.Format(time.RFC3339))
+	}
+	return
+}
+
+// windowReport builds the report for one submit-time window of a trace.
+// The frozen whole-trace aggregate cannot answer a window, so this
+// always scans — a resident trace in memory, a disk-resident one
+// out-of-core with segments pruned by their manifest submit-time spans
+// and columnar blocks by their zone maps (the X-Scan-* headers report
+// how much the pruning skipped). The windowed partial is parked in the
+// cache's aggregate tier under (fingerprint, window), so report
+// variants differing only in finalization (top=N) share the scan.
+func (s *Server) windowReport(w http.ResponseWriter, v View, from, to time.Time, shards int, sketch bool, top int) (*core.Report, error) {
+	length := to.Sub(from)
+	aggKey := fmt.Sprintf("%s|partial|sketch=%t|win=%d-%d", v.Info.Fingerprint, sketch, from.Unix(), to.Unix())
+	miss := "window-scan"
+	av, cached, err := s.cache.DoAggregate(aggKey, func() (any, error) {
+		if v.Trace != nil {
+			return core.BuildTracePartial(v.Trace.Window(from, length), shards, sketch)
+		}
+		miss = "window-disk-scan"
+		wmeta := trace.Meta{
+			Name:     v.Info.Workload,
+			Machines: v.Info.Machines,
+			Start:    from,
+			Length:   length,
+		}
+		srcs, stats := v.Stored.WindowShards(from, to)
+		wrapped := make([]trace.Source, len(srcs))
+		for i, sh := range srcs {
+			wrapped[i] = trace.NewWindowSource(sh, wmeta, from, to)
+		}
+		p, err := core.BuildShardsPartial(wmeta, wrapped, sketch)
+		if err != nil {
+			return nil, err
+		}
+		w.Header().Set("X-Scan-Segments", strconv.Itoa(stats.Segments))
+		w.Header().Set("X-Scan-Segments-Pruned", strconv.Itoa(stats.SegmentsPruned))
+		w.Header().Set("X-Scan-Blocks", strconv.FormatInt(stats.BlocksRead(), 10))
+		w.Header().Set("X-Scan-Blocks-Pruned", strconv.FormatInt(stats.BlocksPruned(), 10))
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		w.Header().Set("X-Analysis", "cached-window-partial")
+	} else {
+		w.Header().Set("X-Analysis", miss)
+	}
+	return av.(*core.Partial).Report(top)
 }
 
 // FidelityJSON is the wire form of a synthesis fidelity score.

@@ -58,9 +58,11 @@ const DefaultMaxUploadBytes = 1 << 30
 //	GET    /v1/stats                    store + cache + request counters
 //	GET    /v1/traces                   list stored traces
 //	POST   /v1/traces/{name}            streaming JSONL ingest
+//	POST   /v1/traces/{name}/append     live batched JSONL append
 //	GET    /v1/traces/{name}            one trace's identity
 //	DELETE /v1/traces/{name}            drop a trace (and its segments)
-//	GET    /v1/traces/{name}/report     the study's figures/tables (cached)
+//	GET    /v1/traces/{name}/report     the study's figures/tables (cached;
+//	                                    from/to/window select a submit-time slice)
 //	GET    /v1/traces/{name}/synth      SWIM synthesis + fidelity (cached)
 //	GET    /v1/traces/{name}/replay     simulated replay metrics (cached)
 //	POST   /v1/generate                 async calibrated-workload generation
@@ -108,6 +110,9 @@ func New(cfg Config) (*Server, error) {
 			for _, d := range rec.Dropped {
 				cfg.Logger.Printf("recovery dropped trace %q: %s", d.Name, d.Reason)
 			}
+			for _, tr := range rec.Trimmed {
+				cfg.Logger.Printf("recovery trimmed %d uncommitted byte(s) from trace %q (%s)", tr.Bytes, tr.Name, tr.File)
+			}
 			cfg.Logger.Printf("recovered %d traces from %s", len(rec.Traces), cfg.DataDir)
 		}
 	}
@@ -115,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
 	s.mux.HandleFunc("POST /v1/traces/{name}", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/traces/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/traces/{name}", s.handleTraceInfo)
 	s.mux.HandleFunc("DELETE /v1/traces/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/traces/{name}/report", s.handleReport)

@@ -183,6 +183,7 @@ func (s *Store) spillIngest(name string, buffered *trace.Trace, pending *trace.J
 		return TraceInfo{}, fmt.Errorf("server: committing spilled %q: %w", name, err)
 	}
 	s.installLocked(name, &entry{info: info, partial: p, stored: stored})
+	s.invalidateAppendLocked(name)
 	s.ingests++
 	s.spills++
 	return info, nil

@@ -114,11 +114,21 @@ type Store struct {
 	noPartials   bool
 	backing      *storage.Store
 
-	ingests   uint64
-	rejected  uint64
-	spills    uint64
-	evictions uint64
-	reloads   uint64
+	// appendStates holds the live append session per trace name (see
+	// append.go). Map membership changes under mu; each session's write
+	// path serializes on its own mutex. appendOpenMu serializes session
+	// *opening* store-wide — opening replays the committed jobs, and that
+	// replay must not run twice for one name.
+	appendStates map[string]*appendState
+	appendOpenMu sync.Mutex
+
+	ingests        uint64
+	rejected       uint64
+	appends        uint64
+	appendRejected uint64
+	spills         uint64
+	evictions      uint64
+	reloads        uint64
 }
 
 // DefaultMaxTraces and DefaultMaxTotalJobs bound the store when the
@@ -141,6 +151,7 @@ func NewStore(maxTraces, maxTotalJobs int) *Store {
 	return &Store{
 		entries:      make(map[string]*entry),
 		lru:          list.New(),
+		appendStates: make(map[string]*appendState),
 		maxTraces:    maxTraces,
 		maxTotalJobs: maxTotalJobs,
 	}
@@ -251,6 +262,9 @@ func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, er
 	}
 	fp, err := t.Fingerprint()
 	if err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
 		return TraceInfo{}, err
 	}
 	sum := t.Summarize()
@@ -268,6 +282,12 @@ func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, er
 	if s.backing != nil {
 		sealed, err = s.backing.Stage(name, t, fp, p)
 		if err != nil {
+			// Every non-committed ingest outcome counts as a rejection,
+			// not just admission failures — /v1/stats must not undercount
+			// failed uploads.
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
 			return TraceInfo{}, fmt.Errorf("server: persisting %q: %w", name, err)
 		}
 	}
@@ -285,12 +305,14 @@ func (s *Store) put(name string, t *trace.Trace, p *core.Partial) (TraceInfo, er
 	if sealed != nil {
 		stored, err = sealed.Commit()
 		if err != nil {
+			s.rejected++
 			sealed.Abort()
 			return TraceInfo{}, fmt.Errorf("server: committing %q: %w", name, err)
 		}
 	}
 	e := &entry{t: t, info: info, partial: p, stored: stored}
 	s.installLocked(name, e)
+	s.invalidateAppendLocked(name)
 	s.ingests++
 	return info, nil
 }
@@ -532,7 +554,12 @@ func (s *Store) Get(name string) (*trace.Trace, TraceInfo, error) {
 	if e.t == nil {
 		e.t = tr
 		s.residentJobs += e.info.Jobs
+		// Structural list change: documented lock protocol is mu's write
+		// lock AND lruMu (mirroring installLocked), so a reader-side
+		// MoveToFront under RLock can never interleave with the push.
+		s.lruMu.Lock()
 		e.elem = s.lru.PushFront(e)
+		s.lruMu.Unlock()
 		s.reloads++
 		s.evictToFitLocked()
 	}
@@ -558,6 +585,7 @@ func (s *Store) Delete(name string) (TraceInfo, bool) {
 	}
 	s.dropResidencyLocked(e)
 	delete(s.entries, name)
+	s.invalidateAppendLocked(name)
 	if s.backing != nil && e.stored != nil {
 		_ = s.backing.Delete(name)
 	}
@@ -605,11 +633,15 @@ type StoreStats struct {
 	MaxTotalJobs int    `json:"max_total_jobs"`
 	Ingests      uint64 `json:"ingests"`
 	Rejected     uint64 `json:"rejected"`
-	DiskTraces   int    `json:"disk_traces,omitempty"`
-	DiskBytes    int64  `json:"disk_bytes,omitempty"`
-	Spills       uint64 `json:"spills,omitempty"`
-	Evictions    uint64 `json:"evictions,omitempty"`
-	Reloads      uint64 `json:"reloads,omitempty"`
+	// Appends counts committed append batches; AppendRejected every
+	// append batch that did not commit (bad input, conflicts, budget).
+	Appends        uint64 `json:"appends,omitempty"`
+	AppendRejected uint64 `json:"append_rejected,omitempty"`
+	DiskTraces     int    `json:"disk_traces,omitempty"`
+	DiskBytes      int64  `json:"disk_bytes,omitempty"`
+	Spills         uint64 `json:"spills,omitempty"`
+	Evictions      uint64 `json:"evictions,omitempty"`
+	Reloads        uint64 `json:"reloads,omitempty"`
 }
 
 // Stats snapshots the store counters.
@@ -617,15 +649,17 @@ func (s *Store) Stats() StoreStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := StoreStats{
-		Traces:       len(s.entries),
-		ResidentJobs: s.residentJobs,
-		MaxTraces:    s.maxTraces,
-		MaxTotalJobs: s.maxTotalJobs,
-		Ingests:      s.ingests,
-		Rejected:     s.rejected,
-		Spills:       s.spills,
-		Evictions:    s.evictions,
-		Reloads:      s.reloads,
+		Traces:         len(s.entries),
+		ResidentJobs:   s.residentJobs,
+		MaxTraces:      s.maxTraces,
+		MaxTotalJobs:   s.maxTotalJobs,
+		Ingests:        s.ingests,
+		Rejected:       s.rejected,
+		Appends:        s.appends,
+		AppendRejected: s.appendRejected,
+		Spills:         s.spills,
+		Evictions:      s.evictions,
+		Reloads:        s.reloads,
 	}
 	for _, e := range s.entries {
 		st.TotalJobs += e.info.Jobs

@@ -74,10 +74,18 @@ type FileInfo struct {
 // encoded with. An empty codec means canonical JSONL — the only format
 // v5-era manifests could describe — so legacy manifests parse unchanged
 // and JSONL-codec stores keep writing byte-identical manifests.
+//
+// MinSubmitSec/MaxSubmitSec are the segment-level zone map: the
+// earliest and latest job submit times (Unix seconds) in the segment,
+// letting a windowed query skip whole segment files without opening
+// them (colseg's per-block zone maps then prune within kept segments).
+// Both zero means unknown — a legacy manifest — and never prunes.
 type SegmentInfo struct {
 	FileInfo
-	Jobs  int    `json:"jobs"`
-	Codec string `json:"codec,omitempty"`
+	Jobs         int    `json:"jobs"`
+	Codec        string `json:"codec,omitempty"`
+	MinSubmitSec int64  `json:"min_submit_sec,omitempty"`
+	MaxSubmitSec int64  `json:"max_submit_sec,omitempty"`
 }
 
 // readManifest loads and structurally validates a manifest file.

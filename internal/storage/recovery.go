@@ -23,7 +23,8 @@ func (s *Store) recover() (*Recovery, error) {
 			continue
 		}
 		dir := filepath.Join(s.tracesDir(), e.Name())
-		t, reason := s.recoverTrace(dir, e.Name())
+		t, trimmed, reason := s.recoverTrace(dir, e.Name())
+		rec.Trimmed = append(rec.Trimmed, trimmed...)
 		if t != nil {
 			rec.Traces = append(rec.Traces, t)
 			continue
@@ -41,23 +42,29 @@ func (s *Store) recover() (*Recovery, error) {
 }
 
 // recoverTrace verifies one trace directory. It returns the trace
-// handle, or nil with the reason the directory must be dropped.
-func (s *Store) recoverTrace(dir, encName string) (*Trace, string) {
+// handle plus any uncommitted live-append tails it truncated, or nil
+// with the reason the directory must be dropped.
+func (s *Store) recoverTrace(dir, encName string) (*Trace, []TrimmedTail, string) {
 	man, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, "no committed manifest (crashed before first commit)"
+			return nil, nil, "no committed manifest (crashed before first commit)"
 		}
-		return nil, fmt.Sprintf("unreadable manifest: %v", err)
+		return nil, nil, fmt.Sprintf("unreadable manifest: %v", err)
 	}
 	// The directory must be the canonical home of the manifest's name,
 	// or two directories could claim one trace.
 	if want, err := encodeName(man.Name); err != nil || want != encName {
-		return nil, fmt.Sprintf("directory %q does not match manifest name %q", encName, man.Name)
+		return nil, nil, fmt.Sprintf("directory %q does not match manifest name %q", encName, man.Name)
 	}
+	var trimmed []TrimmedTail
 	for _, seg := range man.Segments {
-		if err := verifySegment(dir, seg); err != nil {
-			return nil, fmt.Sprintf("torn trace: %v", err)
+		n, err := verifySegment(dir, seg)
+		if err != nil {
+			return nil, nil, fmt.Sprintf("torn trace: %v", err)
+		}
+		if n > 0 {
+			trimmed = append(trimmed, TrimmedTail{Name: man.Name, File: seg.File, Bytes: n})
 		}
 	}
 	// Committed and verified: sweep files the manifest does not name
@@ -76,5 +83,5 @@ func (s *Store) recoverTrace(dir, encName string) (*Trace, string) {
 		s.gens[dir] = man.Generation
 	}
 	s.mu.Unlock()
-	return &Trace{dir: dir, man: man}, ""
+	return &Trace{dir: dir, man: man}, trimmed, ""
 }

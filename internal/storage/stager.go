@@ -97,8 +97,31 @@ type Stager struct {
 	cw       *countCRCWriter
 	enc      segmentEncoder
 	segJobs  int
+	segSpan  submitSpan
 	segments []SegmentInfo
 	done     bool
+}
+
+// submitSpan accumulates a segment's min/max job submit seconds — the
+// segment-level zone map recorded in the manifest.
+type submitSpan struct {
+	has      bool
+	min, max int64
+}
+
+func (sp *submitSpan) observe(j *trace.Job) {
+	sec := j.SubmitTime.Unix()
+	if !sp.has {
+		sp.has = true
+		sp.min, sp.max = sec, sec
+		return
+	}
+	if sec < sp.min {
+		sp.min = sec
+	}
+	if sec > sp.max {
+		sp.max = sec
+	}
 }
 
 // NewStager starts staging a new generation for name, creating the
@@ -136,6 +159,7 @@ func (st *Stager) Write(j *trace.Job) error {
 		return err
 	}
 	st.segJobs++
+	st.segSpan.observe(j)
 	if st.segJobs >= st.store.segJobs {
 		return st.closeSegment()
 	}
@@ -177,7 +201,7 @@ func (st *Stager) closeSegment() error {
 	if err := st.f.Close(); err != nil {
 		return fmt.Errorf("storage: closing segment: %w", err)
 	}
-	st.segments = append(st.segments, SegmentInfo{
+	info := SegmentInfo{
 		FileInfo: FileInfo{
 			File:   segmentFile(st.gen, len(st.segments)),
 			Size:   st.cw.n,
@@ -185,11 +209,16 @@ func (st *Stager) closeSegment() error {
 		},
 		Jobs:  st.segJobs,
 		Codec: manifestCodec(st.store.codec),
-	})
+	}
+	if st.segSpan.has {
+		info.MinSubmitSec, info.MaxSubmitSec = st.segSpan.min, st.segSpan.max
+	}
+	st.segments = append(st.segments, info)
 	st.f = nil
 	st.bw = nil
 	st.cw = nil
 	st.enc = nil
+	st.segSpan = submitSpan{}
 	return nil
 }
 

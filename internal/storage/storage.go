@@ -96,17 +96,28 @@ type Store struct {
 }
 
 // Recovery reports what Open found: the committed traces that passed
-// verification, and what was dropped with the reason — so a server can
-// log torn uploads it discarded rather than silently forgetting them.
+// verification, what was dropped with the reason — so a server can log
+// torn uploads it discarded rather than silently forgetting them — and
+// any uncommitted live-append tails truncated back to the last
+// committed batch boundary.
 type Recovery struct {
 	Traces  []*Trace
 	Dropped []Dropped
+	Trimmed []TrimmedTail
 }
 
 // Dropped names one trace directory recovery removed and why.
 type Dropped struct {
 	Name   string
 	Reason string
+}
+
+// TrimmedTail names one segment whose uncommitted append tail recovery
+// truncated: the trace keeps serving at its last committed batch.
+type TrimmedTail struct {
+	Name  string
+	File  string
+	Bytes int64
 }
 
 // Open creates (if needed) and recovers a storage root, returning the

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/colseg"
 	"repro/internal/core"
@@ -80,6 +82,60 @@ func (t *Trace) ScanShards() []trace.Source {
 	return out
 }
 
+// ScanStats counts what a windowed disk scan actually touched — the
+// proof that zone maps pruned, independent of timing. Block counters
+// are harvested from each segment's colseg reader when its stream ends
+// (EOF, error, or Close), so read them only after the scan completes.
+// The counters are atomic: shard sources finish on scatter workers.
+type ScanStats struct {
+	Segments       int // segments in the committed generation
+	SegmentsPruned int // skipped via manifest min/max without opening
+	blocksRead     atomic.Int64
+	blocksPruned   atomic.Int64
+}
+
+// BlocksRead returns how many colseg blocks the scan decoded.
+func (st *ScanStats) BlocksRead() int64 { return st.blocksRead.Load() }
+
+// BlocksPruned returns how many colseg blocks zone maps skipped inside
+// segments that were opened.
+func (st *ScanStats) BlocksPruned() int64 { return st.blocksPruned.Load() }
+
+// WindowShards returns volatile scan sources for the jobs submitted in
+// [from, to], pruned at two levels: segments whose manifest zone map
+// lies wholly outside the window are skipped without opening (legacy
+// manifests without zone maps never prune), and colseg blocks inside
+// kept segments are skipped via their per-block zone maps. Pruning is
+// conservative at second granularity — kept sources may still yield
+// edge jobs outside the window, so the caller filters exactly (e.g.
+// trace.NewWindowSource). The returned stats are valid once every
+// source has been drained or closed.
+func (t *Trace) WindowShards(from, to time.Time) ([]trace.Source, *ScanStats) {
+	stats := &ScanStats{Segments: len(t.man.Segments)}
+	fromSec, toSec := from.Unix(), to.Unix()
+	meta := t.Meta()
+	var out []trace.Source
+	for _, seg := range t.man.Segments {
+		if (seg.MinSubmitSec != 0 || seg.MaxSubmitSec != 0) &&
+			(seg.MaxSubmitSec < fromSec || seg.MinSubmitSec > toSec) {
+			stats.SegmentsPruned++
+			continue
+		}
+		out = append(out, &segmentSource{
+			path:     filepath.Join(t.dir, seg.File),
+			meta:     meta,
+			codec:    seg.Codec,
+			size:     seg.Size,
+			volatile: true,
+			window:   true,
+			from:     from,
+			to:       to,
+			stats:    stats,
+		})
+	}
+	return out, stats
+}
+
 // Collect materializes the whole trace in memory — the reload path for
 // analyses that need random access. The caller owns the result.
 func (t *Trace) Collect() (*trace.Trace, error) {
@@ -121,21 +177,28 @@ func (t *Trace) LoadPartial() (*core.Partial, error) {
 func segmentSources(dir string, meta trace.Meta, segs []SegmentInfo) []trace.Source {
 	out := make([]trace.Source, len(segs))
 	for i, seg := range segs {
-		out[i] = &segmentSource{path: filepath.Join(dir, seg.File), meta: meta, codec: seg.Codec}
+		out[i] = &segmentSource{path: filepath.Join(dir, seg.File), meta: meta, codec: seg.Codec, size: seg.Size}
 	}
 	return out
 }
 
 // segmentSource streams one segment file's jobs. The file opens on the
-// first Next and closes at io.EOF or on the first error. The decoder is
+// first Next and closes at io.EOF or on the first error; a consumer
+// abandoning the stream mid-segment must Close it to release the
+// descriptor (and the colseg reader's pooled buffers). The decoder is
 // chosen by the segment's recorded codec, so a trace directory mixing
 // columnar and legacy JSONL segments reads seamlessly.
 type segmentSource struct {
 	path     string
 	meta     trace.Meta
 	codec    string
+	size     int64 // committed byte count from the manifest
 	volatile bool
+	window   bool
+	from, to time.Time
+	stats    *ScanStats
 	f        *os.File
+	cr       *colseg.Reader
 	next     func() (*trace.Job, error)
 	done     bool
 }
@@ -155,28 +218,71 @@ func (s *segmentSource) Next() (*trace.Job, error) {
 			return nil, fmt.Errorf("storage: opening segment: %w", err)
 		}
 		s.f = f
+		// A live-append trace's open segment may hold bytes past the
+		// committed batch boundary (and a concurrent appender keeps
+		// growing it); readers see exactly the manifest-recorded prefix.
+		// Batch commits flush the codec at a self-contained boundary, so
+		// the prefix always decodes cleanly.
+		var rd io.Reader = f
+		if s.size > 0 {
+			rd = io.LimitReader(f, s.size)
+		}
 		switch s.codec {
 		case CodecColumnar:
 			var opts []colseg.Option
 			if s.volatile {
 				opts = append(opts, colseg.WithVolatileBatch())
 			}
-			s.next = colseg.NewReader(f, s.meta, opts...).Next
+			if s.window {
+				opts = append(opts, colseg.WithTimeRange(s.from, s.to))
+			}
+			s.cr = colseg.NewReader(rd, s.meta, opts...)
+			s.next = s.cr.Next
 		default: // "" and CodecJSONL: canonical JSONL
-			s.next = trace.NewJSONLBodyReader(f, s.meta).Next
+			s.next = trace.NewJSONLBodyReader(rd, s.meta).Next
 		}
 	}
 	j, err := s.next()
 	if err != nil {
 		s.done = true
-		s.f.Close()
-		s.f = nil
+		s.finish()
 		if err == io.EOF {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("storage: reading %s: %w", filepath.Base(s.path), err)
 	}
 	return j, nil
+}
+
+// finish releases the descriptor and harvests the colseg reader's
+// block counters into the scan stats, exactly once per stream.
+func (s *segmentSource) finish() {
+	if s.cr != nil {
+		if s.stats != nil {
+			s.stats.blocksRead.Add(int64(s.cr.BlocksRead()))
+			s.stats.blocksPruned.Add(int64(s.cr.BlocksPruned()))
+		}
+		s.cr = nil
+	}
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// Close abandons the stream, releasing the open descriptor and the
+// reader's pooled buffers. A source already drained to EOF (or failed)
+// has released them; Close is then a no-op. Never an error — it exists
+// for early-exit paths.
+func (s *segmentSource) Close() error {
+	if !s.done {
+		s.done = true
+		if s.cr != nil {
+			s.cr.Close()
+		}
+		s.finish()
+	}
+	return nil
 }
 
 // chainSource concatenates segment sources into one ordered stream.
@@ -206,35 +312,62 @@ func (c *chainSource) Next() (*trace.Job, error) {
 	return nil, io.EOF
 }
 
-// verifySegment streams a committed segment against its recorded size
-// and CRC.
-func verifySegment(dir string, seg SegmentInfo) error {
-	f, err := os.Open(filepath.Join(dir, seg.File))
-	if err != nil {
-		return fmt.Errorf("segment %s: %w", seg.File, err)
-	}
-	defer f.Close()
-	var size int64
-	crc := uint32(0)
-	buf := make([]byte, 1<<16)
-	for {
-		n, err := f.Read(buf)
-		if n > 0 {
-			crc = crc32.Update(crc, castagnoli, buf[:n])
-			size += int64(n)
+// Close abandons the chain, closing the in-progress segment and every
+// unread one after it.
+func (c *chainSource) Close() error {
+	for ; c.i < len(c.sources); c.i++ {
+		if cl, ok := c.sources[c.i].(io.Closer); ok {
+			cl.Close()
 		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("segment %s: %w", seg.File, err)
-		}
-	}
-	if size != seg.Size {
-		return fmt.Errorf("segment %s: %d bytes on disk, manifest says %d", seg.File, size, seg.Size)
-	}
-	if crc != seg.CRC32C {
-		return fmt.Errorf("segment %s: CRC mismatch (%08x vs %08x)", seg.File, crc, seg.CRC32C)
 	}
 	return nil
+}
+
+// verifySegment streams a committed segment against its recorded size
+// and CRC. A file *longer* than recorded is a live-append tail past the
+// last committed batch: the committed prefix is CRC-verified and the
+// tail truncated away, returning how many bytes were dropped. A short
+// file or a CRC mismatch is a torn segment and fails.
+func verifySegment(dir string, seg SegmentInfo) (trimmed int64, err error) {
+	path := filepath.Join(dir, seg.File)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("segment %s: %w", seg.File, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("segment %s: %w", seg.File, err)
+	}
+	if fi.Size() < seg.Size {
+		return 0, fmt.Errorf("segment %s: %d bytes on disk, manifest says %d", seg.File, fi.Size(), seg.Size)
+	}
+	crc := uint32(0)
+	buf := make([]byte, 1<<16)
+	remaining := seg.Size
+	for remaining > 0 {
+		step := int64(len(buf))
+		if step > remaining {
+			step = remaining
+		}
+		n, err := io.ReadFull(f, buf[:step])
+		if err != nil {
+			return 0, fmt.Errorf("segment %s: %w", seg.File, err)
+		}
+		crc = crc32.Update(crc, castagnoli, buf[:n])
+		remaining -= int64(n)
+	}
+	if crc != seg.CRC32C {
+		return 0, fmt.Errorf("segment %s: CRC mismatch (%08x vs %08x)", seg.File, crc, seg.CRC32C)
+	}
+	if tail := fi.Size() - seg.Size; tail > 0 {
+		if err := f.Truncate(seg.Size); err != nil {
+			return 0, fmt.Errorf("segment %s: truncating uncommitted tail: %w", seg.File, err)
+		}
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("segment %s: syncing after truncate: %w", seg.File, err)
+		}
+		return tail, nil
+	}
+	return 0, nil
 }

@@ -15,12 +15,20 @@
 //     size against the JSONL baseline — with an optional
 //     -min-scan-speedup gate on the jsonl/colseg time ratio.
 //
+//   - append: BenchmarkAppendIngest oneshot vs batched into
+//     BENCH_APPEND.json — the price of live batched ingest (per-batch
+//     manifest commits, aggregate refreezes, fingerprint extensions)
+//     over a single upload of the same trace — with an optional
+//     -max-append-overhead gate on the batched/oneshot time ratio.
+//
 //     go test -run '^$' -bench BenchmarkParallelAnalyze ./internal/core | \
 //     benchtrend -json BENCH_ANALYZE.json -note "ci trend"
 //     go test -run '^$' -bench BenchmarkStoreColdReport ./internal/server | \
 //     benchtrend -suite serve -json BENCH_SERVE.json -note "ci trend"
 //     go test -run '^$' -bench BenchmarkSegmentScan ./internal/storage | \
 //     benchtrend -suite scan -json BENCH_SCAN.json -note "ci trend"
+//     go test -run '^$' -bench BenchmarkAppendIngest ./internal/server | \
+//     benchtrend -suite append -json BENCH_APPEND.json -note "ci trend"
 package main
 
 import (
@@ -47,12 +55,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), or scan (BenchmarkSegmentScan)")
-		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json per suite)")
+		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), or append (BenchmarkAppendIngest)")
+		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json / BENCH_APPEND.json per suite)")
 		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
 		minSpeed = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
 		maxOver  = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
 		minScan  = fs.Float64("min-scan-speedup", 0, "scan suite: fail when the columnar disk scan is not at least this many times faster than the JSONL baseline — the segment-format acceptance gate; 0 disables")
+		maxApp   = fs.Float64("max-append-overhead", 0, "append suite: fail when batched live ingest costs more than this many times the one-shot upload of the same trace — the live-ingest acceptance gate; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +72,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			*jsonPath = "BENCH_SERVE.json"
 		case "scan":
 			*jsonPath = "BENCH_SCAN.json"
+		case "append":
+			*jsonPath = "BENCH_APPEND.json"
 		default:
 			*jsonPath = "BENCH_ANALYZE.json"
 		}
@@ -84,8 +95,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		grown, summary, err = appendServeDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	case "scan":
 		grown, summary, err = appendScanDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	case "append":
+		grown, summary, err = appendAppendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	default:
-		return fmt.Errorf("unknown suite %q (use analyze, serve, or scan)", *suite)
+		return fmt.Errorf("unknown suite %q (use analyze, serve, scan, or append)", *suite)
 	}
 	if err != nil {
 		return err
@@ -99,8 +112,109 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return checkRestartOverhead(grown, *maxOver)
 	case "scan":
 		return checkScanSpeedup(grown, *minScan)
+	case "append":
+		return checkAppendOverhead(grown, *maxApp)
 	}
 	return checkSpeedup(grown, *minSpeed)
+}
+
+// appendIngestLine matches one BenchmarkAppendIngest sub-benchmark,
+// e.g. "BenchmarkAppendIngest/batched-4   3   54531950 ns/op".
+var appendIngestLine = regexp.MustCompile(`(?m)^BenchmarkAppendIngest/(oneshot|batched)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// windowReportLine matches the optional rolling-window companion,
+// BenchmarkWindowedReport/{full,window}: cold out-of-core report over
+// the whole trace versus a pruned 6-hour slice.
+var windowReportLine = regexp.MustCompile(`(?m)^BenchmarkWindowedReport/(full|window)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// appendAppendDatapoint parses the live-ingest benchmark and appends
+// the oneshot-vs-batched datapoint. Both arms must be present — a
+// truncated run must fail the step, not append garbage.
+func appendAppendDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	for _, m := range appendIngestLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		nsPerOp[m[1]] = ns
+	}
+	oneshot, okO := nsPerOp["oneshot"]
+	batched, okB := nsPerOp["batched"]
+	if !okO || !okB {
+		return nil, "", fmt.Errorf("benchmark output carries no oneshot or batched result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	overhead := batched / oneshot
+	dp := map[string]any{
+		"date":              now.Format("2006-01-02"),
+		"go":                goVersion,
+		"oneshot_ns_per_op": int64(oneshot),
+		"batched_ns_per_op": int64(batched),
+		"append_overhead":   math2(overhead),
+		"note":              note,
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	summary := fmt.Sprintf("appended datapoint: oneshot %.1fms, batched %.1fms (append overhead %.2fx)",
+		oneshot/1e6, batched/1e6, overhead)
+
+	// The windowed-vs-full report latency rides along when its
+	// benchmark ran in the same output; absent lines just skip the
+	// fields rather than failing an ingest-only run.
+	winNs := map[string]float64{}
+	for _, m := range windowReportLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		winNs[m[1]] = ns
+	}
+	if full, ok := winNs["full"]; ok {
+		if window, ok := winNs["window"]; ok {
+			dp["full_report_ns_per_op"] = int64(full)
+			dp["window_report_ns_per_op"] = int64(window)
+			dp["window_speedup"] = math2(full / window)
+			summary += fmt.Sprintf("; windowed report %.1fms vs full %.1fms (%.2fx)",
+				window/1e6, full/1e6, full/window)
+		}
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	return append(grown, '\n'), summary, nil
+}
+
+// checkAppendOverhead enforces the append-suite bar against the
+// datapoint just appended. The datapoint is always recorded first, so a
+// failing run still leaves the evidence in the trend artifact.
+func checkAppendOverhead(grown []byte, maxOverhead float64) error {
+	if maxOverhead <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Overhead float64 `json:"append_overhead"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Overhead > maxOverhead {
+		return fmt.Errorf("batched/oneshot ingest overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
+	}
+	return nil
 }
 
 // serveLine matches one BenchmarkStoreColdReport sub-benchmark, e.g.

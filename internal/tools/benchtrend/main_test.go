@@ -270,3 +270,105 @@ func TestAppendDatapointSingleCore(t *testing.T) {
 		t.Errorf("single-core datapoint %+v", dp)
 	}
 }
+
+const sampleAppendTrend = `{
+  "benchmark": "BenchmarkAppendIngest",
+  "acceptance": "batched live ingest <= 3x the one-shot upload",
+  "datapoints": []
+}`
+
+const sampleAppendBench = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAppendIngest/oneshot-4   	       5	  86916228 ns/op
+BenchmarkAppendIngest/batched-4   	       5	 144156169 ns/op
+BenchmarkWindowedReport/full-4    	       5	  60000000 ns/op
+BenchmarkWindowedReport/window-4  	       5	  12000000 ns/op
+PASS
+`
+
+func TestAppendAppendDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendAppendDatapoint([]byte(sampleAppendTrend), []byte(sampleAppendBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "append overhead 1.66x") {
+		t.Errorf("summary %q lacks the overhead ratio", summary)
+	}
+	if !strings.Contains(summary, "windowed report 12.0ms vs full 60.0ms") {
+		t.Errorf("summary %q lacks the windowed latency", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["acceptance"] != "batched live ingest <= 3x the one-shot upload" {
+		t.Error("existing fields not preserved")
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 1 {
+		t.Fatalf("got %d datapoints, want 1", len(points))
+	}
+	dp := points[0].(map[string]any)
+	for key, want := range map[string]any{
+		"date":                    "2026-08-08",
+		"go":                      "go1.24.0",
+		"oneshot_ns_per_op":       86916228.0,
+		"batched_ns_per_op":       144156169.0,
+		"append_overhead":         1.66,
+		"full_report_ns_per_op":   60000000.0,
+		"window_report_ns_per_op": 12000000.0,
+		"window_speedup":          5.0,
+		"cpu":                     "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"note":                    "ci trend",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendAppendDatapointWithoutWindowLines(t *testing.T) {
+	ingestOnly := "BenchmarkAppendIngest/oneshot-4   5   86916228 ns/op\n" +
+		"BenchmarkAppendIngest/batched-4   5   144156169 ns/op\n"
+	grown, _, err := appendAppendDatapoint([]byte(sampleAppendTrend), []byte(ingestOnly), time.Now(), "go1.24.0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	dp := doc["datapoints"].([]any)[0].(map[string]any)
+	if _, ok := dp["window_speedup"]; ok {
+		t.Error("window fields present without the windowed benchmark")
+	}
+}
+
+func TestAppendAppendDatapointRejectsTruncated(t *testing.T) {
+	if _, _, err := appendAppendDatapoint([]byte(sampleAppendTrend), []byte("PASS\n"), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("empty benchmark output did not error")
+	}
+	partial := "BenchmarkAppendIngest/oneshot-4   5   86916228 ns/op\n"
+	if _, _, err := appendAppendDatapoint([]byte(sampleAppendTrend), []byte(partial), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without the batched result did not error")
+	}
+}
+
+func TestCheckAppendOverhead(t *testing.T) {
+	trend := func(overhead float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"append_overhead": overhead},
+		}})
+		return b
+	}
+	if err := checkAppendOverhead(trend(1.7), 3); err != nil {
+		t.Errorf("1.7x failed the 3x bar: %v", err)
+	}
+	if err := checkAppendOverhead(trend(4.1), 3); err == nil {
+		t.Error("4.1x passed the 3x bar")
+	}
+	if err := checkAppendOverhead(trend(9.9), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
