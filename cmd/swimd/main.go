@@ -64,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		dataDir    = fs.String("data", "", "durable storage directory: traces persist as checksummed segment files with partial-aggregate snapshots, survive restarts (verified at startup), and spill to disk instead of being rejected when they exceed the in-memory job budget")
 		segCodec   = fs.String("segment-codec", "", "on-disk segment format for newly stored traces: colseg (compact columnar binary, the default) or jsonl (canonical JSONL, the legacy format); existing segments always read back with the codec they were written with")
 		quiet      = fs.Bool("quiet", false, "disable per-request logging")
+		nodeID     = fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
+		peersList  = fs.String("peers", "", "cluster membership as id=url,id=url,... including this node; empty runs single-node")
+		replicas   = fs.Int("replication", 0, "replica owners per trace shard (0 = default 2, clamped to the cluster size)")
+		cshards    = fs.Int("cluster-shards", 0, "shard count for newly ingested cluster traces (0 = one per member)")
+		peerTO     = fs.Duration("peer-timeout", 0, "one peer request attempt's timeout (0 = default 10s)")
+		drainTO    = fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if !*quiet {
 		logger = log.New(stderr, "swimd: ", log.LstdFlags)
 	}
+	if *peersList != "" && *nodeID == "" {
+		return fmt.Errorf("-peers requires -node-id")
+	}
 	srv, err := server.New(server.Config{
 		MaxTraces:       *maxTraces,
 		MaxTotalJobs:    *maxJobs,
@@ -81,6 +90,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		DataDir:         *dataDir,
 		SegmentCodec:    *segCodec,
 		Logger:          logger,
+		Peers:           *peersList,
+		NodeID:          *nodeID,
+		Replication:     *replicas,
+		ClusterShards:   *cshards,
+		PeerTimeout:     *peerTO,
 	})
 	if err != nil {
 		return err
@@ -118,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return err
 	}
 	fmt.Fprintf(stdout, "swimd: serving on %s\n", ln.Addr())
+	if *peersList != "" {
+		fmt.Fprintf(stdout, "swimd: cluster node %s of %s\n", *nodeID, *peersList)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -148,10 +165,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	// Shutdown drains in-flight requests first — an upload mid-stream
 	// finishes decoding and commits its manifest — then the durable
 	// store is closed so nothing can start a write after the drain.
-	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTO)
 	defer shutCancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
-		return err
+		// The grace period is for in-flight requests; what's left now is
+		// stragglers — e.g. a peer's HTTP transport dialed a spare
+		// connection and never sent a request on it, which Shutdown will
+		// not reap while young. Force-close them rather than abandon the
+		// shutdown: the durable store below must still be closed cleanly.
+		fmt.Fprintln(stdout, "swimd: drain timed out, closing remaining connections")
+		hs.Close()
 	}
 	<-done // Serve has returned http.ErrServerClosed
 	if err := srv.Close(); err != nil {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -28,6 +30,12 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "not-an-addr:xx:yy"}, &out, &errb, nil, nil); err == nil {
 		t.Error("bad listen address should error")
+	}
+	if err := run([]string{"-peers", "n0=http://127.0.0.1:1", "-addr", "127.0.0.1:0"}, &out, &errb, nil, nil); err == nil {
+		t.Error("-peers without -node-id should error")
+	}
+	if err := run([]string{"-peers", "bogus", "-node-id", "n0", "-addr", "127.0.0.1:0"}, &out, &errb, nil, nil); err == nil {
+		t.Error("malformed -peers should error")
 	}
 }
 
@@ -124,6 +132,151 @@ func startSwimd(t *testing.T, args ...string) (base string, stop chan struct{}, 
 	return base, stop, func() (error, string) {
 		wg.Wait()
 		return runErr, out.String()
+	}
+}
+
+// reservePorts grabs n distinct loopback addresses by binding and
+// releasing listeners. The cluster flags need every member's address
+// before any member starts, so the ports are reserved up front; the
+// window between release and swimd's own bind is unobservably small
+// for a test that owns the machine.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestClusterEndToEnd boots a real 3-node swimd cluster over TCP:
+// a sharded ingest through one node, scatter/gather reports through
+// another — byte-identical to a single-node swimd serving the same
+// upload — and a node killed mid-service with the survivors still
+// answering in full from the replicas.
+func TestClusterEndToEnd(t *testing.T) {
+	tr, err := swim.Generate(swim.GenerateOptions{Workload: "FB-2009", Seed: 3, Duration: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload bytes.Buffer
+	if err := trace.WriteJSONL(&payload, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference answer: one ordinary swimd serving the same bytes.
+	soloBase, soloStop, soloWait := startSwimd(t)
+	defer func() { close(soloStop); soloWait() }()
+	resp, err := http.Post(soloBase+"/v1/traces/e2e", "application/jsonl", bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("solo ingest: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(soloBase + "/v1/traces/e2e/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	addrs := reservePorts(t, 3)
+	peers := make([]string, 3)
+	for i, a := range addrs {
+		peers[i] = fmt.Sprintf("n%d=http://%s", i, a)
+	}
+	peersFlag := strings.Join(peers, ",")
+	bases := make([]string, 3)
+	stops := make([]chan struct{}, 3)
+	waits := make([]func() (error, string), 3)
+	for i := range addrs {
+		bases[i], stops[i], waits[i] = startSwimd(t,
+			"-addr", addrs[i],
+			"-node-id", fmt.Sprintf("n%d", i),
+			"-peers", peersFlag,
+			"-replication", "2",
+			// Peers park pre-dialed spare connections; don't spend the full
+			// default grace on them at each node's shutdown.
+			"-drain-timeout", "250ms",
+		)
+	}
+	alive := []int{0, 1}
+	defer func() {
+		for _, i := range alive {
+			close(stops[i])
+			waits[i]()
+		}
+	}()
+
+	resp, err = http.Post(bases[0]+"/v1/traces/e2e", "application/jsonl", bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("cluster ingest: %d %.200s", resp.StatusCode, body)
+	}
+	var info struct {
+		Cluster bool `json:"cluster"`
+		Shards  int  `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil || !info.Cluster || info.Shards != 3 {
+		t.Fatalf("cluster ingest info: %v %.200s", err, body)
+	}
+
+	// A report through a node that did not coordinate the ingest is the
+	// single-node answer, byte for byte.
+	resp, err = http.Get(bases[1] + "/v1/traces/e2e/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster report: %d %.200s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster report differs from single-node (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Kill node 2 and query again: with replication 2 every shard still
+	// has a live owner, so the answer stays complete and identical.
+	close(stops[2])
+	if err, _ := waits[2](); err != nil {
+		t.Fatalf("node 2 shutdown: %v", err)
+	}
+	resp, err = http.Get(bases[0] + "/v1/traces/e2e/report?top=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := io.ReadAll(resp.Body)
+	degradedHdr := resp.Header.Get("X-Analysis")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill report: %d %.200s", resp.StatusCode, got2)
+	}
+	if degradedHdr == "degraded" {
+		t.Fatalf("post-kill report degraded despite replication=2")
+	}
+	var rep struct {
+		Summary struct {
+			Jobs int `json:"jobs"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(got2, &rep); err != nil || rep.Summary.Jobs != tr.Len() {
+		t.Fatalf("post-kill report jobs=%d want %d (err=%v)", rep.Summary.Jobs, tr.Len(), err)
 	}
 }
 

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://h1:8080, b=http://h2:8080 ,c=http://h3:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{
+		{ID: "a", URL: "http://h1:8080"},
+		{ID: "b", URL: "http://h2:8080"},
+		{ID: "c", URL: "http://h3:8080"},
+	}
+	if !reflect.DeepEqual(peers, want) {
+		t.Fatalf("got %v, want %v", peers, want)
+	}
+	for _, bad := range []string{
+		"", "a", "a=", "=http://x", "a=ftp://x", "a=http://x,a=http://y", "a/b=http://x",
+	} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q): expected error", bad)
+		}
+	}
+}
+
+func TestNewRejectsUnknownSelf(t *testing.T) {
+	_, err := New(Config{NodeID: "zz", Peers: []Peer{{ID: "a", URL: "http://x"}}, ProbeInterval: -1})
+	if err == nil {
+		t.Fatal("expected error for a node id missing from the peer list")
+	}
+}
+
+func threeNodeFleet(t *testing.T, self string) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		NodeID: self,
+		Peers: []Peer{
+			{ID: "a", URL: "http://h1"},
+			{ID: "b", URL: "http://h2"},
+			{ID: "c", URL: "http://h3"},
+		},
+		Replication:   2,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestOwnersAgreeAcrossMembers: placement must be a pure function of
+// the membership, so every node computes the same owner lists — the
+// property that lets any node coordinate without consensus traffic.
+func TestOwnersAgreeAcrossMembers(t *testing.T) {
+	fa, fb := threeNodeFleet(t, "a"), threeNodeFleet(t, "b")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("trace-%d/0", i)
+		oa, ob := fa.Owners(key, 2), fb.Owners(key, 2)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("key %q: node a places %v, node b places %v", key, oa, ob)
+		}
+		if len(oa) != 2 || oa[0] == oa[1] {
+			t.Fatalf("key %q: owners %v are not 2 distinct nodes", key, oa)
+		}
+	}
+}
+
+// TestOwnersBalance: virtual nodes must spread home-ownership across
+// the members — no node should own a wildly disproportionate share.
+func TestOwnersBalance(t *testing.T) {
+	f := threeNodeFleet(t, "a")
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[f.Home(fmt.Sprintf("trace-%d", i))]++
+	}
+	for id, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("node %s owns %.0f%% of keys (want roughly a third): %v", id, frac*100, counts)
+		}
+	}
+}
+
+func TestOwnersClampAndDistinct(t *testing.T) {
+	f := threeNodeFleet(t, "a")
+	owners := f.Owners("k", 99)
+	if len(owners) != 3 {
+		t.Fatalf("owners clamped to cluster size: got %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, id := range owners {
+		if seen[id] {
+			t.Fatalf("duplicate owner in %v", owners)
+		}
+		seen[id] = true
+	}
+}
+
+// TestClientRetriesThenSucceeds: transient failures inside the attempt
+// budget must be retried with backoff and end in success, leaving the
+// peer marked alive.
+func TestClientRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := newClient("p", ts.URL, time.Second, 3, time.Millisecond)
+	resp, err := c.Do(context.Background(), http.MethodGet, "/", nil, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || string(resp.Body) != "ok" {
+		t.Fatalf("got %d %q", resp.Status, resp.Body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 attempts, saw %d", got)
+	}
+	if !c.Alive() {
+		t.Fatal("peer should be alive after a success")
+	}
+	_, retries, failures := c.counts()
+	if retries != 2 || failures != 0 {
+		t.Fatalf("retries=%d failures=%d, want 2/0", retries, failures)
+	}
+}
+
+// TestClientExhaustsRetries: a dead peer must fail after the attempt
+// budget and be marked down (the passive liveness half).
+func TestClientExhaustsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // connection refused from here on
+	c := newClient("p", ts.URL, time.Second, 2, time.Millisecond)
+	if _, err := c.Do(context.Background(), http.MethodGet, "/", nil, "", nil); err == nil {
+		t.Fatal("expected an error from a closed server")
+	}
+	if c.Alive() {
+		t.Fatal("peer should be marked down after exhausting retries")
+	}
+	_, _, failures := c.counts()
+	if failures != 1 {
+		t.Fatalf("failures=%d, want 1", failures)
+	}
+}
+
+// TestClientDoesNotRetryDeterministicStatus: a 404 is an answer, not a
+// transport failure — one attempt, peer stays alive.
+func TestClientDoesNotRetryDeterministicStatus(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := newClient("p", ts.URL, time.Second, 3, time.Millisecond)
+	resp, err := c.Do(context.Background(), http.MethodGet, "/", nil, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusNotFound {
+		t.Fatalf("status %d", resp.Status)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("expected 1 attempt, saw %d", calls.Load())
+	}
+	if !c.Alive() {
+		t.Fatal("a deterministic status must not down the peer")
+	}
+}
+
+// TestMonitorRevivesPeer: the background prober must mark a recovered
+// peer alive again without any request traffic.
+func TestMonitorRevivesPeer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+	f, err := New(Config{
+		NodeID:        "a",
+		Peers:         []Peer{{ID: "a", URL: "http://self"}, {ID: "b", URL: ts.URL}},
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Client("b").MarkDown()
+	f.Start()
+	defer f.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !f.Alive("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never revived the peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if down := f.Down(); len(down) != 0 {
+		t.Fatalf("Down() = %v after revival", down)
+	}
+}
+
+func TestSortByLiveness(t *testing.T) {
+	f := threeNodeFleet(t, "a")
+	f.Client("b").MarkDown()
+	got := f.SortByLiveness([]string{"b", "c", "a"})
+	want := []string{"c", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	f := threeNodeFleet(t, "b")
+	f.AddScatter()
+	f.AddMerges(3)
+	f.AddDegraded()
+	st := f.Stats()
+	if st.NodeID != "b" || st.Size != 3 || st.Replication != 2 || st.Shards != 3 {
+		t.Fatalf("stats header: %+v", st)
+	}
+	if st.Scatters != 1 || st.Merges != 3 || st.Degraded != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("peers: %+v", st.Peers)
+	}
+	var self int
+	for _, p := range st.Peers {
+		if p.Self {
+			self++
+			if p.ID != "b" || !p.Alive {
+				t.Fatalf("self row: %+v", p)
+			}
+		}
+	}
+	if self != 1 {
+		t.Fatalf("expected exactly one self row, got %d", self)
+	}
+}

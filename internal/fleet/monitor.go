@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// monitor is the active half of liveness: a background goroutine that
+// probes every remote peer's /healthz on an interval, reviving peers
+// that recovered without waiting for request traffic to notice. The
+// passive half lives in Client.Do (failures down a peer immediately, a
+// success revives it), so the prober's job is only the quiet periods.
+type monitor struct {
+	clients  map[string]*Client
+	interval time.Duration
+
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	done    chan struct{}
+	started bool
+}
+
+func newMonitor(clients map[string]*Client, interval time.Duration) *monitor {
+	return &monitor{clients: clients, interval: interval}
+}
+
+func (m *monitor) start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || len(m.clients) == 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	m.done = make(chan struct{})
+	m.started = true
+	go m.loop(ctx)
+}
+
+func (m *monitor) stop() {
+	m.mu.Lock()
+	cancel, done := m.cancel, m.done
+	m.cancel, m.done, m.started = nil, nil, false
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+func (m *monitor) loop(ctx context.Context) {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll checks every remote peer concurrently. A probe is a plain
+// GET /healthz through the peer's client, so it shares the timeout and
+// updates the same passive liveness state and latency EWMA as request
+// traffic. Retries are wasted effort here — the next tick re-probes —
+// but harmless: the budget is the client's own.
+func (m *monitor) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, c := range m.clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			resp, err := c.Get(ctx, "/healthz", nil)
+			if err != nil || resp.Status >= 500 {
+				c.MarkDown()
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash placement. Every member hashes the same node IDs onto
+// the same 64-bit ring (truncated SHA-256 is stable across processes
+// and architectures, unlike Go's randomized map/maphash seeds, and
+// mixes well even on short keys), so any node can compute any key's
+// owners locally and all nodes agree. Virtual
+// nodes smooth the load: with vnodesPerNode points per member the
+// largest/smallest ownership arc ratio stays close to 1 even for
+// three-node clusters.
+//
+// Replica placement walks the ring clockwise from the key's point and
+// collects the first n distinct node IDs — the standard
+// Chord/Dynamo-style successor list, which keeps placement stable under
+// membership change: adding a node moves only the arcs it claims.
+
+// vnodesPerNode is the virtual-node count per member. 128 points keeps
+// the per-node ownership spread within a few percent at the cluster
+// sizes swimd targets while the sorted ring stays tiny (a 64-node
+// cluster is 8192 points, one binary search per placement).
+const vnodesPerNode = 128
+
+// ring is an immutable consistent-hash ring over node IDs.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// hash64 hashes a key to its ring position.
+func hash64(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for the given member IDs.
+func newRing(ids []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*vnodesPerNode)}
+	for _, id := range ids {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", id, v)),
+				id:   id,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Ties (vanishingly rare) break by ID so every member still
+		// sorts identically.
+		return r.points[i].id < r.points[k].id
+	})
+	return r
+}
+
+// owners returns the first n distinct node IDs clockwise from key's
+// ring position. n is clamped to the member count; the result order is
+// the replica preference order (owners[0] is the home node).
+func (r *ring) owners(key string, n int) []string {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}

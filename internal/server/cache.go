@@ -204,6 +204,48 @@ func (c *ResultCache) DoAggregate(key string, compute func() (any, error)) (any,
 	return val, false, err
 }
 
+// Peek returns the ready bytes under key without computing on a miss.
+// In-flight computations are not waited for — a peek is a cheap
+// opportunistic read (the cluster cache protocol uses it to answer
+// peers' warm-hit probes), so it only ever returns finished results.
+func (c *ResultCache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return nil, false
+		}
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		return e.val, true
+	default:
+		return nil, false
+	}
+}
+
+// Put installs val under key as a ready entry. An existing entry —
+// ready or in flight — wins: Put is how a node adopts a result another
+// cluster member computed, and the local copy is never worse than the
+// pushed one (keys embed the content fingerprint, so equal keys mean
+// equal bytes).
+func (c *ResultCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), val: val}
+	close(e.ready)
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+}
+
 // InvalidatePrefix drops every ready entry, in both tiers, whose key
 // starts with prefix, and returns how many were dropped. Keys embed the
 // trace content fingerprint as their first segment, so results can

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -40,6 +41,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, errUnprocessable), errors.Is(err, ErrTooLarge):
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, errUpstream):
+		status = http.StatusBadGateway
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -50,6 +53,9 @@ func writeErr(w http.ResponseWriter, err error) {
 var (
 	errBadRequest    = errors.New("bad request")
 	errUnprocessable = errors.New("unprocessable")
+	// errUpstream marks a cluster operation that failed because peers
+	// were unreachable, not because the request was wrong: 502.
+	errUpstream = errors.New("cluster upstream failure")
 )
 
 func badReq(format string, args ...any) error {
@@ -140,27 +146,59 @@ func queryDuration(r *http.Request, key string, def time.Duration) (time.Duratio
 	return v, nil
 }
 
+// handleHealthz reports liveness. A cluster node that currently marks
+// any peer unreachable answers "degraded" (still 200 — the node itself
+// is up and serving, possibly with replica fallback) and names the
+// down peers.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		if down := s.cluster.fleet.Down(); len(down) > 0 {
+			writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "down": down})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ClusterStats is the cluster section of /v1/stats: the fleet's peer
+// liveness, transport latency, and protocol counters, plus how many
+// distributed traces this node knows and how many shard replicas it
+// stores locally.
+type ClusterStats struct {
+	fleet.Stats
+	Traces      int `json:"traces"`
+	LocalShards int `json:"local_shards"`
 }
 
 // StatsResponse is the GET /v1/stats payload.
 type StatsResponse struct {
-	Store    StoreStats   `json:"store"`
-	Cache    CacheStats   `json:"cache"`
-	Requests RequestStats `json:"requests"`
+	Store    StoreStats    `json:"store"`
+	Cache    CacheStats    `json:"cache"`
+	Requests RequestStats  `json:"requests"`
+	Cluster  *ClusterStats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Store:    s.store.Stats(),
 		Cache:    s.cache.Stats(),
 		Requests: s.mw.stats(),
-	})
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleListTraces lists what this node serves publicly: its local
+// traces plus every distributed trace it knows. Shard replicas (the
+// ".fleet/" names) are placement internals and are hidden.
 func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]TraceInfo{"traces": s.store.List()})
+	list := s.store.List()
+	if s.cluster != nil {
+		list = s.cluster.mergeList(list)
+	}
+	writeJSON(w, http.StatusOK, map[string][]TraceInfo{"traces": list})
 }
 
 // handleIngest streams a JSONL trace upload into the store: jobs are
@@ -178,13 +216,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badReq("decoding upload: %v", err))
 		return
 	}
-	info, err := s.store.Ingest(name, src)
+	var info TraceInfo
+	if s.cluster != nil {
+		// Cluster mode: split the upload into shards and fan them out to
+		// their ring owners instead of storing it whole here.
+		info, err = s.cluster.ingest(r.Context(), name, src)
+	} else {
+		info, err = s.store.Ingest(name, src)
+	}
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		switch {
 		case errors.As(err, &tooLarge):
 			err = fmt.Errorf("%w: upload exceeds the %d-byte limit", ErrStoreFull, tooLarge.Limit)
-		case !errors.Is(err, ErrStoreFull):
+		case errors.Is(err, ErrStoreFull), errors.Is(err, errUpstream), errors.Is(err, errBadRequest):
+		default:
 			err = badReq("%v", err)
 		}
 		writeErr(w, err)
@@ -209,6 +255,16 @@ type AppendResponse struct {
 // losing a race with a re-upload or delete) are 409s.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.cluster != nil {
+		if e, ok := s.cluster.resolve(r.Context(), name); ok {
+			// A known distributed trace: route the batch through its home
+			// node, which serializes appends and extends the cluster
+			// fingerprint. Unknown names fall through to the local path —
+			// distributed traces are created by POST, not by append.
+			s.cluster.append(w, r, e)
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
 	src, err := trace.NewJSONLReader(body)
 	if err != nil {
@@ -239,7 +295,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
-	v, err := s.store.View(r.PathValue("name"))
+	name := r.PathValue("name")
+	if s.cluster != nil {
+		if e, ok := s.cluster.resolve(r.Context(), name); ok {
+			writeJSON(w, http.StatusOK, e.snapshot().info())
+			return
+		}
+	}
+	v, err := s.store.View(name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -254,6 +317,13 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 // no longer earn back, not a correctness step.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.cluster != nil {
+		if e, ok := s.cluster.resolve(r.Context(), name); ok {
+			s.cluster.delete(r.Context(), e)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
 	info, ok := s.store.Delete(name)
 	if !ok {
 		writeErr(w, fmt.Errorf("%w: %q", ErrNotFound, name))
@@ -310,7 +380,14 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, compute func() (
 // bigger than the whole tier cannot be, and such requests fail 422
 // while the streaming modes keep working.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	v, err := s.store.View(r.PathValue("name"))
+	name := r.PathValue("name")
+	if s.cluster != nil {
+		if e, ok := s.cluster.resolve(r.Context(), name); ok {
+			s.cluster.report(w, r, e)
+			return
+		}
+	}
+	v, err := s.store.View(name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -358,7 +435,16 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		var err error
 		switch {
 		case windowed:
-			rep, err = s.windowReport(w, v, from, to, shards, sketch, top)
+			var p *core.Partial
+			var analysis string
+			var ev *scanEvidence
+			p, analysis, ev, err = s.windowPartial(v, from, to, shards, sketch)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
+			}
+			w.Header().Set("X-Analysis", analysis)
+			ev.addTo(w.Header())
+			rep, err = p.Report(top)
 		case full:
 			t := v.Trace
 			if t == nil {
@@ -368,37 +454,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			}
 			w.Header().Set("X-Analysis", "full")
 			rep, err = core.Analyze(t, opts)
-		case v.Partial != nil && v.Partial.Sketch() == sketch:
-			if v.Recovered {
-				w.Header().Set("X-Analysis", "recovered-partial")
-			} else {
-				w.Header().Set("X-Analysis", "ingest-partial")
-			}
-			rep, err = v.Partial.Report(top)
 		default:
-			aggKey := fmt.Sprintf("%s|partial|sketch=%t", v.Info.Fingerprint, sketch)
-			miss := "scan"
-			av, cached, aggErr := s.cache.DoAggregate(aggKey, func() (any, error) {
-				if v.Trace != nil {
-					return core.BuildTracePartial(v.Trace, shards, sketch)
-				}
-				// Disk-resident: scan the segments out-of-core, one
-				// shard per segment, without materializing the trace.
-				// ScanShards decodes columnar segments batch-at-a-time
-				// into reused memory; the builders fold each job in and
-				// never retain it.
-				miss = "disk-scan"
-				return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.ScanShards(), sketch)
-			})
-			if aggErr != nil {
-				return nil, fmt.Errorf("%w: %v", errUnprocessable, aggErr)
+			var p *core.Partial
+			var analysis string
+			p, analysis, err = s.tracePartial(v, shards, sketch)
+			if err != nil {
+				return nil, err
 			}
-			if cached {
-				w.Header().Set("X-Analysis", "cached-partial")
-			} else {
-				w.Header().Set("X-Analysis", miss)
-			}
-			rep, err = av.(*core.Partial).Report(top)
+			w.Header().Set("X-Analysis", analysis)
+			rep, err = p.Report(top)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
@@ -407,12 +471,60 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tracePartial resolves the whole-trace partial aggregate for a view —
+// the frozen ingest/recovered aggregate when one matches the requested
+// mode, otherwise a scan memoized in the cache's aggregate tier — and
+// names the path taken for the X-Analysis header. The returned partial
+// is shared frozen state: callers must treat it as read-only.
+func (s *Server) tracePartial(v View, shards int, sketch bool) (*core.Partial, string, error) {
+	if v.Partial != nil && v.Partial.Sketch() == sketch {
+		if v.Recovered {
+			return v.Partial, "recovered-partial", nil
+		}
+		return v.Partial, "ingest-partial", nil
+	}
+	aggKey := fmt.Sprintf("%s|partial|sketch=%t", v.Info.Fingerprint, sketch)
+	miss := "scan"
+	av, cached, err := s.cache.DoAggregate(aggKey, func() (any, error) {
+		if v.Trace != nil {
+			return core.BuildTracePartial(v.Trace, shards, sketch)
+		}
+		// Disk-resident: scan the segments out-of-core, one
+		// shard per segment, without materializing the trace.
+		// ScanShards decodes columnar segments batch-at-a-time
+		// into reused memory; the builders fold each job in and
+		// never retain it.
+		miss = "disk-scan"
+		return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.ScanShards(), sketch)
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: %v", errUnprocessable, err)
+	}
+	if cached {
+		miss = "cached-partial"
+	}
+	return av.(*core.Partial), miss, nil
+}
+
 // reportWindow resolves a report request's from/to/window parameters
 // against the trace's own span. window=D means the trailing D of the
 // trace ([end-D, end]) and is exclusive with explicit bounds; a lone
 // from runs to the trace end, a lone to starts at the trace start.
 // Returns windowed=false when no window parameter is present.
 func reportWindow(r *http.Request, v View) (from, to time.Time, windowed bool, err error) {
+	var start time.Time
+	if v.Trace != nil {
+		start = v.Trace.Meta.Start
+	} else {
+		start = v.Stored.Meta().Start
+	}
+	return reportWindowSpan(r, start, v.Info.LengthMS)
+}
+
+// reportWindowSpan is reportWindow against an explicit trace span —
+// the form the cluster coordinator uses, where the trace exists only
+// as shards and the span comes from the cluster metadata.
+func reportWindowSpan(r *http.Request, start time.Time, lengthMS int64) (from, to time.Time, windowed bool, err error) {
 	from, err = queryTime(r, "from")
 	if err != nil {
 		return
@@ -429,13 +541,7 @@ func reportWindow(r *http.Request, v View) (from, to time.Time, windowed bool, e
 	if !windowed {
 		return
 	}
-	var start time.Time
-	if v.Trace != nil {
-		start = v.Trace.Meta.Start
-	} else {
-		start = v.Stored.Meta().Start
-	}
-	end := start.Add(time.Duration(v.Info.LengthMS) * time.Millisecond)
+	end := start.Add(time.Duration(lengthMS) * time.Millisecond)
 	switch {
 	case window < 0:
 		err = badReq("window=%s is negative", window)
@@ -459,18 +565,76 @@ func reportWindow(r *http.Request, v View) (from, to time.Time, windowed bool, e
 	return
 }
 
-// windowReport builds the report for one submit-time window of a trace.
-// The frozen whole-trace aggregate cannot answer a window, so this
-// always scans — a resident trace in memory, a disk-resident one
-// out-of-core with segments pruned by their manifest submit-time spans
-// and columnar blocks by their zone maps (the X-Scan-* headers report
-// how much the pruning skipped). The windowed partial is parked in the
-// cache's aggregate tier under (fingerprint, window), so report
-// variants differing only in finalization (top=N) share the scan.
-func (s *Server) windowReport(w http.ResponseWriter, v View, from, to time.Time, shards int, sketch bool, top int) (*core.Report, error) {
+// scanEvidence carries one out-of-core scan's pruning counters, the
+// X-Scan-* response headers. The cluster coordinator sums them across
+// shard owners so a scatter/gather window report carries the same
+// evidence a single-node report would.
+type scanEvidence struct {
+	segments       int
+	segmentsPruned int
+	blocks         int64
+	blocksPruned   int64
+}
+
+// addTo sets the X-Scan-* headers (nil evidence sets nothing — the
+// scan did not touch disk).
+func (ev *scanEvidence) addTo(h http.Header) {
+	if ev == nil {
+		return
+	}
+	h.Set("X-Scan-Segments", strconv.Itoa(ev.segments))
+	h.Set("X-Scan-Segments-Pruned", strconv.Itoa(ev.segmentsPruned))
+	h.Set("X-Scan-Blocks", strconv.FormatInt(ev.blocks, 10))
+	h.Set("X-Scan-Blocks-Pruned", strconv.FormatInt(ev.blocksPruned, 10))
+}
+
+// merge sums another scan's counters into this one; either may be nil.
+func (ev *scanEvidence) merge(o *scanEvidence) *scanEvidence {
+	if o == nil {
+		return ev
+	}
+	if ev == nil {
+		cp := *o
+		return &cp
+	}
+	ev.segments += o.segments
+	ev.segmentsPruned += o.segmentsPruned
+	ev.blocks += o.blocks
+	ev.blocksPruned += o.blocksPruned
+	return ev
+}
+
+// parseScanEvidence reads X-Scan-* headers back into counters (nil
+// when the response carries none) — the gather half of the evidence
+// aggregation.
+func parseScanEvidence(h http.Header) *scanEvidence {
+	if h.Get("X-Scan-Segments") == "" {
+		return nil
+	}
+	ev := &scanEvidence{}
+	ev.segments, _ = strconv.Atoi(h.Get("X-Scan-Segments"))
+	ev.segmentsPruned, _ = strconv.Atoi(h.Get("X-Scan-Segments-Pruned"))
+	ev.blocks, _ = strconv.ParseInt(h.Get("X-Scan-Blocks"), 10, 64)
+	ev.blocksPruned, _ = strconv.ParseInt(h.Get("X-Scan-Blocks-Pruned"), 10, 64)
+	return ev
+}
+
+// windowPartial builds the partial aggregate for one submit-time
+// window of a trace. The frozen whole-trace aggregate cannot answer a
+// window, so this always scans — a resident trace in memory, a
+// disk-resident one out-of-core with segments pruned by their manifest
+// submit-time spans and columnar blocks by their zone maps (the
+// returned scanEvidence reports how much the pruning skipped; nil when
+// the scan stayed in memory or the partial came from the cache). The
+// windowed partial is parked in the cache's aggregate tier under
+// (fingerprint, window), so report variants differing only in
+// finalization (top=N) share the scan. The returned partial is shared
+// frozen state: callers must treat it as read-only.
+func (s *Server) windowPartial(v View, from, to time.Time, shards int, sketch bool) (*core.Partial, string, *scanEvidence, error) {
 	length := to.Sub(from)
 	aggKey := fmt.Sprintf("%s|partial|sketch=%t|win=%d-%d", v.Info.Fingerprint, sketch, from.Unix(), to.Unix())
 	miss := "window-scan"
+	var ev *scanEvidence
 	av, cached, err := s.cache.DoAggregate(aggKey, func() (any, error) {
 		if v.Trace != nil {
 			return core.BuildTracePartial(v.Trace.Window(from, length), shards, sketch)
@@ -491,21 +655,21 @@ func (s *Server) windowReport(w http.ResponseWriter, v View, from, to time.Time,
 		if err != nil {
 			return nil, err
 		}
-		w.Header().Set("X-Scan-Segments", strconv.Itoa(stats.Segments))
-		w.Header().Set("X-Scan-Segments-Pruned", strconv.Itoa(stats.SegmentsPruned))
-		w.Header().Set("X-Scan-Blocks", strconv.FormatInt(stats.BlocksRead(), 10))
-		w.Header().Set("X-Scan-Blocks-Pruned", strconv.FormatInt(stats.BlocksPruned(), 10))
+		ev = &scanEvidence{
+			segments:       stats.Segments,
+			segmentsPruned: stats.SegmentsPruned,
+			blocks:         stats.BlocksRead(),
+			blocksPruned:   stats.BlocksPruned(),
+		}
 		return p, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, "", nil, err
 	}
 	if cached {
-		w.Header().Set("X-Analysis", "cached-window-partial")
-	} else {
-		w.Header().Set("X-Analysis", miss)
+		miss = "cached-window-partial"
 	}
-	return av.(*core.Partial).Report(top)
+	return av.(*core.Partial), miss, ev, nil
 }
 
 // FidelityJSON is the wire form of a synthesis fidelity score.
@@ -532,6 +696,10 @@ type SynthResponse struct {
 // target_machines), score fidelity against the source, and — with
 // store=<newname> — keep the synthetic trace for further queries.
 func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
+	if err := s.rejectClusterTrace(r); err != nil {
+		writeErr(w, err)
+		return
+	}
 	t, info, err := s.store.Get(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
@@ -644,6 +812,10 @@ type ReplayResponse struct {
 // stored trace on a simulated cluster and report latency quantiles and
 // the hourly slot-occupancy series.
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if err := s.rejectClusterTrace(r); err != nil {
+		writeErr(w, err)
+		return
+	}
 	t, info, err := s.store.Get(r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)

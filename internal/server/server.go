@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/storage"
 )
 
@@ -44,6 +46,25 @@ type Config struct {
 	SegmentCodec string
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
+
+	// Peers enables cluster mode: the full membership as the -peers flag
+	// syntax (id=url,...), including this node. Empty keeps the server
+	// single-node; every field below is then ignored.
+	Peers string
+	// NodeID is this process's identity in Peers.
+	NodeID string
+	// Replication is how many owners each trace shard is placed on
+	// (zero: fleet.DefaultReplication; clamped to the cluster size).
+	Replication int
+	// ClusterShards is the default shard count for newly ingested
+	// cluster traces (zero: one per member).
+	ClusterShards int
+	// PeerTimeout bounds one peer request attempt (zero:
+	// fleet.DefaultTimeout).
+	PeerTimeout time.Duration
+	// PeerProbeInterval spaces the background liveness probes (zero:
+	// fleet.DefaultProbeInterval; negative: probing disabled).
+	PeerProbeInterval time.Duration
 }
 
 // DefaultMaxUploadBytes bounds ingest bodies when the configuration
@@ -77,6 +98,10 @@ type Server struct {
 	maxUpload int64
 	backing   *storage.Store
 	recovered []TraceInfo
+	// cluster is the scatter/gather coordinator (nil single-node). With
+	// it set the server also exposes the /internal/v1 peer protocol.
+	cluster *clusterCoordinator
+	logger  *log.Logger
 }
 
 // New assembles a server. With cfg.DataDir set it opens (creating if
@@ -94,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		mw:        &middleware{logger: cfg.Logger},
 		maxUpload: maxUpload,
+		logger:    cfg.Logger,
 	}
 	if cfg.DisablePartials {
 		s.store.DisablePartials()
@@ -115,6 +141,40 @@ func New(cfg Config) (*Server, error) {
 			}
 			cfg.Logger.Printf("recovered %d traces from %s", len(rec.Traces), cfg.DataDir)
 		}
+	}
+	if cfg.Peers != "" {
+		peers, err := fleet.ParsePeers(cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		f, err := fleet.New(fleet.Config{
+			NodeID:        cfg.NodeID,
+			Peers:         peers,
+			Replication:   cfg.Replication,
+			Shards:        cfg.ClusterShards,
+			Timeout:       cfg.PeerTimeout,
+			ProbeInterval: cfg.PeerProbeInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = newClusterCoordinator(s, f)
+		if err := s.cluster.restore(); err != nil {
+			return nil, err
+		}
+		// The peer protocol: shard replica writes, binary shard-partial
+		// reads, metadata gossip, and cluster cache peeks. Registered only
+		// in cluster mode, so a single-node swimd's surface is unchanged.
+		s.mux.HandleFunc("POST /internal/v1/shards/{name}/{shard}", s.handleShardIngest)
+		s.mux.HandleFunc("POST /internal/v1/shards/{name}/{shard}/append", s.handleShardAppend)
+		s.mux.HandleFunc("GET /internal/v1/shards/{name}/{shard}/partial", s.handleShardPartial)
+		s.mux.HandleFunc("DELETE /internal/v1/shards/{name}/{shard}", s.handleShardDelete)
+		s.mux.HandleFunc("PUT /internal/v1/meta/{name}", s.handleMetaPut)
+		s.mux.HandleFunc("GET /internal/v1/meta/{name}", s.handleMetaGet)
+		s.mux.HandleFunc("DELETE /internal/v1/meta/{name}", s.handleMetaDelete)
+		s.mux.HandleFunc("GET /internal/v1/cache", s.handleCachePeek)
+		s.mux.HandleFunc("PUT /internal/v1/cache", s.handleCachePut)
+		f.Start()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -143,6 +203,9 @@ func (s *Server) Handler() http.Handler {
 // Shutdown waits for in-flight uploads, whose manifests therefore
 // commit before this runs).
 func (s *Server) Close() error {
+	if s.cluster != nil {
+		s.cluster.fleet.Close()
+	}
 	if s.backing != nil {
 		return s.backing.Close()
 	}
@@ -157,3 +220,11 @@ func (s *Server) Store() *Store { return s.store }
 
 // Cache exposes the result cache (for stats and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Fleet exposes the cluster layer, nil when single-node (for tests).
+func (s *Server) Fleet() *fleet.Fleet {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.fleet
+}

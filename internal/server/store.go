@@ -50,6 +50,10 @@ type TraceInfo struct {
 	LengthMS    int64  `json:"length_ms"`
 	Jobs        int    `json:"jobs"`
 	BytesMoved  int64  `json:"bytes_moved"`
+	// Cluster marks a distributed trace served by scatter/gather;
+	// Shards is its shard count (both zero-valued for local traces).
+	Cluster bool `json:"cluster,omitempty"`
+	Shards  int  `json:"shards,omitempty"`
 }
 
 // entry pairs an immutable trace snapshot with its identity. The *Trace

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestClusterMetaRoundTrip: save / load / replace / delete of the
+// cluster shard-ownership documents, across a store reopen (the restart
+// path that re-registers distributed traces).
+func TestClusterMetaRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	s, _, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas, err := s.LoadClusters(); err != nil || len(metas) != 0 {
+		t.Fatalf("fresh store: %v, %v", metas, err)
+	}
+	if err := s.SaveCluster("fb/2009 day", []byte(`{"shards":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCluster("cc-b", []byte(`{"shards":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace wins atomically.
+	if err := s.SaveCluster("cc-b", []byte(`{"shards":5}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both documents survive, names decoded, sorted order.
+	s2, _, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s2.LoadClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 {
+		t.Fatalf("got %d documents, want 2: %+v", len(metas), metas)
+	}
+	byName := map[string]string{}
+	for _, m := range metas {
+		byName[m.Name] = string(m.Doc)
+	}
+	if byName["fb/2009 day"] != `{"shards":3}` || byName["cc-b"] != `{"shards":5}` {
+		t.Fatalf("documents: %v", byName)
+	}
+
+	if err := s2.DeleteCluster("cc-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeleteCluster("cc-b"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	metas, err = s2.LoadClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Name != "fb/2009 day" {
+		t.Fatalf("after delete: %+v", metas)
+	}
+}
+
+// TestClusterMetaRecoveryCleansLitter: a torn tmp file and an invalid
+// document are removed on load, never returned.
+func TestClusterMetaRecoveryCleansLitter(t *testing.T) {
+	root := t.TempDir()
+	s, _, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCluster("good", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "cluster")
+	if err := os.WriteFile(filepath.Join(dir, "torn.json.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s.LoadClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Name != "good" {
+		t.Fatalf("got %+v, want only the good document", metas)
+	}
+	for _, litter := range []string{"torn.json.tmp", "bad.json"} {
+		if _, err := os.Stat(filepath.Join(dir, litter)); !os.IsNotExist(err) {
+			t.Errorf("%s survived load", litter)
+		}
+	}
+}

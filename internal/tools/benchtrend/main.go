@@ -15,6 +15,12 @@
 //     size against the JSONL baseline — with an optional
 //     -min-scan-speedup gate on the jsonl/colseg time ratio.
 //
+//   - cluster: BenchmarkClusterReport single vs scatter into
+//     BENCH_CLUSTER.json — what a cold report costs when it is gathered
+//     from a 3-node loopback cluster instead of computed on one node —
+//     with an optional -max-scatter-overhead gate on the scatter/single
+//     time ratio.
+//
 //   - append: BenchmarkAppendIngest oneshot vs batched into
 //     BENCH_APPEND.json — the price of live batched ingest (per-batch
 //     manifest commits, aggregate refreezes, fingerprint extensions)
@@ -29,6 +35,8 @@
 //     benchtrend -suite scan -json BENCH_SCAN.json -note "ci trend"
 //     go test -run '^$' -bench BenchmarkAppendIngest ./internal/server | \
 //     benchtrend -suite append -json BENCH_APPEND.json -note "ci trend"
+//     go test -run '^$' -bench BenchmarkClusterReport ./internal/server | \
+//     benchtrend -suite cluster -json BENCH_CLUSTER.json -note "ci trend"
 package main
 
 import (
@@ -55,13 +63,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), or append (BenchmarkAppendIngest)")
+		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), append (BenchmarkAppendIngest), or cluster (BenchmarkClusterReport)")
 		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json / BENCH_APPEND.json per suite)")
 		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
 		minSpeed = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
 		maxOver  = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
 		minScan  = fs.Float64("min-scan-speedup", 0, "scan suite: fail when the columnar disk scan is not at least this many times faster than the JSONL baseline — the segment-format acceptance gate; 0 disables")
 		maxApp   = fs.Float64("max-append-overhead", 0, "append suite: fail when batched live ingest costs more than this many times the one-shot upload of the same trace — the live-ingest acceptance gate; 0 disables")
+		maxScat  = fs.Float64("max-scatter-overhead", 0, "cluster suite: fail when a cold scatter/gather report costs more than this many times the single-node cold report of the same trace — the distributed-serving acceptance gate; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +83,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			*jsonPath = "BENCH_SCAN.json"
 		case "append":
 			*jsonPath = "BENCH_APPEND.json"
+		case "cluster":
+			*jsonPath = "BENCH_CLUSTER.json"
 		default:
 			*jsonPath = "BENCH_ANALYZE.json"
 		}
@@ -97,8 +108,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		grown, summary, err = appendScanDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	case "append":
 		grown, summary, err = appendAppendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	case "cluster":
+		grown, summary, err = appendClusterDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	default:
-		return fmt.Errorf("unknown suite %q (use analyze, serve, scan, or append)", *suite)
+		return fmt.Errorf("unknown suite %q (use analyze, serve, scan, append, or cluster)", *suite)
 	}
 	if err != nil {
 		return err
@@ -114,6 +127,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return checkScanSpeedup(grown, *minScan)
 	case "append":
 		return checkAppendOverhead(grown, *maxApp)
+	case "cluster":
+		return checkScatterOverhead(grown, *maxScat)
 	}
 	return checkSpeedup(grown, *minSpeed)
 }
@@ -213,6 +228,79 @@ func checkAppendOverhead(grown []byte, maxOverhead float64) error {
 	dp := doc.Datapoints[len(doc.Datapoints)-1]
 	if dp.Overhead > maxOverhead {
 		return fmt.Errorf("batched/oneshot ingest overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
+	}
+	return nil
+}
+
+// clusterReportLine matches one BenchmarkClusterReport sub-benchmark,
+// e.g. "BenchmarkClusterReport/scatter-4   12   9531950 ns/op".
+var clusterReportLine = regexp.MustCompile(`(?m)^BenchmarkClusterReport/(single|scatter)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// appendClusterDatapoint parses the distributed-serving benchmark and
+// appends the single-vs-scatter cold-report datapoint. Both arms must
+// be present — a truncated run must fail the step, not append garbage.
+func appendClusterDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	for _, m := range clusterReportLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		nsPerOp[m[1]] = ns
+	}
+	single, okS := nsPerOp["single"]
+	scatter, okC := nsPerOp["scatter"]
+	if !okS || !okC {
+		return nil, "", fmt.Errorf("benchmark output carries no single or scatter result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	overhead := scatter / single
+	dp := map[string]any{
+		"date":              now.Format("2006-01-02"),
+		"go":                goVersion,
+		"single_ns_per_op":  int64(single),
+		"scatter_ns_per_op": int64(scatter),
+		"scatter_overhead":  math2(overhead),
+		"note":              note,
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("appended datapoint: single %.1fms, scatter %.1fms (scatter overhead %.2fx)",
+		single/1e6, scatter/1e6, overhead)
+	return append(grown, '\n'), summary, nil
+}
+
+// checkScatterOverhead enforces the cluster-suite bar against the
+// datapoint just appended. The datapoint is always recorded first, so a
+// failing run still leaves the evidence in the trend artifact.
+func checkScatterOverhead(grown []byte, maxOverhead float64) error {
+	if maxOverhead <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Overhead float64 `json:"scatter_overhead"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Overhead > maxOverhead {
+		return fmt.Errorf("scatter/single cold-report overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
 	}
 	return nil
 }

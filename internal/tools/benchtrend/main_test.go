@@ -355,6 +355,85 @@ func TestAppendAppendDatapointRejectsTruncated(t *testing.T) {
 	}
 }
 
+const sampleClusterTrend = `{
+  "benchmark": "BenchmarkClusterReport",
+  "acceptance": "scatter <= 6x single",
+  "datapoints": []
+}`
+
+const sampleClusterBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClusterReport/single-4         	       5	   5541877 ns/op
+BenchmarkClusterReport/scatter-4        	       5	  12756531 ns/op
+PASS
+`
+
+func TestAppendClusterDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendClusterDatapoint([]byte(sampleClusterTrend), []byte(sampleClusterBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "scatter overhead 2.30x") {
+		t.Errorf("summary %q lacks the overhead ratio", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["acceptance"] != "scatter <= 6x single" {
+		t.Error("existing fields not preserved")
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 1 {
+		t.Fatalf("got %d datapoints, want 1", len(points))
+	}
+	dp := points[0].(map[string]any)
+	for key, want := range map[string]any{
+		"date":              "2026-08-08",
+		"go":                "go1.24.0",
+		"single_ns_per_op":  5541877.0,
+		"scatter_ns_per_op": 12756531.0,
+		"scatter_overhead":  2.3,
+		"cpu":               "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"note":              "ci trend",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendClusterDatapointRejectsTruncated(t *testing.T) {
+	if _, _, err := appendClusterDatapoint([]byte(sampleClusterTrend), []byte("PASS\n"), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("empty benchmark output did not error")
+	}
+	partial := "BenchmarkClusterReport/single-4   5   5541877 ns/op\n"
+	if _, _, err := appendClusterDatapoint([]byte(sampleClusterTrend), []byte(partial), time.Now(), "go1.24.0", ""); err == nil {
+		t.Fatal("output without the scatter result did not error")
+	}
+}
+
+func TestCheckScatterOverhead(t *testing.T) {
+	trend := func(overhead float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"scatter_overhead": overhead},
+		}})
+		return b
+	}
+	if err := checkScatterOverhead(trend(2.3), 6); err != nil {
+		t.Errorf("2.3x failed the 6x bar: %v", err)
+	}
+	if err := checkScatterOverhead(trend(7.5), 6); err == nil {
+		t.Error("7.5x passed the 6x bar")
+	}
+	if err := checkScatterOverhead(trend(9.9), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
 func TestCheckAppendOverhead(t *testing.T) {
 	trend := func(overhead float64) []byte {
 		b, _ := json.Marshal(map[string]any{"datapoints": []any{

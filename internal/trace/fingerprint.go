@@ -2,6 +2,7 @@ package trace
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -72,6 +73,62 @@ func (fh *Hasher) Write(j *Job) error {
 // string. It does not reset the hasher.
 func (fh *Hasher) Sum() string {
 	return hex.EncodeToString(fh.h.Sum(nil))
+}
+
+// hasherStateVersion versions the serialized Hasher state. The payload
+// embeds crypto/sha256's own versioned digest marshaling, so this only
+// covers the envelope (began flag + digest state).
+const hasherStateVersion = 1
+
+// MarshalBinary captures the hasher's streaming state — the SHA-256
+// midstate plus whether Begin ran — so fingerprinting can continue in
+// another process exactly where this one stopped. A cluster's append
+// coordinator persists this with the trace's shard-placement metadata:
+// extending a distributed trace extends the restored hasher, and K
+// batched cluster appends commit the exact one-shot fingerprint, the
+// same contract the single-node append session keeps in memory.
+func (fh *Hasher) MarshalBinary() ([]byte, error) {
+	m, ok := fh.h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("trace: hash state is not serializable")
+	}
+	st, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("trace: marshaling hash state: %w", err)
+	}
+	out := make([]byte, 0, 2+len(st))
+	out = append(out, hasherStateVersion)
+	if fh.began {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return append(out, st...), nil
+}
+
+// UnmarshalHasher restores a Hasher from MarshalBinary output. The
+// restored hasher continues the stream: Write extends the same digest,
+// Sum reports the same fingerprint the original would have.
+func UnmarshalHasher(data []byte) (*Hasher, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("trace: hasher state truncated (%d bytes)", len(data))
+	}
+	if data[0] != hasherStateVersion {
+		return nil, fmt.Errorf("trace: hasher state version %d (want %d)", data[0], hasherStateVersion)
+	}
+	if data[1] > 1 {
+		return nil, fmt.Errorf("trace: hasher state began flag %d is not a boolean", data[1])
+	}
+	fh := NewHasher()
+	u, ok := fh.h.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return nil, fmt.Errorf("trace: hash state is not serializable")
+	}
+	if err := u.UnmarshalBinary(data[2:]); err != nil {
+		return nil, fmt.Errorf("trace: restoring hash state: %w", err)
+	}
+	fh.began = data[1] == 1
+	return fh, nil
 }
 
 // Fingerprint drains src and returns the content fingerprint of the

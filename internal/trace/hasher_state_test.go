@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+)
+
+// TestHasherStateRoundTrip: a hasher serialized mid-stream and restored
+// in "another process" must finish with the same fingerprint as one
+// that saw the whole stream — the contract the cluster append
+// coordinator relies on when it extends a distributed trace's
+// fingerprint from persisted state.
+func TestHasherStateRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+
+	whole := NewHasher()
+	if err := whole.Begin(tr.Meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := whole.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	split := len(tr.Jobs) / 2
+	first := NewHasher()
+	if err := first.Begin(tr.Meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs[:split] {
+		if err := first.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err := first.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := UnmarshalHasher(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs[split:] {
+		if err := restored.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := restored.Sum(), whole.Sum(); got != want {
+		t.Fatalf("restored hasher fingerprint %s != one-shot %s", got, want)
+	}
+
+	// Begin must still be rejected on a restored post-Begin hasher.
+	if err := restored.Begin(tr.Meta); err == nil {
+		t.Fatal("restored hasher accepted a second Begin")
+	}
+}
+
+// TestHasherStateFreshRoundTrip: serializing before Begin keeps the
+// began flag clear, so the restored hasher accepts Begin.
+func TestHasherStateFreshRoundTrip(t *testing.T) {
+	state, err := NewHasher().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := UnmarshalHasher(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Begin(sampleTrace().Meta); err != nil {
+		t.Fatalf("restored fresh hasher rejected Begin: %v", err)
+	}
+}
+
+// TestHasherStateRejectsCorruption: truncated or version-skewed state
+// must error, never silently produce a different digest.
+func TestHasherStateRejectsCorruption(t *testing.T) {
+	state, err := NewHasher().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string][]byte{
+		"empty":      {},
+		"one byte":   state[:1],
+		"version":    append([]byte{99}, state[1:]...),
+		"began flag": append([]byte{state[0], 7}, state[2:]...),
+		"truncated":  state[:len(state)-4],
+	} {
+		if _, err := UnmarshalHasher(bad); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}

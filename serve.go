@@ -42,6 +42,20 @@ type ServeOptions struct {
 	SegmentCodec string
 	// Logger receives one line per request; nil disables request logs.
 	Logger *log.Logger
+	// Peers enables cluster mode: the full membership as "id=url,..."
+	// including this node. Ingested traces are then sharded across the
+	// members by consistent hashing and reports scatter/gather, merging
+	// shard partials into answers byte-identical to single-node analysis.
+	// Empty keeps the service single-node.
+	Peers string
+	// NodeID is this process's identity in Peers (required with Peers).
+	NodeID string
+	// Replication is how many owners hold each trace shard (default 2,
+	// clamped to the cluster size).
+	Replication int
+	// ClusterShards is the shard count for newly ingested cluster traces
+	// (default: one per member).
+	ClusterShards int
 }
 
 // NewServeHandler builds the swimd HTTP handler without binding a
@@ -57,6 +71,10 @@ func NewServeHandler(opts ServeOptions) (http.Handler, error) {
 		DataDir:         opts.DataDir,
 		SegmentCodec:    opts.SegmentCodec,
 		Logger:          opts.Logger,
+		Peers:           opts.Peers,
+		NodeID:          opts.NodeID,
+		Replication:     opts.Replication,
+		ClusterShards:   opts.ClusterShards,
 	})
 	if err != nil {
 		return nil, err
