@@ -53,23 +53,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	fs := flag.NewFlagSet("swimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		maxTraces  = fs.Int("max-traces", 0, "trace store capacity in traces (0 = default 64)")
-		maxJobs    = fs.Int("max-total-jobs", 0, "trace store capacity in total jobs (0 = default 2M)")
-		cacheSize  = fs.Int("cache-entries", 0, "result cache capacity (0 = default 256)")
-		preload    = fs.String("preload", "", "comma-separated workloads to generate and store at startup: "+strings.Join(swim.Workloads(), ", "))
-		preloadDur = fs.Duration("preload-duration", 48*time.Hour, "duration of preloaded traces")
-		seed       = fs.Int64("seed", 1, "preload generation seed")
-		partials   = fs.Bool("partials", true, "keep a frozen partial aggregate per stored trace, built at ingest, so a first cold report merges precomputed sections instead of re-reading jobs (~24 B/job of extra heap; disable to trade cold-report latency for memory)")
-		dataDir    = fs.String("data", "", "durable storage directory: traces persist as checksummed segment files with partial-aggregate snapshots, survive restarts (verified at startup), and spill to disk instead of being rejected when they exceed the in-memory job budget")
-		segCodec   = fs.String("segment-codec", "", "on-disk segment format for newly stored traces: colseg (compact columnar binary, the default) or jsonl (canonical JSONL, the legacy format); existing segments always read back with the codec they were written with")
-		quiet      = fs.Bool("quiet", false, "disable per-request logging")
-		nodeID     = fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
-		peersList  = fs.String("peers", "", "cluster membership as id=url,id=url,... including this node; empty runs single-node")
-		replicas   = fs.Int("replication", 0, "replica owners per trace shard (0 = default 2, clamped to the cluster size)")
-		cshards    = fs.Int("cluster-shards", 0, "shard count for newly ingested cluster traces (0 = one per member)")
-		peerTO     = fs.Duration("peer-timeout", 0, "one peer request attempt's timeout (0 = default 10s)")
-		drainTO    = fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
+		addr         = fs.String("addr", ":8080", "listen address")
+		maxTraces    = fs.Int("max-traces", 0, "trace store capacity in traces (0 = default 64)")
+		maxJobs      = fs.Int("max-total-jobs", 0, "trace store capacity in total jobs (0 = default 2M)")
+		cacheSize    = fs.Int("cache-entries", 0, "result cache capacity (0 = default 256)")
+		preload      = fs.String("preload", "", "comma-separated workloads to generate and store at startup: "+strings.Join(swim.Workloads(), ", "))
+		preloadDur   = fs.Duration("preload-duration", 48*time.Hour, "duration of preloaded traces")
+		seed         = fs.Int64("seed", 1, "preload generation seed")
+		partials     = fs.Bool("partials", true, "keep a frozen partial aggregate per stored trace, built at ingest, so a first cold report merges precomputed sections instead of re-reading jobs (~24 B/job of extra heap; disable to trade cold-report latency for memory)")
+		dataDir      = fs.String("data", "", "durable storage directory: traces persist as checksummed segment files with partial-aggregate snapshots, survive restarts (verified at startup), and spill to disk instead of being rejected when they exceed the in-memory job budget")
+		segCodec     = fs.String("segment-codec", "", "on-disk segment format for newly stored traces: colseg (compact columnar binary, the default) or jsonl (canonical JSONL, the legacy format); existing segments always read back with the codec they were written with")
+		compactEvery = fs.Duration("compact", 0, "background compaction sweep interval: fragmented traces (many small segments or underfilled columnar blocks, the shape long append sessions leave) are rewritten into packed generations with identical fingerprints; 0 disables, needs -data")
+		compactSegs  = fs.Int("compact-min-segments", 0, "compact a trace once its generation holds at least this many segment files (0 = default 8)")
+		compactFill  = fs.Float64("compact-min-fill", 0, "compact a trace whose columnar blocks average below this fraction of full (0 = default 0.5)")
+		quiet        = fs.Bool("quiet", false, "disable per-request logging")
+		nodeID       = fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
+		peersList    = fs.String("peers", "", "cluster membership as id=url,id=url,... including this node; empty runs single-node")
+		replicas     = fs.Int("replication", 0, "replica owners per trace shard (0 = default 2, clamped to the cluster size)")
+		cshards      = fs.Int("cluster-shards", 0, "shard count for newly ingested cluster traces (0 = one per member)")
+		peerTO       = fs.Duration("peer-timeout", 0, "one peer request attempt's timeout (0 = default 10s)")
+		drainTO      = fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests before force-closing connections")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,19 +85,25 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if *peersList != "" && *nodeID == "" {
 		return fmt.Errorf("-peers requires -node-id")
 	}
+	if *compactEvery > 0 && *dataDir == "" {
+		return fmt.Errorf("-compact requires -data (compaction rewrites on-disk segments)")
+	}
 	srv, err := server.New(server.Config{
-		MaxTraces:       *maxTraces,
-		MaxTotalJobs:    *maxJobs,
-		CacheEntries:    *cacheSize,
-		DisablePartials: !*partials,
-		DataDir:         *dataDir,
-		SegmentCodec:    *segCodec,
-		Logger:          logger,
-		Peers:           *peersList,
-		NodeID:          *nodeID,
-		Replication:     *replicas,
-		ClusterShards:   *cshards,
-		PeerTimeout:     *peerTO,
+		MaxTraces:          *maxTraces,
+		MaxTotalJobs:       *maxJobs,
+		CacheEntries:       *cacheSize,
+		DisablePartials:    !*partials,
+		DataDir:            *dataDir,
+		SegmentCodec:       *segCodec,
+		CompactInterval:    *compactEvery,
+		CompactMinSegments: *compactSegs,
+		CompactMinFill:     *compactFill,
+		Logger:             logger,
+		Peers:              *peersList,
+		NodeID:             *nodeID,
+		Replication:        *replicas,
+		ClusterShards:      *cshards,
+		PeerTimeout:        *peerTO,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,172 @@
+package colseg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// The block-parallel scan splits the sequential Reader into its two
+// halves. A FrameScanner does the stream work — one goroutine walks the
+// segment, validates the header, frames blocks, and prunes via zone
+// maps without decoding a byte — while BlockDecoders do the CPU work:
+// each framed payload is self-contained (own CRC, own dictionary, own
+// delta bases), so any number of decoders can turn frames into job
+// batches concurrently. The storage layer owns the pipeline; this file
+// only provides the two halves.
+
+// FrameScanner iterates a colseg segment's framed blocks without
+// decoding them. Next copies one surviving frame into the caller's
+// buffer; with WithTimeRange, blocks whose zone map lies wholly outside
+// the range are skipped (counted, never copied). Errors latch exactly
+// like the Reader's, and the pooled stream buffer is released at EOF,
+// on error, or at Close.
+type FrameScanner struct {
+	br  *bufio.Reader
+	err error
+
+	began          bool
+	prune          bool
+	fromSec, toSec int64
+
+	read, pruned int
+}
+
+// NewFrameScanner returns a FrameScanner over rd. It accepts the same
+// options as NewReader; only WithTimeRange is meaningful (the scanner
+// never decodes, so WithVolatileBatch is a no-op).
+func NewFrameScanner(rd io.Reader, opts ...Option) *FrameScanner {
+	var cfg Reader
+	for _, o := range opts {
+		o(&cfg)
+	}
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(rd)
+	return &FrameScanner{br: br, prune: cfg.prune, fromSec: cfg.fromSec, toSec: cfg.toSec}
+}
+
+// Next returns the next surviving block frame's payload (CRC word plus
+// body, exactly what BlockDecoder.Decode takes), reusing buf's capacity
+// when it suffices. io.EOF means a clean end of segment. The returned
+// slice is the caller's; the scanner holds no reference to it.
+func (s *FrameScanner) Next(buf []byte) ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.began {
+		if err := readSegmentHeader(s.br); err != nil {
+			return nil, s.fail(err)
+		}
+		s.began = true
+	}
+	for {
+		frameLen, err := binary.ReadUvarint(s.br)
+		if err == io.EOF {
+			s.err = io.EOF
+			s.release()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, s.fail(fmt.Errorf("colseg: reading block frame length: %w", err))
+		}
+		if frameLen < 5 {
+			return nil, s.fail(fmt.Errorf("colseg: block frame of %d bytes is shorter than its checksum", frameLen))
+		}
+		if s.prune && shouldPruneFrame(s.br, frameLen, s.fromSec, s.toSec) {
+			if err := discard(s.br, frameLen); err != nil {
+				return nil, s.fail(fmt.Errorf("colseg: skipping pruned block: %w", err))
+			}
+			s.pruned++
+			continue
+		}
+		payload, err := readFull(s.br, frameLen, buf)
+		if err != nil {
+			return nil, s.fail(fmt.Errorf("colseg: reading block: %w", err))
+		}
+		s.read++
+		return payload, nil
+	}
+}
+
+// BlocksRead returns how many frames Next has handed out.
+func (s *FrameScanner) BlocksRead() int { return s.read }
+
+// BlocksPruned returns how many frames the zone maps skipped.
+func (s *FrameScanner) BlocksPruned() int { return s.pruned }
+
+// Close releases the pooled stream buffer without draining; a scanner
+// already at EOF or failed has released it and Close is a no-op.
+func (s *FrameScanner) Close() error {
+	if s.err == nil {
+		s.err = errClosed
+		s.release()
+	}
+	return nil
+}
+
+// fail latches err and releases the stream buffer.
+func (s *FrameScanner) fail(err error) error {
+	s.err = err
+	s.release()
+	return err
+}
+
+func (s *FrameScanner) release() {
+	if s.br != nil {
+		s.br.Reset(nil)
+		brPool.Put(s.br)
+		s.br = nil
+	}
+}
+
+// BlockDecoder decodes framed block payloads independently of any
+// stream — the concurrent half of a block-parallel scan; each worker
+// owns one. It decodes into a pooled batch reused across Decode calls
+// (the Reader's volatile discipline), so the returned jobs are valid
+// only until the next Decode or Close. Strings inside them are
+// immutable and safe to retain.
+type BlockDecoder struct {
+	r Reader
+}
+
+// NewBlockDecoder returns a decoder stamping meta's zone-independent
+// fields into decoded jobs (the metadata itself travels with the
+// partials, not the jobs; meta only seeds the reader state).
+func NewBlockDecoder(meta trace.Meta) *BlockDecoder {
+	d := &BlockDecoder{}
+	d.r.meta = meta
+	d.r.volatile = true
+	return d
+}
+
+// Decode verifies payload's CRC and decodes its columns, returning the
+// block's jobs in order. payload must be one frame as handed out by
+// FrameScanner.Next (CRC word plus body).
+func (d *BlockDecoder) Decode(payload []byte) ([]trace.Job, error) {
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("colseg: block frame of %d bytes is shorter than its checksum", len(payload))
+	}
+	if err := d.r.decodeBlock(payload); err != nil {
+		return nil, err
+	}
+	return d.r.jobs, nil
+}
+
+// Close returns the pooled decode scratch. The decoder uses none of
+// Reader's stream state, so there is nothing else to release.
+func (d *BlockDecoder) Close() error {
+	d.r.release()
+	return nil
+}
+
+// InWindow reports whether j was submitted in [from, to) — the exact
+// filter trace.NewWindowSource applies, for callers filtering a decoded
+// batch in place of wrapping a source.
+func InWindow(j *trace.Job, from, to time.Time) bool {
+	ns := j.SubmitTime.UnixNano()
+	return ns >= from.UnixNano() && ns < to.UnixNano()
+}

@@ -268,9 +268,13 @@ func (r *Reader) loadBlock() error {
 }
 
 // readHeader validates the segment magic and version.
-func (r *Reader) readHeader() error {
+func (r *Reader) readHeader() error { return readSegmentHeader(r.br) }
+
+// readSegmentHeader validates the segment magic and version at the
+// start of br — shared by the streaming Reader and the FrameScanner.
+func readSegmentHeader(br *bufio.Reader) error {
 	var magic [len(Magic)]byte
-	if _, err := io.ReadFull(r.br, magic[:]); err != nil {
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
@@ -279,7 +283,7 @@ func (r *Reader) readHeader() error {
 	if string(magic[:]) != Magic {
 		return fmt.Errorf("colseg: bad magic %q", magic)
 	}
-	version, err := binary.ReadUvarint(r.br)
+	version, err := binary.ReadUvarint(br)
 	if err != nil {
 		return fmt.Errorf("colseg: reading segment version: %w", err)
 	}
@@ -291,16 +295,23 @@ func (r *Reader) readHeader() error {
 
 // shouldPrune peeks the block's zone-map stats (without consuming or
 // CRC-verifying the frame) and reports whether the block lies wholly
-// outside the requested range. Unparseable stats never prune: the full
-// decode path then surfaces the corruption as an error.
+// outside the requested range.
 func (r *Reader) shouldPrune(frameLen uint64) bool {
+	return shouldPruneFrame(r.br, frameLen, r.fromSec, r.toSec)
+}
+
+// shouldPruneFrame peeks the next frame's zone-map stats (without
+// consuming or CRC-verifying it) and reports whether the block lies
+// wholly outside [fromSec, toSec]. Unparseable stats never prune: the
+// full decode path then surfaces the corruption as an error.
+func shouldPruneFrame(br *bufio.Reader, frameLen uint64, fromSec, toSec int64) bool {
 	// 4 CRC bytes + 3 varints of up to 10 bytes each, plus the jobs
 	// uvarint: 44 bytes always covers the stats.
 	peek := int(frameLen)
 	if peek > 44 {
 		peek = 44
 	}
-	b, err := r.br.Peek(peek)
+	b, err := br.Peek(peek)
 	if err != nil {
 		return false
 	}
@@ -311,7 +322,7 @@ func (r *Reader) shouldPrune(frameLen uint64) bool {
 	if rd.Err() != nil {
 		return false
 	}
-	return maxSec < r.fromSec || minSec > r.toSec
+	return maxSec < fromSec || minSec > toSec
 }
 
 // decodeBlock verifies payload's checksum and decodes its columns into

@@ -22,6 +22,7 @@ type Writer struct {
 	began bool
 
 	blockJobs int
+	blocks    int
 
 	n              int
 	prevID         int64
@@ -146,6 +147,11 @@ func (w *Writer) Flush() error {
 	return w.flushBlock()
 }
 
+// Blocks returns how many blocks the writer has flushed so far. The
+// storage manifest records it per segment, so the compaction policy can
+// judge average block fill without opening any segment.
+func (w *Writer) Blocks() int { return w.blocks }
+
 // ref interns s in the block dictionary and returns its wire reference:
 // 0 for the empty string, index+1 otherwise.
 func (w *Writer) ref(s string) uint64 {
@@ -212,6 +218,7 @@ func (w *Writer) flushBlock() error {
 		w.err = fmt.Errorf("colseg: writing block: %w", err)
 		return w.err
 	}
+	w.blocks++
 
 	w.frame = body[:0]
 	w.n = 0

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,9 @@ type appendState struct {
 	lastID     int64
 
 	stale atomic.Bool
+	// lastBatch is the unix-nano wall time of the session's open or its
+	// most recent committed batch, read lock-free by the idle reaper.
+	lastBatch atomic.Int64
 }
 
 // teardown closes the abandoned session's open descriptor once any
@@ -292,6 +296,7 @@ func (s *Store) appendBatch(name string, batchMeta trace.Meta, batch []*trace.Jo
 	}
 	s.installLocked(name, e)
 	s.appends++
+	st.lastBatch.Store(time.Now().UnixNano())
 	return info, prevFP, nil
 }
 
@@ -349,9 +354,16 @@ func (s *Store) appendSession(name string, batchMeta trace.Meta) (*appendState, 
 		return st, nil
 	}
 	st, err := s.openAppendSession(name, batchMeta)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		// The replay was reading a generation a background compaction
+		// swept mid-open. The fresh view serves the packed replacement,
+		// whose replay hashes to the same committed identity.
+		st, err = s.openAppendSession(name, batchMeta)
+	}
 	if err != nil {
 		return nil, err
 	}
+	st.lastBatch.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	s.appendStates[name] = st
 	s.mu.Unlock()

@@ -725,7 +725,7 @@ func (s *Server) localShardPartial(name string, i int, sketch bool, from, to tim
 	if windowed {
 		p, _, ev, err = s.windowPartial(v, from, to, 0, sketch)
 	} else {
-		p, _, err = s.tracePartial(v, 0, sketch)
+		p, _, ev, err = s.tracePartial(v, 0, sketch)
 	}
 	if err != nil {
 		return nil, nil, err

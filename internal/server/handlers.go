@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/storage"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -457,11 +460,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		default:
 			var p *core.Partial
 			var analysis string
-			p, analysis, err = s.tracePartial(v, shards, sketch)
+			var ev *scanEvidence
+			p, analysis, ev, err = s.tracePartial(v, shards, sketch)
 			if err != nil {
 				return nil, err
 			}
 			w.Header().Set("X-Analysis", analysis)
+			ev.addTo(w.Header())
 			rep, err = p.Report(top)
 		}
 		if err != nil {
@@ -475,35 +480,75 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // the frozen ingest/recovered aggregate when one matches the requested
 // mode, otherwise a scan memoized in the cache's aggregate tier — and
 // names the path taken for the X-Analysis header. The returned partial
-// is shared frozen state: callers must treat it as read-only.
-func (s *Server) tracePartial(v View, shards int, sketch bool) (*core.Partial, string, error) {
+// is shared frozen state: callers must treat it as read-only. The
+// scanEvidence is non-nil only when this call actually scanned disk.
+func (s *Server) tracePartial(v View, shards int, sketch bool) (*core.Partial, string, *scanEvidence, error) {
 	if v.Partial != nil && v.Partial.Sketch() == sketch {
 		if v.Recovered {
-			return v.Partial, "recovered-partial", nil
+			return v.Partial, "recovered-partial", nil, nil
 		}
-		return v.Partial, "ingest-partial", nil
+		return v.Partial, "ingest-partial", nil, nil
 	}
 	aggKey := fmt.Sprintf("%s|partial|sketch=%t", v.Info.Fingerprint, sketch)
 	miss := "scan"
+	var ev *scanEvidence
 	av, cached, err := s.cache.DoAggregate(aggKey, func() (any, error) {
 		if v.Trace != nil {
 			return core.BuildTracePartial(v.Trace, shards, sketch)
 		}
-		// Disk-resident: scan the segments out-of-core, one
-		// shard per segment, without materializing the trace.
-		// ScanShards decodes columnar segments batch-at-a-time
-		// into reused memory; the builders fold each job in and
-		// never retain it.
+		// Disk-resident: scan the segments out-of-core without
+		// materializing the trace — one IO goroutine frames colseg
+		// blocks, shards=K decode workers (0 = one per CPU) turn them
+		// into partials, merged in block order. The merge contract
+		// makes the bytes identical at any worker count.
 		miss = "disk-scan"
-		return core.BuildShardsPartial(v.Stored.Meta(), v.Stored.ScanShards(), sketch)
+		p, stats, err := s.scanStored(v, storage.ParallelScanOptions{Workers: shards, Sketch: sketch})
+		if err != nil {
+			return nil, err
+		}
+		ev = &scanEvidence{
+			segments:       stats.Segments,
+			segmentsPruned: stats.SegmentsPruned,
+			blocks:         stats.BlocksRead(),
+			blocksPruned:   stats.BlocksPruned(),
+			workers:        scanWorkers(shards),
+		}
+		return p, nil
 	})
 	if err != nil {
-		return nil, "", fmt.Errorf("%w: %v", errUnprocessable, err)
+		return nil, "", nil, fmt.Errorf("%w: %v", errUnprocessable, err)
 	}
 	if cached {
 		miss = "cached-partial"
 	}
-	return av.(*core.Partial), miss, nil
+	return av.(*core.Partial), miss, ev, nil
+}
+
+// scanWorkers resolves the worker count a block-parallel scan actually
+// ran with (shards=0 means one per CPU).
+func scanWorkers(shards int) int {
+	if shards <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
+}
+
+// scanStored runs the block-parallel disk scan for a view, retrying
+// once with a fresh view when a background compaction swept the old
+// generation's segments out from under the scan (committed files are
+// unlinked, never rewritten, so a scan that opened its descriptors
+// early is safe — but one racing the sweep can hit a vanished path).
+// The retry is sound because compaction preserves the fingerprint: a
+// view with the same fingerprint scans to byte-identical results.
+func (s *Server) scanStored(v View, opts storage.ParallelScanOptions) (*core.Partial, *storage.ScanStats, error) {
+	p, stats, err := v.Stored.ParallelScanPartial(opts)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		nv, verr := s.store.View(v.Info.Name)
+		if verr == nil && nv.Stored != nil && nv.Info.Fingerprint == v.Info.Fingerprint {
+			return nv.Stored.ParallelScanPartial(opts)
+		}
+	}
+	return p, stats, err
 }
 
 // reportWindow resolves a report request's from/to/window parameters
@@ -565,15 +610,16 @@ func reportWindowSpan(r *http.Request, start time.Time, lengthMS int64) (from, t
 	return
 }
 
-// scanEvidence carries one out-of-core scan's pruning counters, the
-// X-Scan-* response headers. The cluster coordinator sums them across
-// shard owners so a scatter/gather window report carries the same
-// evidence a single-node report would.
+// scanEvidence carries one out-of-core scan's pruning counters and its
+// decode-worker count, the X-Scan-* response headers. The cluster
+// coordinator sums them across shard owners so a scatter/gather window
+// report carries the same evidence a single-node report would.
 type scanEvidence struct {
 	segments       int
 	segmentsPruned int
 	blocks         int64
 	blocksPruned   int64
+	workers        int
 }
 
 // addTo sets the X-Scan-* headers (nil evidence sets nothing — the
@@ -586,6 +632,9 @@ func (ev *scanEvidence) addTo(h http.Header) {
 	h.Set("X-Scan-Segments-Pruned", strconv.Itoa(ev.segmentsPruned))
 	h.Set("X-Scan-Blocks", strconv.FormatInt(ev.blocks, 10))
 	h.Set("X-Scan-Blocks-Pruned", strconv.FormatInt(ev.blocksPruned, 10))
+	if ev.workers > 0 {
+		h.Set("X-Scan-Workers", strconv.Itoa(ev.workers))
+	}
 }
 
 // merge sums another scan's counters into this one; either may be nil.
@@ -601,6 +650,7 @@ func (ev *scanEvidence) merge(o *scanEvidence) *scanEvidence {
 	ev.segmentsPruned += o.segmentsPruned
 	ev.blocks += o.blocks
 	ev.blocksPruned += o.blocksPruned
+	ev.workers += o.workers
 	return ev
 }
 
@@ -616,6 +666,7 @@ func parseScanEvidence(h http.Header) *scanEvidence {
 	ev.segmentsPruned, _ = strconv.Atoi(h.Get("X-Scan-Segments-Pruned"))
 	ev.blocks, _ = strconv.ParseInt(h.Get("X-Scan-Blocks"), 10, 64)
 	ev.blocksPruned, _ = strconv.ParseInt(h.Get("X-Scan-Blocks-Pruned"), 10, 64)
+	ev.workers, _ = strconv.Atoi(h.Get("X-Scan-Workers"))
 	return ev
 }
 
@@ -646,12 +697,14 @@ func (s *Server) windowPartial(v View, from, to time.Time, shards int, sketch bo
 			Start:    from,
 			Length:   length,
 		}
-		srcs, stats := v.Stored.WindowShards(from, to)
-		wrapped := make([]trace.Source, len(srcs))
-		for i, sh := range srcs {
-			wrapped[i] = trace.NewWindowSource(sh, wmeta, from, to)
-		}
-		p, err := core.BuildShardsPartial(wmeta, wrapped, sketch)
+		p, stats, err := s.scanStored(v, storage.ParallelScanOptions{
+			Workers: shards,
+			Sketch:  sketch,
+			Window:  true,
+			From:    from,
+			To:      to,
+			Meta:    wmeta,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -660,6 +713,7 @@ func (s *Server) windowPartial(v View, from, to time.Time, shards int, sketch bo
 			segmentsPruned: stats.SegmentsPruned,
 			blocks:         stats.BlocksRead(),
 			blocksPruned:   stats.BlocksPruned(),
+			workers:        scanWorkers(shards),
 		}
 		return p, nil
 	})

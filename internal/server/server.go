@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/fleet"
@@ -44,6 +45,17 @@ type Config struct {
 	// storage.CodecJSONL. Existing segments always decode with the codec
 	// their manifest records, so changing this never strands old data.
 	SegmentCodec string
+	// CompactInterval spaces the background compaction sweeps that
+	// rewrite fragmented many-segment generations (a long-appended
+	// trace's usual shape) into packed ones. Zero disables compaction;
+	// it needs DataDir. Rewrites preserve fingerprints exactly, so
+	// compaction is invisible to every read path.
+	CompactInterval time.Duration
+	// CompactMinSegments / CompactMinFill tune the fragmentation
+	// triggers (zero: the storage engine's defaults). See
+	// storage.CompactPolicy.
+	CompactMinSegments int
+	CompactMinFill     float64
 	// Logger receives one line per request; nil disables request logging.
 	Logger *log.Logger
 
@@ -102,6 +114,11 @@ type Server struct {
 	// it set the server also exposes the /internal/v1 peer protocol.
 	cluster *clusterCoordinator
 	logger  *log.Logger
+
+	// compactStop/compactWG manage the background compaction loop; nil
+	// channel means the loop never started.
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
 }
 
 // New assembles a server. With cfg.DataDir set it opens (creating if
@@ -140,6 +157,14 @@ func New(cfg Config) (*Server, error) {
 				cfg.Logger.Printf("recovery trimmed %d uncommitted byte(s) from trace %q (%s)", tr.Bytes, tr.Name, tr.File)
 			}
 			cfg.Logger.Printf("recovered %d traces from %s", len(rec.Traces), cfg.DataDir)
+		}
+		if cfg.CompactInterval > 0 {
+			s.compactStop = make(chan struct{})
+			s.compactWG.Add(1)
+			go s.compactLoop(cfg.CompactInterval, storage.CompactPolicy{
+				MinSegments: cfg.CompactMinSegments,
+				MinFill:     cfg.CompactMinFill,
+			})
 		}
 	}
 	if cfg.Peers != "" {
@@ -206,10 +231,42 @@ func (s *Server) Close() error {
 	if s.cluster != nil {
 		s.cluster.fleet.Close()
 	}
+	if s.compactStop != nil {
+		close(s.compactStop)
+		s.compactWG.Wait()
+	}
 	if s.backing != nil {
 		return s.backing.Close()
 	}
 	return nil
+}
+
+// compactLoop sweeps the store on a fixed cadence, rewriting whatever
+// the policy deems fragmented. Runs until Close; a sweep in flight
+// finishes before Close returns, so no rewrite races the storage
+// engine's shutdown.
+func (s *Server) compactLoop(interval time.Duration, policy storage.CompactPolicy) {
+	defer s.compactWG.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-ticker.C:
+			// Sessions idle for a full interval release their traces to
+			// this sweep; active feeds keep refreshing lastBatch and stay
+			// exempt.
+			s.store.ReapIdleAppendSessions(interval)
+			n, err := s.store.Compact(policy)
+			if err != nil && s.logger != nil {
+				s.logger.Printf("compaction sweep: %v", err)
+			}
+			if n > 0 && s.logger != nil {
+				s.logger.Printf("compacted %d trace(s)", n)
+			}
+		}
+	}
 }
 
 // Recovered lists the traces the durable store restored at startup.

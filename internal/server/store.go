@@ -133,6 +133,9 @@ type Store struct {
 	spills         uint64
 	evictions      uint64
 	reloads        uint64
+	compactions    uint64
+	segmentsMerged uint64
+	blocksRefilled uint64
 }
 
 // DefaultMaxTraces and DefaultMaxTotalJobs bound the store when the
@@ -646,6 +649,12 @@ type StoreStats struct {
 	Spills         uint64 `json:"spills,omitempty"`
 	Evictions      uint64 `json:"evictions,omitempty"`
 	Reloads        uint64 `json:"reloads,omitempty"`
+	// Compactions counts committed background rewrites; SegmentsMerged
+	// and BlocksRefilled how many segment files and undersized colseg
+	// blocks those rewrites eliminated.
+	Compactions    uint64 `json:"compactions,omitempty"`
+	SegmentsMerged uint64 `json:"segments_merged,omitempty"`
+	BlocksRefilled uint64 `json:"blocks_refilled,omitempty"`
 }
 
 // Stats snapshots the store counters.
@@ -664,6 +673,9 @@ func (s *Store) Stats() StoreStats {
 		Spills:         s.spills,
 		Evictions:      s.evictions,
 		Reloads:        s.reloads,
+		Compactions:    s.compactions,
+		SegmentsMerged: s.segmentsMerged,
+		BlocksRefilled: s.blocksRefilled,
 	}
 	for _, e := range s.entries {
 		st.TotalJobs += e.info.Jobs

@@ -208,6 +208,10 @@ func (a *Appender) openInfo() SegmentInfo {
 	}
 	if a.segSpan.has {
 		info.MinSubmitSec, info.MaxSubmitSec = a.segSpan.min, a.segSpan.max
+		info.HasSpan = true
+	}
+	if bc, ok := a.enc.(blockCounter); ok {
+		info.Blocks = bc.Blocks()
 	}
 	return info
 }

@@ -4,6 +4,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // BenchmarkSegmentScan is the disk-scan trend datapoint: the cost of
@@ -56,4 +58,90 @@ func BenchmarkSegmentScan(b *testing.B) {
 			b.ReportMetric(float64(tr.Len()), "jobs/scan")
 		})
 	}
+}
+
+// BenchmarkFragmentedScan is the compaction trend datapoint: the cost
+// of a full out-of-core aggregate scan over the generation 32 one-batch
+// append sessions leave (32 segments, one underfilled block each — the
+// shape a long-lived live trace accretes) versus the packed generation
+// the compactor rewrites it into. Both arms scan single-worker so the
+// ratio isolates layout, not parallelism; benchtrend's scan suite gates
+// it with -min-compaction-speedup. The fragmented arm must run first:
+// committing the compaction sweeps the fragmented generation's files.
+func BenchmarkFragmentedScan(b *testing.B) {
+	tr := genTrace(b, "FB-2009", 1, time.Hour)
+	s, _ := openStore(b, b.TempDir(), 0)
+	defer s.Close()
+	frag, _ := fragmentTrace(b, s, "bench", tr, 32, 1)
+
+	scanOnce := func(b *testing.B, tt *Trace) {
+		p, _, err := tt.ParallelScanPartial(ParallelScanOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Jobs() != tr.Len() {
+			b.Fatalf("scanned %d jobs, want %d", p.Jobs(), tr.Len())
+		}
+	}
+	b.Run("fragmented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scanOnce(b, frag)
+		}
+		b.ReportMetric(float64(frag.Segments()), "segments")
+		b.ReportMetric(float64(frag.Blocks()), "blocks")
+	})
+
+	sealed, _, err := s.CompactTrace(frag)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sealed.Commit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compacted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scanOnce(b, ct)
+		}
+		b.ReportMetric(float64(ct.Segments()), "segments")
+		b.ReportMetric(float64(ct.Blocks()), "blocks")
+	})
+}
+
+// BenchmarkParallelScan pits the two scan parallelization strategies
+// against each other on a packed single-segment trace — the shape
+// compaction produces, where segment-parallel degenerates to one shard
+// and only block-parallel can use the other cores. benchtrend's scan
+// suite gates block/segment with -min-block-parallel-speedup on
+// multi-core runners (the -N benchmark suffix carries GOMAXPROCS;
+// single-core machines are exempt — no parallelism exists to measure).
+func BenchmarkParallelScan(b *testing.B) {
+	tr := genTrace(b, "FB-2009", 1, 14*24*time.Hour)
+	s, _ := openStore(b, b.TempDir(), 1<<20)
+	defer s.Close()
+	tt := writeTrace(b, s, "bench", tr)
+	meta := tt.Meta()
+
+	b.Run("segment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := core.BuildShardsPartial(meta, tt.ScanShards(), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.Jobs() != tr.Len() {
+				b.Fatalf("scanned %d jobs, want %d", p.Jobs(), tr.Len())
+			}
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, _, err := tt.ParallelScanPartial(ParallelScanOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.Jobs() != tr.Len() {
+				b.Fatalf("scanned %d jobs, want %d", p.Jobs(), tr.Len())
+			}
+		}
+	})
 }

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/colseg"
+	"repro/internal/trace"
+)
+
+// Background compaction. Live append (storage.Appender) optimizes for
+// durability, not scan shape: every resumed session starts a new
+// segment file and every batch commit flushes the codec at a block
+// boundary, so a long-appended trace accumulates many small segments
+// full of undersized colseg blocks — more open/decode overhead per
+// scanned job, weaker zone-map pruning, bigger manifests. Compaction
+// rewrites the committed generation into packed segments (full blocks,
+// rebuilt zone maps, fresh per-segment submit spans) as a NEW
+// generation committed through the standard atomic manifest protocol.
+// Identity is canonical JSONL, so the rewrite preserves the fingerprint
+// exactly — the compactor re-hashes every job it moves and aborts on
+// any mismatch rather than committing a generation that lies about its
+// content. Concurrent readers are safe by the store's standing rule:
+// committed files are unlinked, never rewritten, and open descriptors
+// survive the unlink. Concurrent appenders are the serving layer's
+// concern: it either skips traces with open append sessions or
+// invalidates them at commit, exactly as a re-ingest does.
+
+// Compaction policy defaults: a generation triggers when it has
+// accumulated DefaultCompactMinSegments segment files, or when its
+// colseg blocks average below DefaultCompactMinFill of BlockJobs.
+const (
+	DefaultCompactMinSegments = 8
+	DefaultCompactMinFill     = 0.5
+)
+
+// CompactPolicy decides when a committed generation is fragmented
+// enough to rewrite. Zero fields take the defaults above.
+type CompactPolicy struct {
+	// MinSegments triggers when the generation has at least this many
+	// segment files (and packing would actually reduce the count).
+	MinSegments int
+	// MinFill triggers when the average colseg block holds fewer than
+	// MinFill×BlockJobs jobs (and packing would actually merge blocks).
+	// Traces whose manifests predate per-segment block counts never
+	// trigger on fill.
+	MinFill float64
+}
+
+// NeedsCompaction reports whether t's committed generation would
+// benefit from compaction under p. A generation the compactor itself
+// wrote never re-triggers (its manifest is marked), so the background
+// loop converges instead of rewriting packed traces forever.
+func (s *Store) NeedsCompaction(t *Trace, p CompactPolicy) bool {
+	if t.Jobs() == 0 || t.man.Compacted {
+		return false
+	}
+	minSegs := p.MinSegments
+	if minSegs <= 0 {
+		minSegs = DefaultCompactMinSegments
+	}
+	minFill := p.MinFill
+	if minFill <= 0 {
+		minFill = DefaultCompactMinFill
+	}
+	packedSegs := (t.Jobs() + s.segJobs - 1) / s.segJobs
+	if t.Segments() >= minSegs && t.Segments() > packedSegs {
+		return true
+	}
+	if blocks, ok := t.colsegBlocks(); ok && blocks > packedBlocks(t.Jobs(), s.segJobs) {
+		if float64(t.Jobs()) < minFill*float64(blocks)*float64(colseg.BlockJobs) {
+			return true
+		}
+	}
+	return false
+}
+
+// colsegBlocks sums the recorded block counts across the generation's
+// columnar segments. Not ok when any non-empty columnar segment
+// predates block counting (a legacy manifest) — fill is then unknown.
+func (t *Trace) colsegBlocks() (int, bool) {
+	total, any := 0, false
+	for _, seg := range t.man.Segments {
+		if seg.Codec != CodecColumnar {
+			continue
+		}
+		if seg.Blocks <= 0 && seg.Jobs > 0 {
+			return 0, false
+		}
+		total += seg.Blocks
+		any = true
+	}
+	return total, any
+}
+
+// packedBlocks is how many colseg blocks a packed rewrite of jobs
+// records yields under segment cap segJobs — the convergence floor the
+// fill trigger compares against.
+func packedBlocks(jobs, segJobs int) int {
+	blocks := 0
+	for jobs > 0 {
+		n := jobs
+		if n > segJobs {
+			n = segJobs
+		}
+		blocks += (n + colseg.BlockJobs - 1) / colseg.BlockJobs
+		jobs -= n
+	}
+	return blocks
+}
+
+// Compacted reports whether the committed generation was written by the
+// compactor.
+func (t *Trace) Compacted() bool { return t.man.Compacted }
+
+// Blocks sums the recorded colseg block counts (0 for legacy manifests
+// and pure-JSONL generations).
+func (t *Trace) Blocks() int {
+	n := 0
+	for _, seg := range t.man.Segments {
+		n += seg.Blocks
+	}
+	return n
+}
+
+// CompactResult reports what one compaction rewrite accomplished.
+type CompactResult struct {
+	Jobs           int
+	SegmentsBefore int
+	SegmentsAfter  int
+	BlocksBefore   int
+	BlocksAfter    int
+}
+
+// CompactTrace streams t's committed generation into a packed new
+// generation and seals it, re-deriving the canonical fingerprint along
+// the way: a mismatch with the committed manifest aborts the rewrite
+// (segment corruption insurance — a compaction must be a byte-identical
+// no-op or nothing). The persisted partial snapshot is carried over
+// when readable; a damaged one only costs the snapshot, as on the
+// recovery path. The caller commits the returned Sealed under whatever
+// lock serializes writes to this name (and must invalidate or have
+// excluded concurrent append sessions, whose manifests would otherwise
+// regress the compacted generation), or Aborts it to discard the
+// staged files.
+func (s *Store) CompactTrace(t *Trace) (*Sealed, *CompactResult, error) {
+	st, err := s.NewStager(t.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Volatile scan sources: every job is hashed and re-encoded on the
+	// spot, nothing retains the batch.
+	src := &chainSource{meta: t.Meta(), sources: t.ScanShards()}
+	hasher := trace.NewHasher()
+	if err := hasher.Begin(t.Meta()); err != nil {
+		st.Abort()
+		return nil, nil, err
+	}
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.Close()
+			st.Abort()
+			return nil, nil, fmt.Errorf("storage: compacting %q: %w", t.Name(), err)
+		}
+		if err := hasher.Write(j); err != nil {
+			src.Close()
+			st.Abort()
+			return nil, nil, fmt.Errorf("storage: compacting %q: %w", t.Name(), err)
+		}
+		if err := st.Write(j); err != nil {
+			src.Close()
+			st.Abort()
+			return nil, nil, fmt.Errorf("storage: compacting %q: %w", t.Name(), err)
+		}
+	}
+	if got := hasher.Sum(); got != t.Fingerprint() {
+		st.Abort()
+		return nil, nil, fmt.Errorf("storage: compacting %q: rewrite fingerprint %.12s does not match committed %.12s",
+			t.Name(), got, t.Fingerprint())
+	}
+	// Carry the frozen aggregate snapshot into the new generation; a
+	// damaged or absent one only costs the snapshot (reports rebuild
+	// from the jobs), exactly as on recovery.
+	partial, err := t.LoadPartial()
+	if err != nil {
+		partial = nil
+	}
+	sealed, err := st.Seal(t.Meta(), t.Fingerprint(), t.Jobs(), t.BytesMoved(), partial)
+	if err != nil {
+		st.Abort()
+		return nil, nil, err
+	}
+	sealed.man.Compacted = true
+	res := &CompactResult{
+		Jobs:           t.Jobs(),
+		SegmentsBefore: t.Segments(),
+		SegmentsAfter:  len(sealed.man.Segments),
+		BlocksBefore:   t.Blocks(),
+		BlocksAfter:    blocksOf(sealed.man.Segments),
+	}
+	return sealed, res, nil
+}
+
+// blocksOf sums recorded block counts over segment infos.
+func blocksOf(segs []SegmentInfo) int {
+	n := 0
+	for _, seg := range segs {
+		n += seg.Blocks
+	}
+	return n
+}

@@ -32,6 +32,10 @@ type Manifest struct {
 	// Partial describes the persisted aggregate snapshot; nil when the
 	// trace stored without one (e.g. too short for hourly binning).
 	Partial *FileInfo `json:"partial,omitempty"`
+	// Compacted marks a generation the compactor wrote: already packed,
+	// so the compaction policy never re-triggers on it. Any subsequent
+	// ingest or append builds a fresh manifest without the flag.
+	Compacted bool `json:"compacted,omitempty"`
 }
 
 // ManifestMeta is trace.Meta at nanosecond precision.
@@ -79,13 +83,35 @@ type FileInfo struct {
 // earliest and latest job submit times (Unix seconds) in the segment,
 // letting a windowed query skip whole segment files without opening
 // them (colseg's per-block zone maps then prune within kept segments).
-// Both zero means unknown — a legacy manifest — and never prunes.
+// HasSpan distinguishes a genuine (0,0) span — every job submitted in
+// the first second of the Unix epoch — from a legacy manifest that
+// recorded nothing: when HasSpan is false and both bounds are zero the
+// span is unknown and never prunes.
+//
+// Blocks counts the colseg blocks the segment encoder flushed; zero for
+// JSONL segments and legacy manifests. It feeds the compaction policy's
+// average-block-fill trigger without opening any segment.
 type SegmentInfo struct {
 	FileInfo
 	Jobs         int    `json:"jobs"`
 	Codec        string `json:"codec,omitempty"`
 	MinSubmitSec int64  `json:"min_submit_sec,omitempty"`
 	MaxSubmitSec int64  `json:"max_submit_sec,omitempty"`
+	HasSpan      bool   `json:"has_span,omitempty"`
+	Blocks       int    `json:"blocks,omitempty"`
+}
+
+// spanKnown reports whether the segment's submit span is trustworthy:
+// either the writer recorded it explicitly, or a legacy (pre-HasSpan)
+// manifest carries a non-zero bound.
+func (seg *SegmentInfo) spanKnown() bool {
+	return seg.HasSpan || seg.MinSubmitSec != 0 || seg.MaxSubmitSec != 0
+}
+
+// pruneOutside reports whether the segment's recorded submit span lies
+// wholly outside [fromSec, toSec]; an unknown span never prunes.
+func (seg *SegmentInfo) pruneOutside(fromSec, toSec int64) bool {
+	return seg.spanKnown() && (seg.MaxSubmitSec < fromSec || seg.MinSubmitSec > toSec)
 }
 
 // readManifest loads and structurally validates a manifest file.

@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/colseg"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// The block-parallel disk scan. The sequential out-of-core path
+// (core.BuildShardsPartial over ScanShards) parallelizes at segment
+// granularity, so a trace packed into one or two big segments scans on
+// one or two cores. Here one IO goroutine walks the segments in
+// manifest order, prunes at segment (manifest span) and block (zone
+// map) granularity, and frames colseg blocks without decoding them; a
+// bounded pool of workers decodes frames into per-chunk core.Partials;
+// and the caller merges those partials in frame order. Because every
+// aggregate is exact and mergeable (the PR-4 contract), the merged
+// result is byte-identical to the sequential scan at any worker count.
+// Legacy JSONL segments have no block framing and travel through the
+// same pipeline as whole-segment work units.
+
+// framePool recycles block-frame payload buffers between the IO
+// goroutine and the decode workers. Entries are pointers so Put never
+// allocates a slice header.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+// frameChunk is how many block frames ride in one decode task,
+// amortizing the per-task Partial allocation and channel hop.
+const frameChunk = 4
+
+// errScanAborted stops the IO walk when the merge side has already
+// failed; it never escapes ParallelScanPartial.
+var errScanAborted = errors.New("storage: scan aborted")
+
+// ParallelScanOptions tunes a block-parallel scan.
+type ParallelScanOptions struct {
+	// Workers bounds the decode pool; 0 or less means one per CPU.
+	Workers int
+	// Sketch selects sketched data-size sections, exactly as on the
+	// sequential build path.
+	Sketch bool
+	// Window restricts the scan to jobs submitted in [From, To):
+	// segments and blocks prune conservatively via their recorded spans
+	// and the survivors filter exactly (trace.NewWindowSource's
+	// predicate).
+	Window   bool
+	From, To time.Time
+	// Meta overrides the metadata the partials aggregate under — the
+	// windowed path passes the window's meta. Zero means the trace's
+	// own.
+	Meta trace.Meta
+}
+
+// scanTask is one unit of decode work: either a chunk of colseg frame
+// payloads (pooled buffers) or, for non-columnar segments, one whole
+// segment to stream.
+type scanTask struct {
+	seq  int
+	bufs []*[]byte
+	src  trace.Source
+}
+
+// recycle returns the task's pooled buffers and closes an unconsumed
+// segment source (a no-op when the worker drained it).
+func (tk *scanTask) recycle() {
+	for _, bp := range tk.bufs {
+		framePool.Put(bp)
+	}
+	tk.bufs = nil
+	if tk.src != nil {
+		if cl, ok := tk.src.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+}
+
+type scanResult struct {
+	seq int
+	p   *core.Partial
+	err error
+}
+
+// ParallelScanPartial builds the trace's partial aggregate with the
+// block-parallel pipeline. The result is byte-identical to the
+// segment-parallel core.BuildShardsPartial over ScanShards (or
+// WindowShards plus exact filtering, when windowed) at any worker
+// count; the returned stats carry the same pruning evidence. Errors
+// release every pooled buffer and descriptor before returning.
+func (t *Trace) ParallelScanPartial(opts ParallelScanOptions) (*core.Partial, *ScanStats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	meta := opts.Meta
+	if meta == (trace.Meta{}) {
+		meta = t.Meta()
+	}
+	stats := &ScanStats{Segments: len(t.man.Segments)}
+
+	work := make(chan scanTask, 2*workers)
+	results := make(chan scanResult, 2*workers)
+	abort := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(abort) }) }
+	defer cancel()
+
+	// IO goroutine: walk segments in manifest order, prune, frame, emit.
+	var ioErr error
+	go func() {
+		defer close(work)
+		seq := 0
+		emit := func(tk scanTask) bool {
+			select {
+			case work <- tk:
+				return true
+			case <-abort:
+				tk.recycle()
+				return false
+			}
+		}
+		fromSec, toSec := opts.From.Unix(), opts.To.Unix()
+		for _, seg := range t.man.Segments {
+			if opts.Window && seg.pruneOutside(fromSec, toSec) {
+				stats.SegmentsPruned++
+				continue
+			}
+			if seg.Codec != CodecColumnar {
+				src := &segmentSource{
+					path:     filepath.Join(t.dir, seg.File),
+					meta:     meta,
+					codec:    seg.Codec,
+					size:     seg.Size,
+					volatile: true,
+					window:   opts.Window,
+					from:     opts.From,
+					to:       opts.To,
+					stats:    stats,
+				}
+				if !emit(scanTask{seq: seq, src: src}) {
+					return
+				}
+				seq++
+				continue
+			}
+			if err := t.emitSegmentFrames(seg, opts, stats, &seq, emit); err != nil {
+				if err != errScanAborted {
+					ioErr = err
+				}
+				return
+			}
+		}
+	}()
+
+	// Decode pool: frames (or whole legacy segments) into partials.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec := colseg.NewBlockDecoder(meta)
+			defer dec.Close()
+			for tk := range work {
+				select {
+				case <-abort:
+					tk.recycle()
+					continue
+				default:
+				}
+				p, err := buildTaskPartial(&tk, meta, opts, dec)
+				tk.recycle()
+				results <- scanResult{seq: tk.seq, p: p, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Merge in task sequence order — deterministic regardless of which
+	// worker finished first.
+	var merged *core.Partial
+	var scanErr error
+	pending := make(map[int]*core.Partial)
+	next := 0
+	for res := range results {
+		if scanErr != nil {
+			continue
+		}
+		if res.err != nil {
+			scanErr = res.err
+			cancel()
+			continue
+		}
+		pending[res.seq] = res.p
+		for {
+			p, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if merged == nil {
+				merged = p
+				continue
+			}
+			if err := merged.Merge(p); err != nil {
+				scanErr = err
+				cancel()
+				break
+			}
+		}
+	}
+	if scanErr != nil {
+		return nil, stats, scanErr
+	}
+	if ioErr != nil {
+		return nil, stats, ioErr
+	}
+	if merged == nil {
+		// Everything pruned (or an empty trace): same result as the
+		// segment-parallel path with zero shards.
+		p, err := core.BuildShardsPartial(meta, nil, opts.Sketch)
+		if err != nil {
+			return nil, stats, err
+		}
+		return p, stats, nil
+	}
+	return merged, stats, nil
+}
+
+// emitSegmentFrames frames one colseg segment's blocks and emits them
+// in frameChunk batches. Block counters harvest into stats when the
+// segment's stream ends, exactly as the sequential reader's do.
+func (t *Trace) emitSegmentFrames(seg SegmentInfo, opts ParallelScanOptions, stats *ScanStats, seq *int, emit func(scanTask) bool) error {
+	f, err := os.Open(filepath.Join(t.dir, seg.File))
+	if err != nil {
+		return fmt.Errorf("storage: opening segment: %w", err)
+	}
+	defer f.Close()
+	// Readers see exactly the manifest-recorded committed prefix; a
+	// live-append tail past it stays invisible (see segmentSource).
+	var rd io.Reader = f
+	if seg.Size > 0 {
+		rd = io.LimitReader(f, seg.Size)
+	}
+	var copts []colseg.Option
+	if opts.Window {
+		copts = append(copts, colseg.WithTimeRange(opts.From, opts.To))
+	}
+	fs := colseg.NewFrameScanner(rd, copts...)
+	defer fs.Close()
+	harvest := func() {
+		stats.blocksRead.Add(int64(fs.BlocksRead()))
+		stats.blocksPruned.Add(int64(fs.BlocksPruned()))
+	}
+	var tk scanTask
+	flush := func() bool {
+		if len(tk.bufs) == 0 {
+			return true
+		}
+		tk.seq = *seq
+		*seq++
+		ok := emit(tk)
+		tk = scanTask{}
+		return ok
+	}
+	for {
+		bp := framePool.Get().(*[]byte)
+		payload, err := fs.Next((*bp)[:0])
+		if err != nil {
+			framePool.Put(bp)
+			harvest()
+			if err == io.EOF {
+				if !flush() {
+					return errScanAborted
+				}
+				return nil
+			}
+			tk.recycle()
+			return fmt.Errorf("storage: reading %s: %w", seg.File, err)
+		}
+		*bp = payload
+		tk.bufs = append(tk.bufs, bp)
+		if len(tk.bufs) >= frameChunk {
+			if !flush() {
+				harvest()
+				return errScanAborted
+			}
+		}
+	}
+}
+
+// buildTaskPartial folds one task into a fresh partial: decode each
+// frame and observe its jobs (window-filtered exactly when asked), or
+// stream a whole legacy segment through the standard build.
+func buildTaskPartial(tk *scanTask, meta trace.Meta, opts ParallelScanOptions, dec *colseg.BlockDecoder) (*core.Partial, error) {
+	if tk.src != nil {
+		src := tk.src
+		if opts.Window {
+			src = trace.NewWindowSource(src, meta, opts.From, opts.To)
+		}
+		return core.BuildPartial(src, opts.Sketch)
+	}
+	p, err := core.NewPartial(meta, opts.Sketch)
+	if err != nil {
+		return nil, err
+	}
+	for _, bp := range tk.bufs {
+		jobs, err := dec.Decode(*bp)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			j := &jobs[i]
+			if opts.Window && !colseg.InWindow(j, opts.From, opts.To) {
+				continue
+			}
+			p.Observe(j)
+		}
+	}
+	return p, nil
+}

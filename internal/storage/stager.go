@@ -71,6 +71,12 @@ func newSegmentEncoder(codec string, w io.Writer) segmentEncoder {
 	return &jsonlEncoder{w: w, buf: make([]byte, 0, 512)}
 }
 
+// blockCounter is implemented by encoders that flush framed blocks
+// (colseg.Writer); the count lands in SegmentInfo.Blocks.
+type blockCounter interface {
+	Blocks() int
+}
+
 // manifestCodec maps a store codec to what SegmentInfo records: JSONL
 // stays the empty string so JSONL-codec manifests are byte-identical to
 // v5-era ones.
@@ -212,6 +218,10 @@ func (st *Stager) closeSegment() error {
 	}
 	if st.segSpan.has {
 		info.MinSubmitSec, info.MaxSubmitSec = st.segSpan.min, st.segSpan.max
+		info.HasSpan = true
+	}
+	if bc, ok := st.enc.(blockCounter); ok {
+		info.Blocks = bc.Blocks()
 	}
 	st.segments = append(st.segments, info)
 	st.f = nil
@@ -302,8 +312,11 @@ func decodeMust(dir string) string {
 // has failed; a no-op after Commit.
 func (st *Stager) Abort() {
 	if st.f != nil {
+		// The in-progress segment is on disk but not yet recorded in
+		// st.segments; its name is deterministic, so unlink it too.
 		st.f.Close()
 		st.f = nil
+		os.Remove(filepath.Join(st.dir, segmentFile(st.gen, len(st.segments))))
 	}
 	st.done = true
 	for _, seg := range st.segments {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,7 +56,7 @@ func (t *Trace) SizeBytes() int64 {
 // file descriptors and closes them at io.EOF or on error; abandon it
 // only at a stream boundary.
 func (t *Trace) Open() (trace.Source, error) {
-	return &chainSource{sources: segmentSources(t.dir, t.Meta(), t.man.Segments)}, nil
+	return &chainSource{meta: t.Meta(), sources: segmentSources(t.dir, t.Meta(), t.man.Segments)}, nil
 }
 
 // Shards returns one Source per segment, each carrying the full
@@ -116,8 +117,7 @@ func (t *Trace) WindowShards(from, to time.Time) ([]trace.Source, *ScanStats) {
 	meta := t.Meta()
 	var out []trace.Source
 	for _, seg := range t.man.Segments {
-		if (seg.MinSubmitSec != 0 || seg.MaxSubmitSec != 0) &&
-			(seg.MaxSubmitSec < fromSec || seg.MinSubmitSec > toSec) {
+		if seg.pruneOutside(fromSec, toSec) {
 			stats.SegmentsPruned++
 			continue
 		}
@@ -286,18 +286,17 @@ func (s *segmentSource) Close() error {
 }
 
 // chainSource concatenates segment sources into one ordered stream.
+// It carries the manifest metadata itself so a committed trace with
+// zero segments (e.g. a sealed-empty generation) still reports its
+// identity instead of a zero Meta.
 type chainSource struct {
+	meta    trace.Meta
 	sources []trace.Source
 	i       int
 }
 
 // Meta returns the trace metadata.
-func (c *chainSource) Meta() trace.Meta {
-	if len(c.sources) == 0 {
-		return trace.Meta{}
-	}
-	return c.sources[0].Meta()
-}
+func (c *chainSource) Meta() trace.Meta { return c.meta }
 
 // Next yields the next job across segment boundaries.
 func (c *chainSource) Next() (*trace.Job, error) {
@@ -323,6 +322,14 @@ func (c *chainSource) Close() error {
 	return nil
 }
 
+// verifyBufPool recycles the read buffer across verifySegment calls:
+// recovery of a many-segment (post-append, pre-compaction) directory
+// verifies every segment at startup, and one pooled 64 KiB buffer beats
+// a fresh allocation per segment.
+var verifyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 1<<16); return &b },
+}
+
 // verifySegment streams a committed segment against its recorded size
 // and CRC. A file *longer* than recorded is a live-append tail past the
 // last committed batch: the committed prefix is CRC-verified and the
@@ -343,7 +350,9 @@ func verifySegment(dir string, seg SegmentInfo) (trimmed int64, err error) {
 		return 0, fmt.Errorf("segment %s: %d bytes on disk, manifest says %d", seg.File, fi.Size(), seg.Size)
 	}
 	crc := uint32(0)
-	buf := make([]byte, 1<<16)
+	bufp := verifyBufPool.Get().(*[]byte)
+	defer verifyBufPool.Put(bufp)
+	buf := *bufp
 	remaining := seg.Size
 	for remaining > 0 {
 		step := int64(len(buf))

@@ -13,7 +13,12 @@
 //   - scan: BenchmarkSegmentScan jsonl vs colseg into BENCH_SCAN.json —
 //     the columnar segment codec's disk-scan throughput and on-disk
 //     size against the JSONL baseline — with an optional
-//     -min-scan-speedup gate on the jsonl/colseg time ratio.
+//     -min-scan-speedup gate on the jsonl/colseg time ratio. When
+//     BenchmarkFragmentedScan and BenchmarkParallelScan ran in the same
+//     output, the datapoint also carries the fragmented-vs-compacted
+//     scan times (gated by -min-compaction-speedup) and the
+//     segment-parallel vs block-parallel times (gated by
+//     -min-block-parallel-speedup on multi-core runners).
 //
 //   - cluster: BenchmarkClusterReport single vs scatter into
 //     BENCH_CLUSTER.json — what a cold report costs when it is gathered
@@ -62,15 +67,17 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
-		in       = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		suite    = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), append (BenchmarkAppendIngest), or cluster (BenchmarkClusterReport)")
-		jsonPath = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json / BENCH_APPEND.json per suite)")
-		note     = fs.String("note", "ci trend", "note recorded with the datapoint")
-		minSpeed = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
-		maxOver  = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
-		minScan  = fs.Float64("min-scan-speedup", 0, "scan suite: fail when the columnar disk scan is not at least this many times faster than the JSONL baseline — the segment-format acceptance gate; 0 disables")
-		maxApp   = fs.Float64("max-append-overhead", 0, "append suite: fail when batched live ingest costs more than this many times the one-shot upload of the same trace — the live-ingest acceptance gate; 0 disables")
-		maxScat  = fs.Float64("max-scatter-overhead", 0, "cluster suite: fail when a cold scatter/gather report costs more than this many times the single-node cold report of the same trace — the distributed-serving acceptance gate; 0 disables")
+		in          = fs.String("in", "-", "benchmark output to parse (- = stdin)")
+		suite       = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), append (BenchmarkAppendIngest), or cluster (BenchmarkClusterReport)")
+		jsonPath    = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json / BENCH_APPEND.json per suite)")
+		note        = fs.String("note", "ci trend", "note recorded with the datapoint")
+		minSpeed    = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
+		maxOver     = fs.Float64("max-restart-overhead", 0, "serve suite: fail when the disk/memory cold-report ratio exceeds this bar — a restarted server must serve from the persisted partial, not rescan; 0 disables")
+		minScan     = fs.Float64("min-scan-speedup", 0, "scan suite: fail when the columnar disk scan is not at least this many times faster than the JSONL baseline — the segment-format acceptance gate; 0 disables")
+		minCompact  = fs.Float64("min-compaction-speedup", 0, "scan suite: fail when scanning the compacted generation is not at least this many times faster than the 32-batch fragmented one (BenchmarkFragmentedScan) — the compaction acceptance gate; 0 disables")
+		minBlockPar = fs.Float64("min-block-parallel-speedup", 0, "scan suite: fail when the block-parallel scan is not at least this many times faster than the segment-parallel scan of the same packed trace (BenchmarkParallelScan) on a multi-core machine — single-core machines are exempt (no parallelism exists to measure); 0 disables")
+		maxApp      = fs.Float64("max-append-overhead", 0, "append suite: fail when batched live ingest costs more than this many times the one-shot upload of the same trace — the live-ingest acceptance gate; 0 disables")
+		maxScat     = fs.Float64("max-scatter-overhead", 0, "cluster suite: fail when a cold scatter/gather report costs more than this many times the single-node cold report of the same trace — the distributed-serving acceptance gate; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,7 +131,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "serve":
 		return checkRestartOverhead(grown, *maxOver)
 	case "scan":
-		return checkScanSpeedup(grown, *minScan)
+		if err := checkScanSpeedup(grown, *minScan); err != nil {
+			return err
+		}
+		if err := checkCompactionSpeedup(grown, *minCompact); err != nil {
+			return err
+		}
+		return checkBlockParallelSpeedup(grown, *minBlockPar)
 	case "append":
 		return checkAppendOverhead(grown, *maxApp)
 	case "cluster":
@@ -382,6 +395,16 @@ func checkRestartOverhead(grown []byte, maxOverhead float64) error {
 	return nil
 }
 
+// fragLine matches one BenchmarkFragmentedScan sub-benchmark, e.g.
+// "BenchmarkFragmentedScan/compacted-4   50   55542 ns/op".
+var fragLine = regexp.MustCompile(`(?m)^BenchmarkFragmentedScan/(fragmented|compacted)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// parScanLine matches one BenchmarkParallelScan sub-benchmark. The
+// optional -N suffix is GOMAXPROCS (Go's testing package omits it when
+// GOMAXPROCS is 1), which the block-parallel gate uses to exempt
+// single-core machines.
+var parScanLine = regexp.MustCompile(`(?m)^BenchmarkParallelScan/(segment|block)(?:-(\d+))?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
 // scanLine matches one BenchmarkSegmentScan sub-benchmark with its
 // segbytes metric, e.g. "BenchmarkSegmentScan/colseg-4   100   5488495
 // ns/op   1043.59 MB/s   68581 jobs/scan   5727758 segbytes".
@@ -435,14 +458,60 @@ func appendScanDatapoint(trend, benchOut []byte, now time.Time, goVersion, note 
 	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
 		dp["cpu"] = strings.TrimSpace(m[1])
 	}
+	summary := fmt.Sprintf("appended datapoint: jsonl %.1fms, colseg %.1fms (scan speedup %.2fx, compression %.2fx)",
+		jsonl/1e6, colseg/1e6, speedup, compression)
+
+	// The compaction and parallel-strategy companions ride along when
+	// their benchmarks ran in the same output; absent lines just skip
+	// the fields rather than failing a codec-only run.
+	fragNs := map[string]float64{}
+	for _, m := range fragLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		fragNs[m[1]] = ns
+	}
+	if frag, ok := fragNs["fragmented"]; ok {
+		if packed, ok := fragNs["compacted"]; ok {
+			dp["fragmented_ns_per_op"] = int64(frag)
+			dp["compacted_ns_per_op"] = int64(packed)
+			dp["compaction_speedup"] = math2(frag / packed)
+			summary += fmt.Sprintf("; compacted scan %.2fms vs fragmented %.2fms (%.2fx)",
+				packed/1e6, frag/1e6, frag/packed)
+		}
+	}
+	parNs := map[string]float64{}
+	parCPUs := 1
+	for _, m := range parScanLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[3], err)
+		}
+		if m[2] != "" {
+			parCPUs, err = strconv.Atoi(m[2])
+			if err != nil {
+				return nil, "", fmt.Errorf("parsing GOMAXPROCS suffix %q: %w", m[2], err)
+			}
+		}
+		parNs[m[1]] = ns
+	}
+	if seg, ok := parNs["segment"]; ok {
+		if blk, ok := parNs["block"]; ok {
+			dp["segment_parallel_ns_per_op"] = int64(seg)
+			dp["block_parallel_ns_per_op"] = int64(blk)
+			dp["block_parallel_speedup"] = math2(seg / blk)
+			dp["scan_cpus"] = parCPUs
+			summary += fmt.Sprintf("; block-parallel %.1fms vs segment-parallel %.1fms (%.2fx on %d cores)",
+				blk/1e6, seg/1e6, seg/blk, parCPUs)
+		}
+	}
 	doc["datapoints"] = append(points, dp)
 
 	grown, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return nil, "", err
 	}
-	summary := fmt.Sprintf("appended datapoint: jsonl %.1fms, colseg %.1fms (scan speedup %.2fx, compression %.2fx)",
-		jsonl/1e6, colseg/1e6, speedup, compression)
 	return append(grown, '\n'), summary, nil
 }
 
@@ -464,6 +533,64 @@ func checkScanSpeedup(grown []byte, minSpeedup float64) error {
 	dp := doc.Datapoints[len(doc.Datapoints)-1]
 	if dp.Speedup < minSpeedup {
 		return fmt.Errorf("colseg scan speedup %.2fx is below the %.2fx acceptance bar", dp.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// checkCompactionSpeedup enforces the fragmented-vs-compacted scan bar
+// against the datapoint just appended. With the gate armed the
+// compaction fields must be present — a run whose FragmentedScan
+// benchmark was truncated must fail, not silently pass.
+func checkCompactionSpeedup(grown []byte, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Fragmented int64   `json:"fragmented_ns_per_op"`
+			Speedup    float64 `json:"compaction_speedup"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Fragmented == 0 {
+		return fmt.Errorf("compaction gate armed but the datapoint carries no BenchmarkFragmentedScan results")
+	}
+	if dp.Speedup < minSpeedup {
+		return fmt.Errorf("compacted-scan speedup %.2fx is below the %.2fx acceptance bar", dp.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// checkBlockParallelSpeedup enforces the block-vs-segment parallel scan
+// bar against the datapoint just appended. Single-core machines are
+// exempt — with one core both strategies degenerate to a sequential
+// scan and there is no parallelism to measure.
+func checkBlockParallelSpeedup(grown []byte, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			Segment int64   `json:"segment_parallel_ns_per_op"`
+			Speedup float64 `json:"block_parallel_speedup"`
+			CPUs    int     `json:"scan_cpus"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.Segment == 0 {
+		return fmt.Errorf("block-parallel gate armed but the datapoint carries no BenchmarkParallelScan results")
+	}
+	if dp.CPUs <= 1 {
+		return nil // nothing to parallelize across; the bar needs cores
+	}
+	if dp.Speedup < minSpeedup {
+		return fmt.Errorf("block-parallel scan speedup %.2fx on %d cores is below the %.2fx acceptance bar", dp.Speedup, dp.CPUs, minSpeedup)
 	}
 	return nil
 }

@@ -254,6 +254,103 @@ func TestCheckScanSpeedup(t *testing.T) {
 	}
 }
 
+// The compaction and parallel-strategy companions ride on the scan
+// datapoint when their benchmarks ran in the same output.
+func TestAppendScanDatapointWithCompanions(t *testing.T) {
+	bench := sampleScanBench +
+		"BenchmarkFragmentedScan/fragmented-4   50   295155 ns/op   31.00 blocks   31.00 segments\n" +
+		"BenchmarkFragmentedScan/compacted-4    50    55542 ns/op    1.000 blocks   1.000 segments\n" +
+		"BenchmarkParallelScan/segment-4        20   31023497 ns/op\n" +
+		"BenchmarkParallelScan/block-4          20   10341165 ns/op\n"
+	grown, summary, err := appendScanDatapoint([]byte(sampleScanTrend), []byte(bench), time.Now(), "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "compacted scan") || !strings.Contains(summary, "block-parallel") {
+		t.Errorf("summary %q lacks the companion ratios", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	dp := doc["datapoints"].([]any)[0].(map[string]any)
+	for key, want := range map[string]any{
+		"fragmented_ns_per_op":       295155.0,
+		"compacted_ns_per_op":        55542.0,
+		"compaction_speedup":         5.31,
+		"segment_parallel_ns_per_op": 31023497.0,
+		"block_parallel_ns_per_op":   10341165.0,
+		"block_parallel_speedup":     3.0,
+		"scan_cpus":                  4.0,
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+	// Codec-only output still works: no companion fields, no error.
+	grown, _, err = appendScanDatapoint([]byte(sampleScanTrend), []byte(sampleScanBench), time.Now(), "go1.24.0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	dp = doc["datapoints"].([]any)[0].(map[string]any)
+	if _, ok := dp["compaction_speedup"]; ok {
+		t.Error("codec-only output grew compaction fields")
+	}
+}
+
+func TestCheckCompactionSpeedup(t *testing.T) {
+	trend := func(frag int64, speedup float64) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{"fragmented_ns_per_op": frag, "compaction_speedup": speedup},
+		}})
+		return b
+	}
+	if err := checkCompactionSpeedup(trend(295155, 5.31), 3); err != nil {
+		t.Errorf("5.31x failed the 3x bar: %v", err)
+	}
+	if err := checkCompactionSpeedup(trend(295155, 1.4), 3); err == nil {
+		t.Error("1.4x passed the 3x bar")
+	}
+	if err := checkCompactionSpeedup(trend(0, 0), 3); err == nil {
+		t.Error("a datapoint without FragmentedScan results passed an armed gate")
+	}
+	if err := checkCompactionSpeedup(trend(0, 0), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
+func TestCheckBlockParallelSpeedup(t *testing.T) {
+	trend := func(seg int64, speedup float64, cpus int) []byte {
+		b, _ := json.Marshal(map[string]any{"datapoints": []any{
+			map[string]any{
+				"segment_parallel_ns_per_op": seg,
+				"block_parallel_speedup":     speedup,
+				"scan_cpus":                  cpus,
+			},
+		}})
+		return b
+	}
+	if err := checkBlockParallelSpeedup(trend(31023497, 3.0, 4), 1.5); err != nil {
+		t.Errorf("3.0x on 4 cores failed the 1.5x bar: %v", err)
+	}
+	if err := checkBlockParallelSpeedup(trend(31023497, 1.1, 4), 1.5); err == nil {
+		t.Error("1.1x on 4 cores passed the 1.5x bar")
+	}
+	// Single-core machines are exempt: no parallelism exists to measure.
+	if err := checkBlockParallelSpeedup(trend(31023497, 0.9, 1), 1.5); err != nil {
+		t.Errorf("single-core run failed the bar: %v", err)
+	}
+	if err := checkBlockParallelSpeedup(trend(0, 0, 4), 1.5); err == nil {
+		t.Error("a datapoint without ParallelScan results passed an armed gate")
+	}
+	if err := checkBlockParallelSpeedup(trend(0, 0, 0), 0); err != nil {
+		t.Errorf("disabled bar failed: %v", err)
+	}
+}
+
 func TestAppendDatapointSingleCore(t *testing.T) {
 	bench := "BenchmarkParallelAnalyze/K=NumCPU(1)   3   21636837 ns/op\n" +
 		"BenchmarkParallelAnalyze/K=2   3   21159707 ns/op\n"
