@@ -23,7 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -66,7 +66,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		compactEvery = fs.Duration("compact", 0, "background compaction sweep interval: fragmented traces (many small segments or underfilled columnar blocks, the shape long append sessions leave) are rewritten into packed generations with identical fingerprints; 0 disables, needs -data")
 		compactSegs  = fs.Int("compact-min-segments", 0, "compact a trace once its generation holds at least this many segment files (0 = default 8)")
 		compactFill  = fs.Float64("compact-min-fill", 0, "compact a trace whose columnar blocks average below this fraction of full (0 = default 0.5)")
-		quiet        = fs.Bool("quiet", false, "disable per-request logging")
+		quiet        = fs.Bool("quiet", false, "disable server logging")
+		slowReq      = fs.Duration("slow-request", 0, "latency at which a request is logged as slow and counted in swim_http_slow_requests_total (0 = default 500ms, negative disables)")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: the profile endpoints expose process internals)")
+		debugReqs    = fs.Int("debug-requests", 0, "recent-request ring size served by /v1/debug/requests (0 = default 256)")
 		nodeID       = fs.String("node-id", "", "this node's identity in -peers (cluster mode)")
 		peersList    = fs.String("peers", "", "cluster membership as id=url,id=url,... including this node; empty runs single-node")
 		replicas     = fs.Int("replication", 0, "replica owners per trace shard (0 = default 2, clamped to the cluster size)")
@@ -78,9 +81,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return err
 	}
 
-	var logger *log.Logger
+	var logger *slog.Logger
 	if !*quiet {
-		logger = log.New(stderr, "swimd: ", log.LstdFlags)
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
 	}
 	if *peersList != "" && *nodeID == "" {
 		return fmt.Errorf("-peers requires -node-id")
@@ -89,21 +92,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return fmt.Errorf("-compact requires -data (compaction rewrites on-disk segments)")
 	}
 	srv, err := server.New(server.Config{
-		MaxTraces:          *maxTraces,
-		MaxTotalJobs:       *maxJobs,
-		CacheEntries:       *cacheSize,
-		DisablePartials:    !*partials,
-		DataDir:            *dataDir,
-		SegmentCodec:       *segCodec,
-		CompactInterval:    *compactEvery,
-		CompactMinSegments: *compactSegs,
-		CompactMinFill:     *compactFill,
-		Logger:             logger,
-		Peers:              *peersList,
-		NodeID:             *nodeID,
-		Replication:        *replicas,
-		ClusterShards:      *cshards,
-		PeerTimeout:        *peerTO,
+		MaxTraces:            *maxTraces,
+		MaxTotalJobs:         *maxJobs,
+		CacheEntries:         *cacheSize,
+		DisablePartials:      !*partials,
+		DataDir:              *dataDir,
+		SegmentCodec:         *segCodec,
+		CompactInterval:      *compactEvery,
+		CompactMinSegments:   *compactSegs,
+		CompactMinFill:       *compactFill,
+		Logger:               logger,
+		SlowRequestThreshold: *slowReq,
+		EnablePprof:          *pprofOn,
+		DebugRequests:        *debugReqs,
+		Peers:                *peersList,
+		NodeID:               *nodeID,
+		Replication:          *replicas,
+		ClusterShards:        *cshards,
+		PeerTimeout:          *peerTO,
 	})
 	if err != nil {
 		return err

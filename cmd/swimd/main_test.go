@@ -14,6 +14,7 @@ import (
 	"time"
 
 	swim "repro"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -367,5 +368,85 @@ func TestGracefulShutdownDrainsUploadAndPersists(t *testing.T) {
 	}
 	if err := json.Unmarshal(bodyBytes, &rep); err != nil || rep.Summary.Jobs != tr.Len() {
 		t.Errorf("restarted report jobs=%d want %d (err=%v)", rep.Summary.Jobs, tr.Len(), err)
+	}
+}
+
+// TestMetricsEndToEnd boots the real binary path over TCP and verifies
+// the observability surface a scraper sees: a parseable /metrics
+// payload carrying request, storage, and runtime series, and an
+// X-Request-Id on every response.
+func TestMetricsEndToEnd(t *testing.T) {
+	base, stop, wait := startSwimd(t, "-preload", "CC-a", "-preload-duration", "25h")
+
+	resp, err := http.Get(base + "/v1/traces/CC-a/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("report response missing X-Request-Id")
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, payload)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	exp, err := obs.ParsePrometheus(string(payload))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"swim_http_requests_total",
+		"swim_http_request_duration_seconds_bucket",
+		"swim_store_traces",
+		"swim_store_jobs",
+		"swim_storage_trace_segments",
+		"swim_build_info",
+		"swim_uptime_seconds",
+		"go_goroutines",
+	} {
+		if len(exp.Find(name)) == 0 {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if v, ok := exp.Value("swim_http_requests_total", "endpoint", "GET /v1/traces/{name}/report", "code", "200"); !ok || v != 1 {
+		t.Errorf("report series %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_store_traces"); !ok || v != 1 {
+		t.Errorf("swim_store_traces %v, %v", v, ok)
+	}
+
+	// The debug ring is reachable over TCP too and holds the report.
+	var dbg struct {
+		Count int `json:"count"`
+	}
+	resp, err = http.Get(base + "/v1/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dbg)
+	resp.Body.Close()
+	if err != nil || dbg.Count == 0 {
+		t.Errorf("debug ring: err=%v count=%d", err, dbg.Count)
+	}
+
+	close(stop)
+	if err, _ := wait(); err != nil {
+		t.Errorf("run returned %v", err)
 	}
 }

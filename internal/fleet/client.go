@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is the transport to one remote peer: a dedicated http.Client
@@ -123,6 +125,12 @@ func (c *Client) DoHeaders(ctx context.Context, method, path string, query url.V
 		}
 		for k, vs := range hdr {
 			req.Header[k] = vs
+		}
+		// Propagate the originating request's trace ID so one report's
+		// scatter/gather and append relays share an X-Request-Id across
+		// the cluster.
+		if id := obs.RequestIDFromContext(ctx); id != "" && req.Header.Get("X-Request-Id") == "" {
+			req.Header.Set("X-Request-Id", id)
 		}
 		start := time.Now()
 		resp, err := c.hc.Do(req)

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsedMetric is one sample line of a Prometheus text exposition:
+// metric name, label pairs in order of appearance, and the value.
+type ParsedMetric struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (m ParsedMetric) Label(name string) string {
+	for _, l := range m.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Exposition is a validated parse of a /metrics payload.
+type Exposition struct {
+	// Types maps family name -> declared TYPE.
+	Types map[string]string
+	// Samples holds every sample line in order.
+	Samples []ParsedMetric
+}
+
+// Find returns every sample with the given metric name.
+func (e *Exposition) Find(name string) []ParsedMetric {
+	var out []ParsedMetric
+	for _, s := range e.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the single sample for name whose labels include the
+// given pairs, and whether exactly one matched.
+func (e *Exposition) Value(name string, labelPairs ...string) (float64, bool) {
+	if len(labelPairs)%2 != 0 {
+		return 0, false
+	}
+	var match []ParsedMetric
+	for _, s := range e.Find(name) {
+		ok := true
+		for i := 0; i < len(labelPairs); i += 2 {
+			if s.Label(labelPairs[i]) != labelPairs[i+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match = append(match, s)
+		}
+	}
+	if len(match) != 1 {
+		return 0, false
+	}
+	return match[0].Value, true
+}
+
+// ParsePrometheus is a strict parser for the subset of the text
+// exposition format (0.0.4) the registry emits — the verification half
+// of the scrape tests and the CI gate. It rejects malformed sample
+// lines, samples whose family was never TYPEd, unescaped quotes, and
+// histograms whose cumulative buckets decrease.
+func ParsePrometheus(text string) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	// lastBucket tracks cumulative monotonicity per (name, non-le
+	// labels) series.
+	lastBucket := make(map[string]float64)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := exp.Types[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(m.Name, exp.Types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, m.Name)
+		}
+		if strings.HasSuffix(m.Name, "_bucket") && exp.Types[fam] == "histogram" {
+			key := fam + "|" + nonLeLabels(m.Labels)
+			if m.Value < lastBucket[key] {
+				return nil, fmt.Errorf("line %d: histogram %s bucket series decreases (%g after %g)", lineNo, fam, m.Value, lastBucket[key])
+			}
+			lastBucket[key] = m.Value
+		}
+		exp.Samples = append(exp.Samples, m)
+	}
+	return exp, nil
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or for histogram series the name minus its _bucket/_sum/
+// _count suffix.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+func nonLeLabels(labels []Label) string {
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != "le" {
+			parts = append(parts, l.Name+"="+l.Value)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseSampleLine(line string) (ParsedMetric, error) {
+	var m ParsedMetric
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return m, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	m.Name = rest[:nameEnd]
+	if !validMetricName(m.Name) {
+		return m, fmt.Errorf("invalid metric name %q", m.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		labels, remainder, err := parseLabels(rest)
+		if err != nil {
+			return m, err
+		}
+		m.Labels = labels
+		rest = remainder
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return m, fmt.Errorf("sample %q has a malformed value field", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return m, err
+	}
+	m.Value = v
+	return m, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf", "NaN":
+		return 0, fmt.Errorf("value %q not expected from the registry", s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels consumes a "{name="value",...}" block and returns the
+// remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, "", fmt.Errorf("expected label block in %q", s)
+	}
+	s = s[1:]
+	var labels []Label
+	for {
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		name := s[:eq]
+		if !validMetricName(name) || strings.Contains(name, ":") {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := s[0]
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", s[1], name)
+				}
+				s = s[2:]
+				continue
+			}
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("expected , or } after label %s", name)
+		}
+	}
+}

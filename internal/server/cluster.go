@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -211,8 +212,8 @@ func (c *clusterCoordinator) remove(name string) {
 	delete(c.traces, name)
 	c.mu.Unlock()
 	if c.srv.backing != nil {
-		if err := c.srv.backing.DeleteCluster(name); err != nil && c.srv.logger != nil {
-			c.srv.logger.Printf("cluster: dropping metadata for %q: %v", name, err)
+		if err := c.srv.backing.DeleteCluster(name); err != nil {
+			c.srv.logger.Warn("cluster: dropping metadata failed", "trace", name, "error", err)
 		}
 	}
 }
@@ -228,8 +229,8 @@ func (c *clusterCoordinator) persist(m clusterMeta) {
 	if err == nil {
 		err = c.srv.backing.SaveCluster(m.Name, doc)
 	}
-	if err != nil && c.srv.logger != nil {
-		c.srv.logger.Printf("cluster: persisting metadata for %q: %v", m.Name, err)
+	if err != nil {
+		c.srv.logger.Warn("cluster: persisting metadata failed", "trace", m.Name, "error", err)
 	}
 }
 
@@ -574,6 +575,8 @@ func (c *clusterCoordinator) report(w http.ResponseWriter, r *http.Request, e *c
 		}
 		parts, ev := c.gather(r.Context(), m, sketch, from, to, windowed)
 		gatherEv = ev
+		endMerge := obs.FromContext(r.Context()).StartSpan("merge", spanDetail("parts", len(parts)))
+		defer endMerge()
 		var merged *core.Partial
 		var missing []int
 		for i, p := range parts {
@@ -652,6 +655,14 @@ func (c *clusterCoordinator) report(w http.ResponseWriter, r *http.Request, e *c
 // scan evidence covers the shards that answered.
 func (c *clusterCoordinator) gather(ctx context.Context, m clusterMeta, sketch bool, from, to time.Time, windowed bool) ([]*core.Partial, *scanEvidence) {
 	c.fleet.AddScatter()
+	endScatter := obs.FromContext(ctx).StartSpan("scatter", spanDetail("shards", m.Shards))
+	scatterStart := time.Now()
+	defer func() {
+		endScatter()
+		if c.srv.metrics != nil {
+			c.srv.metrics.scatterLatency.Observe(time.Since(scatterStart).Seconds())
+		}
+	}()
 	parts := make([]*core.Partial, m.Shards)
 	evs := make([]*scanEvidence, m.Shards)
 	var wg sync.WaitGroup
@@ -685,19 +696,29 @@ func (c *clusterCoordinator) shardPartial(ctx context.Context, m clusterMeta, i 
 		q.Set("from_ns", strconv.FormatInt(from.UnixNano(), 10))
 		q.Set("to_ns", strconv.FormatInt(to.UnixNano(), 10))
 	}
+	rt := obs.FromContext(ctx)
 	for _, id := range c.fleet.SortByLiveness(c.fleet.Owners(shardKey(m.Name, i), m.Replication)) {
 		var snap []byte
 		var ev *scanEvidence
 		if c.fleet.IsSelf(id) {
+			endSpan := rt.StartSpan("shard-fetch", spanDetail("shard", i, "peer", id, "local", true))
 			var err error
 			snap, ev, err = c.srv.localShardPartial(m.Name, i, sketch, from, to, windowed)
+			endSpan()
 			if err != nil {
 				continue
 			}
 		} else {
 			c.fleet.AddShardFetch()
+			endSpan := rt.StartSpan("shard-fetch", spanDetail("shard", i, "peer", id))
+			fetchStart := time.Now()
 			resp, err := c.fleet.Client(id).Get(ctx, shardPath(m.Name, i)+"/partial", q)
-			if err != nil || resp.Status != http.StatusOK {
+			failed := err != nil || resp.Status != http.StatusOK
+			if c.srv.metrics != nil {
+				c.srv.metrics.recordShardFetch(id, time.Since(fetchStart), failed)
+			}
+			endSpan()
+			if failed {
 				continue
 			}
 			snap, ev = resp.Body, parseScanEvidence(resp.Header)

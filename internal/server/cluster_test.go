@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -568,4 +569,113 @@ func BenchmarkClusterReport(b *testing.B) {
 			_, _ = getReport(b, nodes[0].ts.URL, "bench", "")
 		}
 	})
+}
+
+// TestClusterRequestTracing is the distributed-tracing acceptance bar:
+// one X-Request-Id rides a scatter/gather report end to end — echoed to
+// the caller, recorded in the coordinator's request ring with
+// scatter/shard-fetch/merge spans, and carried across the wire so the
+// peers' rings hold their shard-partial requests under the same ID.
+// Then, with the peers dead, the failed fetch attempts must land in the
+// per-peer error series on /metrics.
+func TestClusterRequestTracing(t *testing.T) {
+	tr := genTrace(t, "CC-b", 7, 24*time.Hour)
+	// Replication 1: every shard has exactly one owner, so the
+	// coordinator must fetch non-local shards remotely — which makes the
+	// cross-wire ID propagation and, after the kill, the dead-peer
+	// failure attempts deterministic instead of replica-placement luck.
+	nodes := newTestCluster(t, 3, func(i int, cfg *Config) { cfg.Replication = 1 })
+	ingestTrace(t, nodes[0].ts, "traced", tr)
+
+	req, err := http.NewRequest(http.MethodGet, nodes[0].ts.URL+"/v1/traces/traced/report", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "trace-e2e-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-e2e-1" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+	if got := resp.Header.Get("X-Analysis"); got != "scatter" {
+		t.Fatalf("X-Analysis %q, want scatter", got)
+	}
+
+	// The coordinator's ring entry links the whole scatter under the ID.
+	var coord *obs.RequestRecord
+	for _, rec := range nodes[0].srv.metrics.ring.Snapshot(0, 0) {
+		if rec.ID == "trace-e2e-1" {
+			r := rec
+			coord = &r
+			break
+		}
+	}
+	if coord == nil {
+		t.Fatal("coordinator ring has no record for trace-e2e-1")
+	}
+	if coord.Endpoint != "GET /v1/traces/{name}/report" {
+		t.Errorf("coordinator record endpoint %q", coord.Endpoint)
+	}
+	spans := make(map[string]int)
+	for _, sp := range coord.Spans {
+		spans[sp.Name]++
+	}
+	if spans["scatter"] != 1 || spans["merge"] == 0 {
+		t.Errorf("coordinator spans %v, want one scatter and a merge", spans)
+	}
+	if spans["shard-fetch"] != 3 {
+		t.Errorf("coordinator shard-fetch spans %d, want one per shard", spans["shard-fetch"])
+	}
+
+	// The ID crossed the fleet client: peers recorded their shard-partial
+	// requests under it.
+	remote := 0
+	for _, nd := range nodes[1:] {
+		for _, rec := range nd.srv.metrics.ring.Snapshot(0, 0) {
+			if rec.ID == "trace-e2e-1" && rec.Endpoint == "GET /internal/v1/shards/{name}/{shard}/partial" {
+				remote++
+			}
+		}
+	}
+	if remote == 0 {
+		t.Error("no peer ring entry carries the coordinator's request id")
+	}
+
+	// Dead peers: a fresh (uncached) scatter's failed attempts must show
+	// up in the per-peer failure series. The answer may be degraded or
+	// 502 depending on which shards the coordinator holds locally.
+	nodes[1].kill()
+	nodes[2].kill()
+	// top=7 misses the result cache, forcing a fresh scatter; the shards
+	// owned by the dead peers go missing and the answer degrades.
+	code, hdr, _ := fetchRaw(t, nodes[0].ts.URL+"/v1/traces/traced/report?top=7")
+	if code != http.StatusOK && code != http.StatusBadGateway {
+		t.Fatalf("post-kill report: %d", code)
+	}
+	if code == http.StatusOK {
+		if a := hdr.Get("X-Analysis"); a != "degraded" {
+			t.Errorf("post-kill X-Analysis %q, want degraded", a)
+		}
+		if hdr.Get("X-Cluster-Missing-Shards") == "" {
+			t.Error("degraded answer lists no missing shards")
+		}
+	}
+	exp := scrapeMetrics(t, nodes[0].ts.URL)
+	var failures float64
+	for _, s := range exp.Find("swim_cluster_shard_fetch_failures_total") {
+		if s.Label("peer") == "" {
+			t.Errorf("failure sample missing peer label: %+v", s)
+		}
+		failures += s.Value
+	}
+	if failures == 0 {
+		t.Error("dead-peer fetch attempts not in swim_cluster_shard_fetch_failures_total")
+	}
 }

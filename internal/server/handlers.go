@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -173,19 +174,32 @@ type ClusterStats struct {
 	LocalShards int `json:"local_shards"`
 }
 
-// StatsResponse is the GET /v1/stats payload.
+// StatsResponse is the GET /v1/stats payload: the server's identity
+// and runtime alongside the store/cache/request counters, per-endpoint
+// and per-analysis-path request series, and the per-trace storage
+// shape. The same instruments back GET /metrics.
 type StatsResponse struct {
-	Store    StoreStats    `json:"store"`
-	Cache    CacheStats    `json:"cache"`
-	Requests RequestStats  `json:"requests"`
-	Cluster  *ClusterStats `json:"cluster,omitempty"`
+	Server    ServerInfo                      `json:"server"`
+	Runtime   obs.RuntimeStats                `json:"runtime"`
+	Store     StoreStats                      `json:"store"`
+	Cache     CacheStats                      `json:"cache"`
+	Requests  RequestStats                    `json:"requests"`
+	Endpoints map[string]EndpointStats        `json:"endpoints,omitempty"`
+	Analysis  map[string]obs.HistogramSummary `json:"analysis,omitempty"`
+	Storage   []TraceStorage                  `json:"storage,omitempty"`
+	Cluster   *ClusterStats                   `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Store:    s.store.Stats(),
-		Cache:    s.cache.Stats(),
-		Requests: s.mw.stats(),
+		Server:    s.metrics.serverInfo(),
+		Runtime:   obs.ReadRuntimeStats(),
+		Store:     s.store.Stats(),
+		Cache:     s.cache.Stats(),
+		Requests:  s.mw.stats(),
+		Endpoints: s.metrics.endpointStats(),
+		Analysis:  s.metrics.analysisStats(),
+		Storage:   s.store.StorageGauges(),
 	}
 	if s.cluster != nil {
 		resp.Cluster = s.cluster.stats()
@@ -220,6 +234,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var info TraceInfo
+	endIngest := obs.FromContext(r.Context()).StartSpan("ingest", "trace="+name)
 	if s.cluster != nil {
 		// Cluster mode: split the upload into shards and fan them out to
 		// their ring owners instead of storing it whole here.
@@ -227,6 +242,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	} else {
 		info, err = s.store.Ingest(name, src)
 	}
+	endIngest()
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		switch {
@@ -432,6 +448,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if windowed {
 		key += fmt.Sprintf("|win=%d-%d", from.Unix(), to.Unix())
 	}
+	rt := obs.FromContext(r.Context())
 	s.serveCached(w, key, func() ([]byte, error) {
 		opts := core.AnalyzeOptions{TopNames: top, SketchDataSizes: sketch, Shards: shards}
 		var rep *core.Report
@@ -441,13 +458,17 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			var p *core.Partial
 			var analysis string
 			var ev *scanEvidence
+			endScan := rt.StartSpan("scan", "window")
 			p, analysis, ev, err = s.windowPartial(v, from, to, shards, sketch)
+			endScan()
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", errUnprocessable, err)
 			}
 			w.Header().Set("X-Analysis", analysis)
 			ev.addTo(w.Header())
+			endMerge := rt.StartSpan("merge", "path="+analysis)
 			rep, err = p.Report(top)
+			endMerge()
 		case full:
 			t := v.Trace
 			if t == nil {
@@ -456,18 +477,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			w.Header().Set("X-Analysis", "full")
+			endScan := rt.StartSpan("scan", "full")
 			rep, err = core.Analyze(t, opts)
+			endScan()
 		default:
 			var p *core.Partial
 			var analysis string
 			var ev *scanEvidence
+			endScan := rt.StartSpan("scan", "")
 			p, analysis, ev, err = s.tracePartial(v, shards, sketch)
+			endScan()
 			if err != nil {
 				return nil, err
 			}
 			w.Header().Set("X-Analysis", analysis)
 			ev.addTo(w.Header())
+			endMerge := rt.StartSpan("merge", "path="+analysis)
 			rep, err = p.Report(top)
+			endMerge()
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errUnprocessable, err)

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// hijackRecorder is a ResponseWriter whose Hijack is observable — the
+// stand-in for the TCP connection takeover a websocket-style handler
+// would perform.
+type hijackRecorder struct {
+	*httptest.ResponseRecorder
+	hijacked bool
+}
+
+var errHijacked = errors.New("hijacked")
+
+func (h *hijackRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	return nil, nil, errHijacked
+}
+
+// TestStatusWriterForwardsFlush: a handler streaming through the
+// middleware must reach the underlying writer's Flush, not a wrapper
+// that swallows it.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	s := mustNew(t, Config{})
+	h := s.mw.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware writer lost http.Flusher")
+		}
+		f.Flush()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+}
+
+// TestStatusWriterForwardsHijack: connection takeover must pass through
+// the instrumentation to the real writer.
+func TestStatusWriterForwardsHijack(t *testing.T) {
+	s := mustNew(t, Config{})
+	under := &hijackRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h := s.mw.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("middleware writer lost http.Hijacker")
+		}
+		if _, _, err := hj.Hijack(); !errors.Is(err, errHijacked) {
+			t.Errorf("Hijack error %v, want the underlying writer's", err)
+		}
+	}))
+	h.ServeHTTP(under, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !under.hijacked {
+		t.Error("Hijack did not reach the underlying writer")
+	}
+}
+
+// TestMiddlewareByteCounters: request-body bytes read and response
+// bytes written surface in the per-endpoint counters and the ring.
+func TestMiddlewareByteCounters(t *testing.T) {
+	s := mustNew(t, Config{})
+	h := s.Handler()
+	body := strings.Repeat("x", 1024)
+	rec := httptest.NewRecorder()
+	// An unroutable body-carrying request still counts its bytes... but
+	// ServeMux 404s before reading the body, so use a real ingest (the
+	// handler drains the body even when the payload is invalid JSONL).
+	req := httptest.NewRequest(http.MethodPost, "/v1/traces/bytes-test", strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec2.Code)
+	}
+
+	in := s.metrics.httpReqBytes.Snapshot()["POST /v1/traces/{name}"]
+	if in == 0 {
+		t.Errorf("request bytes not counted: %v", s.metrics.httpReqBytes.Snapshot())
+	}
+	out := s.metrics.httpRespBytes.Snapshot()["GET /v1/stats"]
+	if out == 0 {
+		t.Errorf("response bytes not counted: %v", s.metrics.httpRespBytes.Snapshot())
+	}
+	recs := s.metrics.ring.Snapshot(0, 0)
+	if len(recs) == 0 {
+		t.Fatal("ring empty")
+	}
+	var found bool
+	for _, r := range recs {
+		if r.Endpoint == "GET /v1/stats" && r.BytesOut > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no ring record with response bytes: %+v", recs)
+	}
+}
+
+// TestRequestIDMintedAndEchoed: every response carries X-Request-Id —
+// the caller's when well-formed, a minted one otherwise.
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	s := mustNew(t, Config{})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	minted := rec.Header().Get("X-Request-Id")
+	if len(minted) != 16 {
+		t.Errorf("minted id %q, want 16 hex chars", minted)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-Id", "caller-id-1")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "caller-id-1" {
+		t.Errorf("valid caller id not echoed: %q", got)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-Id", "bad id\nwith newline")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got == "bad id\nwith newline" || len(got) != 16 {
+		t.Errorf("malformed caller id not replaced: %q", got)
+	}
+}
+
+// TestPanicRecoveryCounts: a panicking handler becomes a 500 and bumps
+// the panic counter without killing the server.
+func TestPanicRecoveryCounts(t *testing.T) {
+	s := mustNew(t, Config{})
+	h := s.mw.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	if s.metrics.panics.Value() != 1 {
+		t.Errorf("panic counter %d, want 1", s.metrics.panics.Value())
+	}
+}
+
+// discardResponseWriter is the benchmark sink: header map without
+// recording overhead.
+type discardResponseWriter struct {
+	h http.Header
+}
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponseWriter) WriteHeader(int)             {}
+func (d *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// BenchmarkMiddlewareOverhead measures the per-request cost of the full
+// observability middleware (trace ID, context, metrics, ring) against a
+// bare handler. CI gates the difference below 5µs/request.
+func BenchmarkMiddlewareOverhead(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+
+	b.Run("bare", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := &discardResponseWriter{}
+			handler.ServeHTTP(w, req)
+		}
+	})
+
+	b.Run("instrumented", func(b *testing.B) {
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		wrapped := s.mw.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if rt := obs.FromContext(r.Context()); rt != nil {
+				rt.SetEndpoint("GET /healthz")
+			}
+			handler.ServeHTTP(w, r)
+		}))
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := &discardResponseWriter{}
+			wrapped.ServeHTTP(w, req)
+		}
+	})
+}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics is the server's observability bundle: the metric
+// registry every layer records into, the bounded ring of recent
+// requests, and the instruments the middleware and cluster coordinator
+// touch on hot paths. Store/cache/fleet series are registered as
+// scrape-time collectors over the existing Stats snapshots, so the
+// request path pays only for its own counters.
+type serverMetrics struct {
+	reg     *obs.Registry
+	ring    *obs.RequestLog
+	started time.Time
+	build   obs.BuildInfo
+
+	// Per-endpoint HTTP series, labeled by route pattern + status code.
+	httpRequests  *obs.CounterVec   // swim_http_requests_total{endpoint,code}
+	httpLatency   *obs.HistogramVec // swim_http_request_duration_seconds{endpoint}
+	httpReqBytes  *obs.CounterVec   // swim_http_request_bytes_total{endpoint}
+	httpRespBytes *obs.CounterVec   // swim_http_response_bytes_total{endpoint}
+	httpErrors    *obs.CounterVec   // swim_http_request_errors_total{endpoint,code}
+	panics        *obs.Counter
+	slowRequests  *obs.Counter
+
+	// Per-analysis-path series: which X-Analysis route a report took
+	// (ingest-partial, disk-scan, scatter, degraded, ...).
+	analysisRequests *obs.CounterVec   // swim_analysis_requests_total{path}
+	analysisLatency  *obs.HistogramVec // swim_analysis_duration_seconds{path}
+
+	// Cluster series the coordinator records directly.
+	scatterLatency    *obs.Histogram    // swim_cluster_scatter_duration_seconds
+	shardFetchLatency *obs.HistogramVec // swim_cluster_shard_fetch_duration_seconds{peer}
+	shardFetchErrors  *obs.CounterVec   // swim_cluster_shard_fetch_failures_total{peer}
+
+	// Background-maintenance series.
+	compactionLatency *obs.Histogram // swim_compaction_sweep_duration_seconds
+}
+
+// latency histograms cover 10µs..100s at 5 bins/decade — the
+// stats.LogHistogram discipline over the spans swimd requests occupy.
+const (
+	latBins   = 5
+	latMinExp = -5
+	latMaxExp = 2
+)
+
+// newServerMetrics builds the registry and registers the scrape-time
+// collectors over the server's stats sources.
+func newServerMetrics(s *Server, ringSize int) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:     r,
+		ring:    obs.NewRequestLog(ringSize),
+		started: time.Now(),
+		build:   obs.ReadBuildInfo(),
+
+		httpRequests:  r.CounterVec("swim_http_requests_total", "HTTP requests served, by route pattern and status code.", "endpoint", "code"),
+		httpLatency:   r.HistogramVec("swim_http_request_duration_seconds", "HTTP request latency by route pattern.", latBins, latMinExp, latMaxExp, "endpoint"),
+		httpReqBytes:  r.CounterVec("swim_http_request_bytes_total", "Request body bytes read, by route pattern.", "endpoint"),
+		httpRespBytes: r.CounterVec("swim_http_response_bytes_total", "Response body bytes written, by route pattern.", "endpoint"),
+		httpErrors:    r.CounterVec("swim_http_request_errors_total", "HTTP requests answered with a 4xx/5xx status, by route pattern and status code.", "endpoint", "code"),
+		panics:        r.Counter("swim_http_panics_total", "Handler panics recovered into 500s."),
+		slowRequests:  r.Counter("swim_http_slow_requests_total", "Requests slower than the configured slow-request threshold."),
+
+		analysisRequests: r.CounterVec("swim_analysis_requests_total", "Report computations by X-Analysis path.", "path"),
+		analysisLatency:  r.HistogramVec("swim_analysis_duration_seconds", "Report latency by X-Analysis path.", latBins, latMinExp, latMaxExp, "path"),
+
+		scatterLatency:    r.Histogram("swim_cluster_scatter_duration_seconds", "Scatter/gather latency for coordinated cluster reports.", latBins, latMinExp, latMaxExp),
+		shardFetchLatency: r.HistogramVec("swim_cluster_shard_fetch_duration_seconds", "Per-peer shard-partial fetch latency.", latBins, latMinExp, latMaxExp, "peer"),
+		shardFetchErrors:  r.CounterVec("swim_cluster_shard_fetch_failures_total", "Failed shard-partial fetch attempts by peer.", "peer"),
+
+		compactionLatency: r.Histogram("swim_compaction_sweep_duration_seconds", "Background compaction sweep latency.", latBins, latMinExp, latMaxExp),
+	}
+
+	obs.RegisterRuntime(r, m.started)
+
+	// Store gauges and lifetime counters over the existing snapshot.
+	r.RegisterFunc("swim_store_traces", "Stored traces.", obs.KindGauge, func() []obs.Sample {
+		st := s.store.Stats()
+		return []obs.Sample{{Value: float64(st.Traces)}}
+	})
+	r.RegisterFunc("swim_store_jobs", "Total and hot-tier job counts.", obs.KindGauge, func() []obs.Sample {
+		st := s.store.Stats()
+		return []obs.Sample{
+			{Labels: obs.L("tier", "total"), Value: float64(st.TotalJobs)},
+			{Labels: obs.L("tier", "resident"), Value: float64(st.ResidentJobs)},
+		}
+	})
+	r.RegisterFunc("swim_store_disk_bytes", "Committed on-disk segment bytes.", obs.KindGauge, func() []obs.Sample {
+		st := s.store.Stats()
+		return []obs.Sample{{Value: float64(st.DiskBytes)}}
+	})
+	r.RegisterFunc("swim_store_events_total", "Store lifecycle counters by event.", obs.KindCounter, func() []obs.Sample {
+		st := s.store.Stats()
+		return []obs.Sample{
+			{Labels: obs.L("event", "ingests"), Value: float64(st.Ingests)},
+			{Labels: obs.L("event", "rejected"), Value: float64(st.Rejected)},
+			{Labels: obs.L("event", "appends"), Value: float64(st.Appends)},
+			{Labels: obs.L("event", "append_rejected"), Value: float64(st.AppendRejected)},
+			{Labels: obs.L("event", "spills"), Value: float64(st.Spills)},
+			{Labels: obs.L("event", "evictions"), Value: float64(st.Evictions)},
+			{Labels: obs.L("event", "reloads"), Value: float64(st.Reloads)},
+			{Labels: obs.L("event", "compactions"), Value: float64(st.Compactions)},
+			{Labels: obs.L("event", "segments_merged"), Value: float64(st.SegmentsMerged)},
+			{Labels: obs.L("event", "blocks_refilled"), Value: float64(st.BlocksRefilled)},
+		}
+	})
+	r.RegisterFunc("swim_append_sessions_open", "Live append sessions.", obs.KindGauge, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.store.OpenAppendSessions())}}
+	})
+	// Per-trace storage shape: segments, colseg blocks, bytes,
+	// residency. Cardinality is bounded by the store's max-traces knob.
+	r.RegisterFunc("swim_storage_trace_segments", "Segment files per stored trace.", obs.KindGauge, func() []obs.Sample {
+		return traceStorageSamples(s, func(ts TraceStorage) float64 { return float64(ts.Segments) })
+	})
+	r.RegisterFunc("swim_storage_trace_blocks", "Columnar blocks per stored trace.", obs.KindGauge, func() []obs.Sample {
+		return traceStorageSamples(s, func(ts TraceStorage) float64 { return float64(ts.Blocks) })
+	})
+	r.RegisterFunc("swim_storage_trace_bytes", "On-disk bytes per stored trace.", obs.KindGauge, func() []obs.Sample {
+		return traceStorageSamples(s, func(ts TraceStorage) float64 { return float64(ts.Bytes) })
+	})
+
+	// Cache series: counters plus the derived hit ratios.
+	r.RegisterFunc("swim_cache_entries", "Result-cache occupancy.", obs.KindGauge, func() []obs.Sample {
+		st := s.cache.Stats()
+		return []obs.Sample{
+			{Labels: obs.L("tier", "results"), Value: float64(st.Entries)},
+			{Labels: obs.L("tier", "aggregates"), Value: float64(st.Aggregates)},
+		}
+	})
+	r.RegisterFunc("swim_cache_events_total", "Result-cache lifetime counters by event.", obs.KindCounter, func() []obs.Sample {
+		st := s.cache.Stats()
+		return []obs.Sample{
+			{Labels: obs.L("event", "hits"), Value: float64(st.Hits)},
+			{Labels: obs.L("event", "misses"), Value: float64(st.Misses)},
+			{Labels: obs.L("event", "coalesced"), Value: float64(st.Coalesced)},
+			{Labels: obs.L("event", "evictions"), Value: float64(st.Evictions)},
+			{Labels: obs.L("event", "aggregate_hits"), Value: float64(st.AggregateHits)},
+			{Labels: obs.L("event", "aggregate_misses"), Value: float64(st.AggregateMisses)},
+		}
+	})
+	r.RegisterFunc("swim_cache_hit_ratio", "Result-cache hit ratio per tier (hits+coalesced over lookups).", obs.KindGauge, func() []obs.Sample {
+		st := s.cache.Stats()
+		return []obs.Sample{
+			{Labels: obs.L("tier", "results"), Value: ratio(st.Hits+st.Coalesced, st.Hits+st.Coalesced+st.Misses)},
+			{Labels: obs.L("tier", "aggregates"), Value: ratio(st.AggregateHits, st.AggregateHits+st.AggregateMisses)},
+		}
+	})
+
+	// Fleet series only exist in cluster mode.
+	if s.cluster != nil {
+		f := s.cluster.fleet
+		r.RegisterFunc("swim_fleet_peer_alive", "Per-peer last-known liveness (1 = reachable).", obs.KindGauge, func() []obs.Sample {
+			st := f.Stats()
+			out := make([]obs.Sample, 0, len(st.Peers))
+			for _, p := range st.Peers {
+				v := 0.0
+				if p.Alive {
+					v = 1
+				}
+				out = append(out, obs.Sample{Labels: obs.L("peer", p.ID), Value: v})
+			}
+			return out
+		})
+		r.RegisterFunc("swim_fleet_peer_requests_total", "Per-peer transport attempts by outcome.", obs.KindCounter, func() []obs.Sample {
+			st := f.Stats()
+			out := make([]obs.Sample, 0, 3*len(st.Peers))
+			for _, p := range st.Peers {
+				if p.Self {
+					continue
+				}
+				out = append(out,
+					obs.Sample{Labels: obs.L("peer", p.ID, "outcome", "requests"), Value: float64(p.Requests)},
+					obs.Sample{Labels: obs.L("peer", p.ID, "outcome", "retries"), Value: float64(p.Retries)},
+					obs.Sample{Labels: obs.L("peer", p.ID, "outcome", "failures"), Value: float64(p.Failures)},
+				)
+			}
+			return out
+		})
+		r.RegisterFunc("swim_fleet_peer_latency_ms", "Per-peer EWMA of successful request latency.", obs.KindGauge, func() []obs.Sample {
+			st := f.Stats()
+			out := make([]obs.Sample, 0, len(st.Peers))
+			for _, p := range st.Peers {
+				if p.Self {
+					continue
+				}
+				out = append(out, obs.Sample{Labels: obs.L("peer", p.ID), Value: p.LatencyMS})
+			}
+			return out
+		})
+		r.RegisterFunc("swim_fleet_events_total", "Cluster protocol counters by event.", obs.KindCounter, func() []obs.Sample {
+			st := f.Stats()
+			return []obs.Sample{
+				{Labels: obs.L("event", "scatters"), Value: float64(st.Scatters)},
+				{Labels: obs.L("event", "shard_fetches"), Value: float64(st.ShardFetches)},
+				{Labels: obs.L("event", "shard_failures"), Value: float64(st.ShardFailures)},
+				{Labels: obs.L("event", "merges"), Value: float64(st.Merges)},
+				{Labels: obs.L("event", "degraded"), Value: float64(st.Degraded)},
+				{Labels: obs.L("event", "remote_cache_hits"), Value: float64(st.RemoteCacheHits)},
+				{Labels: obs.L("event", "meta_broadcasts"), Value: float64(st.MetaBroadcasts)},
+			}
+		})
+	}
+	return m
+}
+
+func traceStorageSamples(s *Server, pick func(TraceStorage) float64) []obs.Sample {
+	gauges := s.store.StorageGauges()
+	out := make([]obs.Sample, 0, len(gauges))
+	for _, ts := range gauges {
+		out = append(out, obs.Sample{Labels: obs.L("trace", ts.Name), Value: pick(ts)})
+	}
+	return out
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// handleDebugRequests serves GET /v1/debug/requests: the recent-request
+// ring newest-first. min_ms=D keeps only requests at least that slow
+// (the slow-query view); limit=N caps the count.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	minMS, err := queryFloat(r, "min_ms", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	recs := s.metrics.ring.Snapshot(minMS, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":    len(recs),
+		"requests": recs,
+	})
+}
+
+// ServerInfo is the /v1/stats server section: when the process came
+// up, how long it has been serving, and what build it runs.
+type ServerInfo struct {
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	obs.BuildInfo
+}
+
+// EndpointStats is one route pattern's aggregate request series in
+// /v1/stats, derived from the same instruments /metrics renders.
+type EndpointStats struct {
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors,omitempty"`
+	AvgMS         float64 `json:"avg_ms"`
+	RequestBytes  uint64  `json:"request_bytes,omitempty"`
+	ResponseBytes uint64  `json:"response_bytes,omitempty"`
+}
+
+// serverInfo assembles the stats server section.
+func (m *serverMetrics) serverInfo() ServerInfo {
+	return ServerInfo{
+		StartedAt:     m.started.UTC().Truncate(time.Second),
+		UptimeSeconds: float64(int64(time.Since(m.started).Seconds()*1000)) / 1000,
+		BuildInfo:     m.build,
+	}
+}
+
+// endpointStats folds the per-(endpoint, code) counters into a
+// per-endpoint summary for the JSON stats payload.
+func (m *serverMetrics) endpointStats() map[string]EndpointStats {
+	out := make(map[string]EndpointStats)
+	for key, n := range m.httpRequests.Snapshot() {
+		endpoint, _, ok := cutLast(key, "|")
+		if !ok {
+			continue
+		}
+		st := out[endpoint]
+		st.Requests += n
+		out[endpoint] = st
+	}
+	for key, n := range m.httpErrors.Snapshot() {
+		endpoint, _, ok := cutLast(key, "|")
+		if !ok {
+			continue
+		}
+		st := out[endpoint]
+		st.Errors += n
+		out[endpoint] = st
+	}
+	for endpoint, h := range m.httpLatency.Snapshot() {
+		st := out[endpoint]
+		if h.Count > 0 {
+			st.AvgMS = float64(int64(h.Sum/float64(h.Count)*1e6)) / 1000
+		}
+		out[endpoint] = st
+	}
+	for endpoint, n := range m.httpReqBytes.Snapshot() {
+		st := out[endpoint]
+		st.RequestBytes = n
+		out[endpoint] = st
+	}
+	for endpoint, n := range m.httpRespBytes.Snapshot() {
+		st := out[endpoint]
+		st.ResponseBytes = n
+		out[endpoint] = st
+	}
+	return out
+}
+
+// analysisStats folds the per-X-Analysis-path counters for /v1/stats.
+func (m *serverMetrics) analysisStats() map[string]obs.HistogramSummary {
+	sum := m.analysisLatency.Snapshot()
+	// Paths counted but never timed (shouldn't happen — both are
+	// recorded together) still appear with a zero summary.
+	for path := range m.analysisRequests.Snapshot() {
+		if _, ok := sum[path]; !ok {
+			sum[path] = obs.HistogramSummary{}
+		}
+	}
+	return sum
+}
+
+// cutLast splits s at the final occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	for i := len(s) - len(sep); i >= 0; i-- {
+		if s[i:i+len(sep)] == sep {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}
+
+// recordShardFetch is the cluster coordinator's per-peer hook: one
+// remote shard-partial attempt chain, its latency, and whether it
+// failed.
+func (m *serverMetrics) recordShardFetch(peer string, d time.Duration, failed bool) {
+	m.shardFetchLatency.With(peer).Observe(d.Seconds())
+	if failed {
+		m.shardFetchErrors.With(peer).Inc()
+	}
+}
+
+// scanNumbers converts response-header scan evidence into the ring's
+// record form (nil when the request scanned nothing).
+func scanNumbers(h http.Header) *obs.ScanNumbers {
+	ev := parseScanEvidence(h)
+	if ev == nil {
+		return nil
+	}
+	return &obs.ScanNumbers{
+		Segments:       ev.segments,
+		SegmentsPruned: ev.segmentsPruned,
+		Blocks:         ev.blocks,
+		BlocksPruned:   ev.blocksPruned,
+		Workers:        ev.workers,
+	}
+}
+
+// spanDetail formats a span's key=value detail tail.
+func spanDetail(pairs ...any) string {
+	out := ""
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%v=%v", pairs[i], pairs[i+1])
+	}
+	return out
+}
+
+// statusLabel renders a status code as a metrics label.
+func statusLabel(code int) string { return strconv.Itoa(code) }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches /metrics and parses it with the strict parser —
+// unparseable output is a test failure, the exposition-format gate.
+func scrapeMetrics(t testing.TB, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, clip(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	exp, err := obs.ParsePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("/metrics output does not parse: %v\n%s", err, clip(body))
+	}
+	return exp
+}
+
+// TestMetricsEndpoint drives real traffic through the server and
+// asserts the scrape carries the required series with sane values.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	ingestTrace(t, ts, "obs-trace", tr)
+	getJSON(t, ts.URL+"/v1/traces/obs-trace/report", nil)
+	getJSON(t, ts.URL+"/v1/traces/obs-trace/report", nil) // cache hit
+
+	exp := scrapeMetrics(t, ts.URL)
+
+	if v, ok := exp.Value("swim_http_requests_total", "endpoint", "POST /v1/traces/{name}", "code", "201"); !ok || v != 1 {
+		t.Errorf("ingest request series %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_http_requests_total", "endpoint", "GET /v1/traces/{name}/report", "code", "200"); !ok || v != 2 {
+		t.Errorf("report request series %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_http_request_duration_seconds_count", "endpoint", "GET /v1/traces/{name}/report"); !ok || v != 2 {
+		t.Errorf("report latency count %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_http_request_bytes_total", "endpoint", "POST /v1/traces/{name}"); !ok || v <= 0 {
+		t.Errorf("ingest bytes series %v, %v", v, ok)
+	}
+	// The first report took the ingest-partial path; the repeat was a
+	// byte-cache hit and records no analysis path.
+	if v, ok := exp.Value("swim_analysis_requests_total", "path", "ingest-partial"); !ok || v != 1 {
+		t.Errorf("analysis path series %v, %v (want ingest-partial=1)", v, ok)
+	}
+	if v, ok := exp.Value("swim_store_traces"); !ok || v != 1 {
+		t.Errorf("swim_store_traces %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_storage_trace_segments", "trace", "obs-trace"); ok && v < 0 {
+		t.Errorf("per-trace segments negative: %v", v)
+	}
+	if v, ok := exp.Value("swim_cache_events_total", "event", "hits"); !ok || v != 1 {
+		t.Errorf("cache hits series %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_cache_hit_ratio", "tier", "results"); !ok || v <= 0 || v > 1 {
+		t.Errorf("cache hit ratio %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("swim_uptime_seconds"); !ok || v < 0 {
+		t.Errorf("swim_uptime_seconds %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("go_goroutines"); !ok || v < 1 {
+		t.Errorf("go_goroutines %v, %v", v, ok)
+	}
+	if len(exp.Find("swim_build_info")) != 1 {
+		t.Error("swim_build_info missing")
+	}
+	if exp.Types["swim_http_request_duration_seconds"] != "histogram" {
+		t.Errorf("latency TYPE %q", exp.Types["swim_http_request_duration_seconds"])
+	}
+}
+
+// TestDebugRequestsRing: /v1/debug/requests serves the recent requests
+// newest-first with spans and scan evidence, and min_ms filters.
+func TestDebugRequestsRing(t *testing.T) {
+	_, ts := newTestServer(t)
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	ingestTrace(t, ts, "ring-trace", tr)
+	getJSON(t, ts.URL+"/v1/traces/ring-trace/report", nil)
+
+	var dbg struct {
+		Count    int                 `json:"count"`
+		Requests []obs.RequestRecord `json:"requests"`
+	}
+	getJSON(t, ts.URL+"/v1/debug/requests", &dbg)
+	if dbg.Count < 2 || len(dbg.Requests) != dbg.Count {
+		t.Fatalf("ring count %d (%d records)", dbg.Count, len(dbg.Requests))
+	}
+	// Newest-first: the head is the debug request itself or the report.
+	var report *obs.RequestRecord
+	for i := range dbg.Requests {
+		if dbg.Requests[i].Endpoint == "GET /v1/traces/{name}/report" {
+			report = &dbg.Requests[i]
+			break
+		}
+	}
+	if report == nil {
+		t.Fatalf("no report record in ring: %+v", dbg.Requests)
+	}
+	if report.ID == "" || report.Status != http.StatusOK || report.MS < 0 {
+		t.Errorf("report record %+v", report)
+	}
+	if report.Analysis != "ingest-partial" {
+		t.Errorf("report record analysis %q", report.Analysis)
+	}
+	spanNames := make(map[string]bool)
+	for _, sp := range report.Spans {
+		spanNames[sp.Name] = true
+	}
+	if !spanNames["scan"] || !spanNames["merge"] {
+		t.Errorf("report spans missing scan/merge: %+v", report.Spans)
+	}
+
+	// min_ms high enough filters everything out.
+	getJSON(t, ts.URL+"/v1/debug/requests?min_ms=3600000", &dbg)
+	if dbg.Count != 0 {
+		t.Errorf("min_ms filter left %d records", dbg.Count)
+	}
+	// limit caps the answer.
+	getJSON(t, ts.URL+"/v1/debug/requests?limit=1", &dbg)
+	if dbg.Count != 1 {
+		t.Errorf("limit=1 returned %d records", dbg.Count)
+	}
+}
+
+// TestStatsServerSections: /v1/stats carries the server identity,
+// runtime snapshot, and per-endpoint/per-analysis summaries.
+func TestStatsServerSections(t *testing.T) {
+	_, ts := newTestServer(t)
+	tr := genTrace(t, "CC-b", 1, 25*time.Hour)
+	ingestTrace(t, ts, "stats-trace", tr)
+	getJSON(t, ts.URL+"/v1/traces/stats-trace/report", nil)
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Server.GoVersion == "" || st.Server.Version == "" || st.Server.GOMAXPROCS < 1 {
+		t.Errorf("server section %+v", st.Server)
+	}
+	if st.Server.StartedAt.IsZero() || st.Server.UptimeSeconds < 0 {
+		t.Errorf("server uptime %+v", st.Server)
+	}
+	if st.Runtime.Goroutines < 1 || st.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("runtime section %+v", st.Runtime)
+	}
+	ep, ok := st.Endpoints["GET /v1/traces/{name}/report"]
+	if !ok || ep.Requests != 1 || ep.ResponseBytes == 0 {
+		t.Errorf("report endpoint summary %+v (ok=%v)", ep, ok)
+	}
+	if sum, ok := st.Analysis["ingest-partial"]; !ok || sum.Count != 1 {
+		t.Errorf("analysis summary %+v (ok=%v)", st.Analysis, ok)
+	}
+	if len(st.Storage) != 1 || st.Storage[0].Name != "stats-trace" || st.Storage[0].Jobs != tr.Len() {
+		t.Errorf("storage section %+v", st.Storage)
+	}
+}
+
+// TestPprofGatedByConfig: the profile endpoints exist only when enabled.
+func TestPprofGatedByConfig(t *testing.T) {
+	_, off := newTestServer(t)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServerCfg(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: %d %s", resp.StatusCode, clip(body))
+	}
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -56,8 +59,21 @@ type Config struct {
 	// storage.CompactPolicy.
 	CompactMinSegments int
 	CompactMinFill     float64
-	// Logger receives one line per request; nil disables request logging.
-	Logger *log.Logger
+	// Logger receives structured server logs (recovery, compaction,
+	// cluster housekeeping, and slow or failing requests — each with its
+	// request_id). Nil disables logging.
+	Logger *slog.Logger
+	// SlowRequestThreshold is the latency at which a request is logged
+	// and counted as slow (zero: DefaultSlowRequestThreshold; negative:
+	// slow-request logging disabled).
+	SlowRequestThreshold time.Duration
+	// DebugRequests sizes the in-memory ring of recent requests served
+	// by GET /v1/debug/requests (zero: obs.DefaultRequestLogSize).
+	DebugRequests int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profile endpoints expose internals and cost work, so
+	// they are opt-in (the -pprof flag).
+	EnablePprof bool
 
 	// Peers enables cluster mode: the full membership as the -peers flag
 	// syntax (id=url,...), including this node. Empty keeps the server
@@ -84,11 +100,19 @@ type Config struct {
 // the default 2M-job budget) while capping what one request can buffer.
 const DefaultMaxUploadBytes = 1 << 30
 
+// DefaultSlowRequestThreshold is the slow-request log threshold when
+// the configuration leaves it zero: well above a warm cache hit or an
+// in-memory scan, low enough to surface out-of-core scans that miss
+// their pruning.
+const DefaultSlowRequestThreshold = 500 * time.Millisecond
+
 // Server owns the trace store, the result cache, and the generation job
 // registry, and exposes them over HTTP/JSON:
 //
 //	GET    /healthz                     liveness
+//	GET    /metrics                     Prometheus text exposition
 //	GET    /v1/stats                    store + cache + request counters
+//	GET    /v1/debug/requests           recent requests with spans (slow-query log)
 //	GET    /v1/traces                   list stored traces
 //	POST   /v1/traces/{name}            streaming JSONL ingest
 //	POST   /v1/traces/{name}/append     live batched JSONL append
@@ -101,19 +125,21 @@ const DefaultMaxUploadBytes = 1 << 30
 //	POST   /v1/generate                 async calibrated-workload generation
 //	GET    /v1/jobs                     list generation jobs
 //	GET    /v1/jobs/{id}                one generation job's progress
+//	GET    /debug/pprof/                profiling (only with EnablePprof)
 type Server struct {
 	store     *Store
 	cache     *ResultCache
 	jobs      *jobRegistry
 	mux       *http.ServeMux
 	mw        *middleware
+	metrics   *serverMetrics
 	maxUpload int64
 	backing   *storage.Store
 	recovered []TraceInfo
 	// cluster is the scatter/gather coordinator (nil single-node). With
 	// it set the server also exposes the /internal/v1 peer protocol.
 	cluster *clusterCoordinator
-	logger  *log.Logger
+	logger  *slog.Logger
 
 	// compactStop/compactWG manage the background compaction loop; nil
 	// channel means the loop never started.
@@ -129,14 +155,17 @@ func New(cfg Config) (*Server, error) {
 	if maxUpload <= 0 {
 		maxUpload = DefaultMaxUploadBytes
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		store:     NewStore(cfg.MaxTraces, cfg.MaxTotalJobs),
 		cache:     NewResultCache(cfg.CacheEntries),
 		jobs:      newJobRegistry(),
 		mux:       http.NewServeMux(),
-		mw:        &middleware{logger: cfg.Logger},
 		maxUpload: maxUpload,
-		logger:    cfg.Logger,
+		logger:    logger,
 	}
 	if cfg.DisablePartials {
 		s.store.DisablePartials()
@@ -149,15 +178,13 @@ func New(cfg Config) (*Server, error) {
 		s.backing = backing
 		s.store.AttachBacking(backing, rec.Traces)
 		s.recovered = s.store.List()
-		if cfg.Logger != nil {
-			for _, d := range rec.Dropped {
-				cfg.Logger.Printf("recovery dropped trace %q: %s", d.Name, d.Reason)
-			}
-			for _, tr := range rec.Trimmed {
-				cfg.Logger.Printf("recovery trimmed %d uncommitted byte(s) from trace %q (%s)", tr.Bytes, tr.Name, tr.File)
-			}
-			cfg.Logger.Printf("recovered %d traces from %s", len(rec.Traces), cfg.DataDir)
+		for _, d := range rec.Dropped {
+			s.logger.Warn("recovery dropped trace", "trace", d.Name, "reason", d.Reason)
 		}
+		for _, tr := range rec.Trimmed {
+			s.logger.Warn("recovery trimmed uncommitted bytes", "trace", tr.Name, "bytes", tr.Bytes, "file", tr.File)
+		}
+		s.logger.Info("recovered traces", "count", len(rec.Traces), "dir", cfg.DataDir)
 		if cfg.CompactInterval > 0 {
 			s.compactStop = make(chan struct{})
 			s.compactWG.Add(1)
@@ -190,37 +217,78 @@ func New(cfg Config) (*Server, error) {
 		// The peer protocol: shard replica writes, binary shard-partial
 		// reads, metadata gossip, and cluster cache peeks. Registered only
 		// in cluster mode, so a single-node swimd's surface is unchanged.
-		s.mux.HandleFunc("POST /internal/v1/shards/{name}/{shard}", s.handleShardIngest)
-		s.mux.HandleFunc("POST /internal/v1/shards/{name}/{shard}/append", s.handleShardAppend)
-		s.mux.HandleFunc("GET /internal/v1/shards/{name}/{shard}/partial", s.handleShardPartial)
-		s.mux.HandleFunc("DELETE /internal/v1/shards/{name}/{shard}", s.handleShardDelete)
-		s.mux.HandleFunc("PUT /internal/v1/meta/{name}", s.handleMetaPut)
-		s.mux.HandleFunc("GET /internal/v1/meta/{name}", s.handleMetaGet)
-		s.mux.HandleFunc("DELETE /internal/v1/meta/{name}", s.handleMetaDelete)
-		s.mux.HandleFunc("GET /internal/v1/cache", s.handleCachePeek)
-		s.mux.HandleFunc("PUT /internal/v1/cache", s.handleCachePut)
+		s.handle("POST /internal/v1/shards/{name}/{shard}", s.handleShardIngest)
+		s.handle("POST /internal/v1/shards/{name}/{shard}/append", s.handleShardAppend)
+		s.handle("GET /internal/v1/shards/{name}/{shard}/partial", s.handleShardPartial)
+		s.handle("DELETE /internal/v1/shards/{name}/{shard}", s.handleShardDelete)
+		s.handle("PUT /internal/v1/meta/{name}", s.handleMetaPut)
+		s.handle("GET /internal/v1/meta/{name}", s.handleMetaGet)
+		s.handle("DELETE /internal/v1/meta/{name}", s.handleMetaDelete)
+		s.handle("GET /internal/v1/cache", s.handleCachePeek)
+		s.handle("PUT /internal/v1/cache", s.handleCachePut)
 		f.Start()
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
-	s.mux.HandleFunc("POST /v1/traces/{name}", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/traces/{name}/append", s.handleAppend)
-	s.mux.HandleFunc("GET /v1/traces/{name}", s.handleTraceInfo)
-	s.mux.HandleFunc("DELETE /v1/traces/{name}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/traces/{name}/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/traces/{name}/synth", s.handleSynth)
-	s.mux.HandleFunc("GET /v1/traces/{name}/replay", s.handleReplay)
-	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+
+	// The metrics bundle registers collectors over the store, cache, and
+	// (when present) the fleet, so it is built after cluster setup.
+	ringSize := cfg.DebugRequests
+	if ringSize <= 0 {
+		ringSize = obs.DefaultRequestLogSize
+	}
+	s.metrics = newServerMetrics(s, ringSize)
+	slowAfter := cfg.SlowRequestThreshold
+	if slowAfter == 0 {
+		slowAfter = DefaultSlowRequestThreshold
+	} else if slowAfter < 0 {
+		slowAfter = 0
+	}
+	s.mw = &middleware{logger: cfg.Logger, metrics: s.metrics, slowAfter: slowAfter}
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("GET /v1/debug/requests", s.handleDebugRequests)
+	s.handle("GET /v1/traces", s.handleListTraces)
+	s.handle("POST /v1/traces/{name}", s.handleIngest)
+	s.handle("POST /v1/traces/{name}/append", s.handleAppend)
+	s.handle("GET /v1/traces/{name}", s.handleTraceInfo)
+	s.handle("DELETE /v1/traces/{name}", s.handleDelete)
+	s.handle("GET /v1/traces/{name}/report", s.handleReport)
+	s.handle("GET /v1/traces/{name}/synth", s.handleSynth)
+	s.handle("GET /v1/traces/{name}/replay", s.handleReplay)
+	s.handle("POST /v1/generate", s.handleGenerate)
+	s.handle("GET /v1/jobs", s.handleListJobs)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	if cfg.EnablePprof {
+		s.handle("GET /debug/pprof/", pprof.Index)
+		s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.handle("GET /debug/pprof/profile", pprof.Profile)
+		s.handle("GET /debug/pprof/symbol", pprof.Symbol)
+		s.handle("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// handle registers a route and stamps each matched request's trace with
+// the route pattern. The ServeMux sets r.Pattern on its own copy of the
+// request, which the outer middleware never sees; stamping inside the
+// route wrapper is what lets the middleware label metrics by endpoint.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rt := obs.FromContext(r.Context()); rt != nil {
+			rt.SetEndpoint(pattern)
+		}
+		h(w, r)
+	})
 }
 
 // Handler returns the server's HTTP handler with middleware applied.
 func (s *Server) Handler() http.Handler {
 	return s.mw.wrap(s.mux)
 }
+
+// Metrics exposes the observability registry (for tests and embedding).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Close flushes nothing — every durable commit syncs before it returns
 // — but closes the storage engine so late writers fail fast instead of
@@ -258,12 +326,16 @@ func (s *Server) compactLoop(interval time.Duration, policy storage.CompactPolic
 			// this sweep; active feeds keep refreshing lastBatch and stay
 			// exempt.
 			s.store.ReapIdleAppendSessions(interval)
+			sweepStart := time.Now()
 			n, err := s.store.Compact(policy)
-			if err != nil && s.logger != nil {
-				s.logger.Printf("compaction sweep: %v", err)
+			if s.metrics != nil {
+				s.metrics.compactionLatency.Observe(time.Since(sweepStart).Seconds())
 			}
-			if n > 0 && s.logger != nil {
-				s.logger.Printf("compacted %d trace(s)", n)
+			if err != nil {
+				s.logger.Warn("compaction sweep failed", "error", err)
+			}
+			if n > 0 {
+				s.logger.Info("compacted traces", "count", n, "duration", time.Since(sweepStart).Round(time.Millisecond))
 			}
 		}
 	}

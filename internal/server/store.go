@@ -626,6 +626,47 @@ func (s *Store) List() []TraceInfo {
 	return out
 }
 
+// OpenAppendSessions counts the live append sessions — the gauge the
+// observability layer exposes so a dashboard can see how many traces
+// are mid-feed.
+func (s *Store) OpenAppendSessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.appendStates)
+}
+
+// TraceStorage is one stored trace's on-disk shape for the per-trace
+// storage gauges: segment and colseg block counts, committed bytes,
+// and whether a hot in-memory copy is resident.
+type TraceStorage struct {
+	Name     string
+	Jobs     int
+	Segments int
+	Blocks   int
+	Bytes    int64
+	Resident bool
+}
+
+// StorageGauges snapshots every stored trace's storage shape, sorted
+// by name. Traces without disk backing report zero segments/bytes but
+// still appear (their job count and residency are real).
+func (s *Store) StorageGauges() []TraceStorage {
+	s.mu.RLock()
+	out := make([]TraceStorage, 0, len(s.entries))
+	for name, e := range s.entries {
+		ts := TraceStorage{Name: name, Jobs: e.info.Jobs, Resident: e.t != nil}
+		if e.stored != nil {
+			ts.Segments = e.stored.Segments()
+			ts.Blocks = e.stored.Blocks()
+			ts.Bytes = e.stored.SizeBytes()
+		}
+		out = append(out, ts)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
 // StoreStats is the store's occupancy and lifetime counters. TotalJobs
 // counts jobs across every stored trace; ResidentJobs counts the hot
 // tier only (they differ once traces spill or evict to disk). Partials

@@ -26,6 +26,11 @@
 //     with an optional -max-scatter-overhead gate on the scatter/single
 //     time ratio.
 //
+//   - obs: BenchmarkMiddlewareOverhead bare vs instrumented into
+//     BENCH_OBS.json — what the observability middleware (trace ID,
+//     metrics, request ring) adds to every request — with an optional
+//     -max-mw-overhead-ns gate on the instrumented−bare difference.
+//
 //   - append: BenchmarkAppendIngest oneshot vs batched into
 //     BENCH_APPEND.json — the price of live batched ingest (per-batch
 //     manifest commits, aggregate refreezes, fingerprint extensions)
@@ -42,6 +47,8 @@
 //     benchtrend -suite append -json BENCH_APPEND.json -note "ci trend"
 //     go test -run '^$' -bench BenchmarkClusterReport ./internal/server | \
 //     benchtrend -suite cluster -json BENCH_CLUSTER.json -note "ci trend"
+//     go test -run '^$' -bench BenchmarkMiddlewareOverhead ./internal/server | \
+//     benchtrend -suite obs -json BENCH_OBS.json -note "ci trend"
 package main
 
 import (
@@ -68,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	var (
 		in          = fs.String("in", "-", "benchmark output to parse (- = stdin)")
-		suite       = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), append (BenchmarkAppendIngest), or cluster (BenchmarkClusterReport)")
+		suite       = fs.String("suite", "analyze", "benchmark suite to parse: analyze (BenchmarkParallelAnalyze), serve (BenchmarkStoreColdReport), scan (BenchmarkSegmentScan), append (BenchmarkAppendIngest), cluster (BenchmarkClusterReport), or obs (BenchmarkMiddlewareOverhead)")
 		jsonPath    = fs.String("json", "", "trend file to append the datapoint to (default BENCH_ANALYZE.json / BENCH_SERVE.json / BENCH_SCAN.json / BENCH_APPEND.json per suite)")
 		note        = fs.String("note", "ci trend", "note recorded with the datapoint")
 		minSpeed    = fs.Float64("min-speedup", 0, "analyze suite: fail (exit nonzero) when the K=1 vs K=NumCPU speedup is below this bar on a multi-core machine — the acceptance gate; 0 disables, and single-core machines are exempt (no parallelism exists to measure)")
@@ -78,6 +85,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		minBlockPar = fs.Float64("min-block-parallel-speedup", 0, "scan suite: fail when the block-parallel scan is not at least this many times faster than the segment-parallel scan of the same packed trace (BenchmarkParallelScan) on a multi-core machine — single-core machines are exempt (no parallelism exists to measure); 0 disables")
 		maxApp      = fs.Float64("max-append-overhead", 0, "append suite: fail when batched live ingest costs more than this many times the one-shot upload of the same trace — the live-ingest acceptance gate; 0 disables")
 		maxScat     = fs.Float64("max-scatter-overhead", 0, "cluster suite: fail when a cold scatter/gather report costs more than this many times the single-node cold report of the same trace — the distributed-serving acceptance gate; 0 disables")
+		maxMwNs     = fs.Float64("max-mw-overhead-ns", 0, "obs suite: fail when the observability middleware adds more than this many nanoseconds to a request (instrumented minus bare ns/op) — the per-request overhead acceptance gate; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +100,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			*jsonPath = "BENCH_APPEND.json"
 		case "cluster":
 			*jsonPath = "BENCH_CLUSTER.json"
+		case "obs":
+			*jsonPath = "BENCH_OBS.json"
 		default:
 			*jsonPath = "BENCH_ANALYZE.json"
 		}
@@ -117,8 +127,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		grown, summary, err = appendAppendDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	case "cluster":
 		grown, summary, err = appendClusterDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
+	case "obs":
+		grown, summary, err = appendObsDatapoint(trend, benchOut, time.Now().UTC(), runtime.Version(), *note)
 	default:
-		return fmt.Errorf("unknown suite %q (use analyze, serve, scan, append, or cluster)", *suite)
+		return fmt.Errorf("unknown suite %q (use analyze, serve, scan, append, cluster, or obs)", *suite)
 	}
 	if err != nil {
 		return err
@@ -142,6 +154,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return checkAppendOverhead(grown, *maxApp)
 	case "cluster":
 		return checkScatterOverhead(grown, *maxScat)
+	case "obs":
+		return checkMiddlewareOverhead(grown, *maxMwNs)
 	}
 	return checkSpeedup(grown, *minSpeed)
 }
@@ -241,6 +255,80 @@ func checkAppendOverhead(grown []byte, maxOverhead float64) error {
 	dp := doc.Datapoints[len(doc.Datapoints)-1]
 	if dp.Overhead > maxOverhead {
 		return fmt.Errorf("batched/oneshot ingest overhead %.2fx exceeds the %.2fx acceptance bar", dp.Overhead, maxOverhead)
+	}
+	return nil
+}
+
+// mwOverheadLine matches one BenchmarkMiddlewareOverhead sub-benchmark,
+// e.g. "BenchmarkMiddlewareOverhead/instrumented-4   500000   1701 ns/op".
+var mwOverheadLine = regexp.MustCompile(`(?m)^BenchmarkMiddlewareOverhead/(bare|instrumented)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// appendObsDatapoint parses the middleware benchmark and appends the
+// bare-vs-instrumented datapoint; the headline number is the absolute
+// per-request cost the observability layer adds. Both arms must be
+// present — a truncated run must fail the step, not append garbage.
+func appendObsDatapoint(trend, benchOut []byte, now time.Time, goVersion, note string) ([]byte, string, error) {
+	nsPerOp := map[string]float64{}
+	for _, m := range mwOverheadLine.FindAllStringSubmatch(string(benchOut), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing ns/op %q: %w", m[2], err)
+		}
+		nsPerOp[m[1]] = ns
+	}
+	bare, okB := nsPerOp["bare"]
+	instrumented, okI := nsPerOp["instrumented"]
+	if !okB || !okI {
+		return nil, "", fmt.Errorf("benchmark output carries no bare or instrumented result (got %d results)", len(nsPerOp))
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(trend, &doc); err != nil {
+		return nil, "", fmt.Errorf("parsing trend file: %w", err)
+	}
+	points, _ := doc["datapoints"].([]any)
+
+	overhead := instrumented - bare
+	dp := map[string]any{
+		"date":                   now.Format("2006-01-02"),
+		"go":                     goVersion,
+		"bare_ns_per_op":         int64(bare),
+		"instrumented_ns_per_op": int64(instrumented),
+		"mw_overhead_ns":         int64(overhead),
+		"note":                   note,
+	}
+	if m := cpuLine.FindStringSubmatch(string(benchOut)); m != nil {
+		dp["cpu"] = strings.TrimSpace(m[1])
+	}
+	doc["datapoints"] = append(points, dp)
+
+	grown, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("appended datapoint: bare %.0fns, instrumented %.0fns (middleware adds %.0fns/request)",
+		bare, instrumented, overhead)
+	return append(grown, '\n'), summary, nil
+}
+
+// checkMiddlewareOverhead enforces the obs-suite bar against the
+// datapoint just appended. The datapoint is always recorded first, so a
+// failing run still leaves the evidence in the trend artifact.
+func checkMiddlewareOverhead(grown []byte, maxNs float64) error {
+	if maxNs <= 0 {
+		return nil
+	}
+	var doc struct {
+		Datapoints []struct {
+			OverheadNS float64 `json:"mw_overhead_ns"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		return err
+	}
+	dp := doc.Datapoints[len(doc.Datapoints)-1]
+	if dp.OverheadNS > maxNs {
+		return fmt.Errorf("middleware overhead %.0fns/request exceeds the %.0fns acceptance bar", dp.OverheadNS, maxNs)
 	}
 	return nil
 }

@@ -548,3 +548,69 @@ func TestCheckAppendOverhead(t *testing.T) {
 		t.Errorf("disabled bar failed: %v", err)
 	}
 }
+
+const obsTrend = `{
+  "benchmark": "BenchmarkMiddlewareOverhead",
+  "acceptance": "instrumented - bare < 5000ns",
+  "datapoints": []
+}`
+
+const obsBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMiddlewareOverhead/bare-4         	  500000	         2.1 ns/op
+BenchmarkMiddlewareOverhead/instrumented-4 	  500000	      1702 ns/op
+PASS
+`
+
+func TestAppendObsDatapoint(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	grown, summary, err := appendObsDatapoint([]byte(obsTrend), []byte(obsBench), now, "go1.24.0", "ci trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "middleware adds 1700ns/request") {
+		t.Errorf("summary %q lacks the overhead", summary)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(grown, &doc); err != nil {
+		t.Fatal(err)
+	}
+	points := doc["datapoints"].([]any)
+	if len(points) != 1 {
+		t.Fatalf("got %d datapoints, want 1", len(points))
+	}
+	dp := points[0].(map[string]any)
+	for key, want := range map[string]any{
+		"date":                   "2026-08-08",
+		"bare_ns_per_op":         2.0,
+		"instrumented_ns_per_op": 1702.0,
+		"mw_overhead_ns":         1699.0, // int64(1702 - 2.1)
+		"note":                   "ci trend",
+	} {
+		if dp[key] != want {
+			t.Errorf("datapoint[%q] = %v, want %v", key, dp[key], want)
+		}
+	}
+}
+
+func TestAppendObsDatapointRejectsTruncated(t *testing.T) {
+	truncated := strings.Replace(obsBench, "BenchmarkMiddlewareOverhead/instrumented", "BenchmarkSomethingElse/instrumented", 1)
+	if _, _, err := appendObsDatapoint([]byte(obsTrend), []byte(truncated), time.Now(), "go1.24.0", ""); err == nil {
+		t.Error("truncated output should error, not append garbage")
+	}
+}
+
+func TestCheckMiddlewareOverhead(t *testing.T) {
+	grown := []byte(`{"datapoints": [{"mw_overhead_ns": 1700}]}`)
+	if err := checkMiddlewareOverhead(grown, 0); err != nil {
+		t.Errorf("disabled gate should pass: %v", err)
+	}
+	if err := checkMiddlewareOverhead(grown, 5000); err != nil {
+		t.Errorf("1700ns under a 5000ns bar should pass: %v", err)
+	}
+	if err := checkMiddlewareOverhead(grown, 1000); err == nil {
+		t.Error("1700ns over a 1000ns bar should fail")
+	}
+}

@@ -1,7 +1,7 @@
 package swim
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
 
 	"repro/internal/server"
@@ -40,8 +40,9 @@ type ServeOptions struct {
 	// (canonical JSONL, the pre-v6 format). Stored segments always read
 	// back with the codec they were written with.
 	SegmentCodec string
-	// Logger receives one line per request; nil disables request logs.
-	Logger *log.Logger
+	// Logger receives structured server logs (slow or failing requests,
+	// recovery, compaction); nil disables logging.
+	Logger *slog.Logger
 	// Peers enables cluster mode: the full membership as "id=url,..."
 	// including this node. Ingested traces are then sharded across the
 	// members by consistent hashing and reports scatter/gather, merging
